@@ -1,0 +1,157 @@
+//! Kneedle knee/elbow detection (Satopaa et al., ICDCSW 2011), used for
+//! the paper's inflection-point analysis (§4.3.2, Table 5): the TE at
+//! which TFE starts rising rapidly.
+
+/// Curve orientation for Kneedle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Concave increasing (knee = point of diminishing returns).
+    ConcaveIncreasing,
+    /// Convex increasing (elbow = point where growth accelerates) — the
+    /// shape of the paper's TFE-vs-TE curves.
+    ConvexIncreasing,
+}
+
+/// Finds the knee/elbow of a curve given as parallel `x`/`y` arrays
+/// (x strictly increasing). Returns the index of the detected point, or
+/// `None` when the curve is degenerate (too short or flat).
+///
+/// `sensitivity` is Kneedle's `S` (1.0 is the paper default; larger is
+/// more conservative).
+///
+/// ```
+/// use analysis::kneedle::{kneedle, Shape};
+/// let x: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+/// let y: Vec<f64> = x.iter().map(|v| v * v).collect(); // convex: elbow at 0.5
+/// let k = kneedle(&x, &y, Shape::ConvexIncreasing, 1.0).unwrap();
+/// assert!((x[k] - 0.5).abs() < 0.05);
+/// ```
+pub fn kneedle(x: &[f64], y: &[f64], shape: Shape, sensitivity: f64) -> Option<usize> {
+    assert_eq!(x.len(), y.len(), "kneedle: length mismatch");
+    let n = x.len();
+    if n < 3 {
+        return None;
+    }
+    let (x0, x1) = (x[0], x[n - 1]);
+    let ylo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+    let yhi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if x1 - x0 <= 0.0 || yhi - ylo <= 0.0 {
+        return None;
+    }
+    // Normalize to the unit square.
+    let xn: Vec<f64> = x.iter().map(|&v| (v - x0) / (x1 - x0)).collect();
+    let yn: Vec<f64> = y.iter().map(|&v| (v - ylo) / (yhi - ylo)).collect();
+    // Difference curve: distance from the diagonal, oriented so the
+    // knee/elbow is a maximum.
+    let d: Vec<f64> = match shape {
+        Shape::ConcaveIncreasing => xn.iter().zip(&yn).map(|(a, b)| b - a).collect(),
+        Shape::ConvexIncreasing => xn.iter().zip(&yn).map(|(a, b)| a - b).collect(),
+    };
+    // Local maxima of the difference curve.
+    let mut maxima: Vec<usize> = Vec::new();
+    for i in 1..n - 1 {
+        if d[i] >= d[i - 1] && d[i] >= d[i + 1] {
+            maxima.push(i);
+        }
+    }
+    if maxima.is_empty() {
+        return None;
+    }
+    // Threshold: each maximum must stay above T = d_max − S·mean(Δx).
+    let mean_dx: f64 = xn.windows(2).map(|w| w[1] - w[0]).sum::<f64>() / (n - 1) as f64;
+    for &i in &maxima {
+        let threshold = d[i] - sensitivity * mean_dx;
+        // Knee confirmed if d drops below the threshold before the next
+        // local maximum (or the end of the curve).
+        let next_max = maxima.iter().find(|&&j| j > i).copied().unwrap_or(n - 1);
+        for j in i + 1..=next_max {
+            if d[j] < threshold {
+                return Some(i);
+            }
+        }
+        // Reaching the end of the curve without rising again also counts.
+        if next_max == n - 1 && d[n - 1] < threshold {
+            return Some(i);
+        }
+    }
+    // Fall back to the global maximum of the difference curve.
+    maxima
+        .into_iter()
+        .max_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("finite distances"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knee_of_concave_sqrt() {
+        // y = sqrt(x): knee of the normalized curve is at x = 0.25
+        // (maximum of sqrt(t) − t).
+        let x: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.sqrt()).collect();
+        let k = kneedle(&x, &y, Shape::ConcaveIncreasing, 1.0).expect("knee exists");
+        assert!((x[k] - 0.25).abs() < 0.05, "knee at {}", x[k]);
+    }
+
+    #[test]
+    fn elbow_of_convex_square() {
+        // y = x²: maximum of t − t² is at 0.5.
+        let x: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * v).collect();
+        let k = kneedle(&x, &y, Shape::ConvexIncreasing, 1.0).expect("elbow exists");
+        assert!((x[k] - 0.5).abs() < 0.05, "elbow at {}", x[k]);
+    }
+
+    #[test]
+    fn hockey_stick_elbow_found_at_bend() {
+        // Flat then steep: the elbow is at the bend (x = 0.7).
+        let x: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| if v < 0.7 { 0.02 * v } else { 0.02 * 0.7 + 3.0 * (v - 0.7) })
+            .collect();
+        let k = kneedle(&x, &y, Shape::ConvexIncreasing, 1.0).expect("elbow exists");
+        assert!((x[k] - 0.7).abs() < 0.08, "elbow at {}", x[k]);
+    }
+
+    #[test]
+    fn degenerate_curves_return_none() {
+        assert_eq!(kneedle(&[0.0, 1.0], &[0.0, 1.0], Shape::ConvexIncreasing, 1.0), None);
+        let x = [0.0, 0.5, 1.0];
+        assert_eq!(kneedle(&x, &[2.0, 2.0, 2.0], Shape::ConvexIncreasing, 1.0), None);
+        assert_eq!(kneedle(&[1.0, 1.0, 1.0], &x, Shape::ConvexIncreasing, 1.0), None);
+    }
+
+    #[test]
+    fn straight_line_has_no_strong_knee() {
+        let x: Vec<f64> = (0..=50).map(|i| i as f64).collect();
+        let y = x.clone();
+        // The difference curve is ~0 everywhere; if anything is returned it
+        // must be weakly supported — accept None or tiny-d index.
+        if let Some(k) = kneedle(&x, &y, Shape::ConcaveIncreasing, 1.0) {
+            let d = (y[k] - y[0]) / (y[50] - y[0]) - (x[k] - x[0]) / (x[50] - x[0]);
+            assert!(d.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn noisy_tfe_like_curve() {
+        // Synthetic TFE-vs-TE: flat with noise, then super-linear growth.
+        let x: Vec<f64> = (0..13).map(|i| 0.01 + i as f64 * 0.006).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &te)| {
+                let noise = if i % 2 == 0 { 0.002 } else { -0.002 };
+                if te < 0.05 {
+                    noise
+                } else {
+                    (te - 0.05) * (te - 0.05) * 120.0 + noise
+                }
+            })
+            .collect();
+        let k = kneedle(&x, &y, Shape::ConvexIncreasing, 1.0).expect("elbow exists");
+        assert!((0.035..0.075).contains(&x[k]), "elbow TE {}", x[k]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Characteristics monitoring — the paper's §4.3.3 guideline turned into
+//! an API: "when these characteristics show small deviations of even 1%,
+//! it is a sign that the forecasting models will not perform optimally,
+//! thereby making them key indicators to monitor", and "URPP shows more
+//! uniformity across datasets, allowing users to set a threshold for
+//! alerts at even a 5% deviation".
+//!
+//! A [`CharacteristicsMonitor`] is configured with per-characteristic
+//! relative-deviation thresholds (defaults follow Table 6's guidance),
+//! computes the reference characteristics of the raw stream once, and
+//! checks decompressed batches against them.
+
+use crate::features::{extract, FeatureOptions, FeatureVector, FEATURE_NAMES};
+
+/// Severity of a deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Above the warning threshold.
+    Warning,
+    /// Above twice the warning threshold.
+    Critical,
+}
+
+/// One raised alert.
+#[derive(Debug, Clone)]
+pub struct Alert {
+    /// Characteristic name.
+    pub characteristic: &'static str,
+    /// Observed relative deviation in percent.
+    pub deviation_pct: f64,
+    /// The threshold that was crossed.
+    pub threshold_pct: f64,
+    /// Severity class.
+    pub severity: Severity,
+}
+
+/// Per-characteristic monitoring thresholds (relative deviation, %).
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// `(characteristic, threshold_pct)` pairs; characteristics not
+    /// listed are not monitored.
+    pub thresholds: Vec<(&'static str, f64)>,
+    /// Feature-extraction options (period, window, cap).
+    pub features: FeatureOptions,
+}
+
+impl MonitorConfig {
+    /// The paper's §4.3.3 guidance: the three stable indicators at 1% and
+    /// `unitroot_pp` at 5%; `max_kl_shift` is tracked with a loose
+    /// threshold because its scale is method-dependent.
+    pub fn paper_defaults(features: FeatureOptions) -> Self {
+        MonitorConfig {
+            thresholds: vec![
+                ("max_level_shift", 1.0),
+                ("seas_acf1", 1.0),
+                ("max_var_shift", 1.0),
+                ("unitroot_pp", 5.0),
+                ("max_kl_shift", 30.0),
+            ],
+            features,
+        }
+    }
+}
+
+/// Watches decompressed streams for characteristic drift against a raw
+/// reference.
+#[derive(Debug, Clone)]
+pub struct CharacteristicsMonitor {
+    config: MonitorConfig,
+    reference: FeatureVector,
+}
+
+impl CharacteristicsMonitor {
+    /// Builds the monitor from the raw reference stream.
+    pub fn new(reference_values: &[f64], config: MonitorConfig) -> Self {
+        let reference = extract(reference_values, config.features);
+        CharacteristicsMonitor { config, reference }
+    }
+
+    /// The reference characteristics.
+    pub fn reference(&self) -> &FeatureVector {
+        &self.reference
+    }
+
+    /// Checks a decompressed batch; returns all alerts, most severe first.
+    pub fn check(&self, decompressed: &[f64]) -> Vec<Alert> {
+        let current = extract(decompressed, self.config.features);
+        let rel = current.relative_diff_pct(&self.reference);
+        let mut alerts: Vec<Alert> = self
+            .config
+            .thresholds
+            .iter()
+            .filter_map(|&(name, threshold)| {
+                let idx = FEATURE_NAMES
+                    .iter()
+                    .position(|&n| n == name)
+                    .unwrap_or_else(|| panic!("unknown monitored characteristic {name}"));
+                let deviation = rel[idx];
+                if deviation > threshold {
+                    Some(Alert {
+                        characteristic: FEATURE_NAMES[idx],
+                        deviation_pct: deviation,
+                        threshold_pct: threshold,
+                        severity: if deviation > 2.0 * threshold {
+                            Severity::Critical
+                        } else {
+                            Severity::Warning
+                        },
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect();
+        alerts.sort_by(|a, b| {
+            let ka = a.deviation_pct / a.threshold_pct;
+            let kb = b.deviation_pct / b.threshold_pct;
+            kb.partial_cmp(&ka).expect("finite deviations")
+        });
+        alerts
+    }
+
+    /// Convenience: whether the batch passes with no alerts.
+    pub fn passes(&self, decompressed: &[f64]) -> bool {
+        self.check(decompressed).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seasonal(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                10.0 + 3.0 * (i as f64 / 48.0 * std::f64::consts::TAU).sin() + 0.3 * noise
+            })
+            .collect()
+    }
+
+    fn config() -> MonitorConfig {
+        MonitorConfig::paper_defaults(FeatureOptions {
+            period: Some(48),
+            shift_window: 48,
+            cap: None,
+        })
+    }
+
+    #[test]
+    fn identical_stream_passes() {
+        let x = seasonal(2000, 1);
+        let monitor = CharacteristicsMonitor::new(&x, config());
+        assert!(monitor.passes(&x));
+    }
+
+    #[test]
+    fn heavy_smoothing_raises_alerts() {
+        let x = seasonal(2000, 2);
+        let monitor = CharacteristicsMonitor::new(&x, config());
+        // Crush the signal: zero-order hold every 32 points (a brutal
+        // PMC-like transformation far past any sane error bound).
+        let crushed: Vec<f64> = x
+            .chunks(32)
+            .flat_map(|c| std::iter::repeat_n(c[0], c.len()))
+            .collect();
+        let alerts = monitor.check(&crushed);
+        assert!(!alerts.is_empty(), "crushed stream must alert");
+        // Sorted most-severe first.
+        for w in alerts.windows(2) {
+            assert!(
+                w[0].deviation_pct / w[0].threshold_pct
+                    >= w[1].deviation_pct / w[1].threshold_pct
+            );
+        }
+    }
+
+    #[test]
+    fn severity_classes() {
+        let x = seasonal(2000, 3);
+        let monitor = CharacteristicsMonitor::new(&x, config());
+        let crushed: Vec<f64> = x
+            .chunks(64)
+            .flat_map(|c| std::iter::repeat_n(c[0], c.len()))
+            .collect();
+        let alerts = monitor.check(&crushed);
+        assert!(
+            alerts.iter().any(|a| a.severity == Severity::Critical),
+            "a 64-point hold should be critical somewhere: {alerts:?}"
+        );
+    }
+
+    #[test]
+    fn mild_compression_like_noise_stays_quiet_or_warns() {
+        // A within-1%-bound perturbation must never go critical on the
+        // stable characteristics.
+        let x = seasonal(2000, 4);
+        let monitor = CharacteristicsMonitor::new(&x, config());
+        let perturbed: Vec<f64> =
+            x.iter().enumerate().map(|(i, v)| v * (1.0 + 0.002 * ((i % 3) as f64 - 1.0))).collect();
+        let alerts = monitor.check(&perturbed);
+        for a in &alerts {
+            assert_ne!(
+                (a.characteristic, a.severity),
+                ("max_level_shift", Severity::Critical),
+                "mild perturbation flagged critical: {alerts:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown monitored characteristic")]
+    fn unknown_characteristic_panics() {
+        let x = seasonal(500, 5);
+        let cfg = MonitorConfig {
+            thresholds: vec![("no_such_feature", 1.0)],
+            features: FeatureOptions { period: None, shift_window: 24, cap: None },
+        };
+        CharacteristicsMonitor::new(&x, cfg).check(&x);
+    }
+}

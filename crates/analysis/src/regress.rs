@@ -1,0 +1,80 @@
+//! Simple-regression helper for Table 3: `CR = θ1·TE + θ0` with coefficient
+//! standard errors.
+
+use forecast::linalg::lstsq_with_se;
+use forecast::model::ForecastError;
+
+/// A fitted simple linear regression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinFit {
+    /// Slope θ1.
+    pub slope: f64,
+    /// Intercept θ0.
+    pub intercept: f64,
+    /// Standard error of the slope.
+    pub se_slope: f64,
+    /// Standard error of the intercept.
+    pub se_intercept: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+/// Fits `y = slope·x + intercept` by OLS.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Result<LinFit, ForecastError> {
+    assert_eq!(x.len(), y.len(), "linear_fit: length mismatch");
+    let n = x.len();
+    let design: Vec<f64> = x.iter().flat_map(|&v| [1.0, v]).collect();
+    let (beta, se) = lstsq_with_se(&design, y, n, 2)?;
+    let mean_y = y.iter().sum::<f64>() / n as f64;
+    let mut sse = 0.0;
+    let mut sst = 0.0;
+    for i in 0..n {
+        let pred = beta[0] + beta[1] * x[i];
+        sse += (y[i] - pred) * (y[i] - pred);
+        sst += (y[i] - mean_y) * (y[i] - mean_y);
+    }
+    let r2 = if sst < 1e-12 { 1.0 } else { (1.0 - sse / sst).max(0.0) };
+    Ok(LinFit { slope: beta[1], intercept: beta[0], se_slope: se[1], se_intercept: se[0], r2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [5.0, 7.0, 9.0, 11.0];
+        let f = linear_fit(&x, &y).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-9);
+        assert!((f.intercept - 5.0).abs() < 1e-9);
+        assert!(f.r2 > 0.999999);
+        assert!(f.se_slope < 1e-6);
+    }
+
+    #[test]
+    fn noisy_line_has_positive_se() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64 * 0.01).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| 3.0 * v + 1.0 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let f = linear_fit(&x, &y).unwrap();
+        assert!((f.slope - 3.0).abs() < 0.2);
+        assert!(f.se_slope > 0.0);
+        assert!(f.r2 > 0.8);
+    }
+
+    #[test]
+    fn cr_te_style_fit() {
+        // Table-3 style: CR grows ~linearly with TE.
+        let te: Vec<f64> = (1..=13).map(|i| i as f64 * 0.005).collect();
+        let cr: Vec<f64> = te.iter().map(|&t| 500.0 * t + 2.0).collect();
+        let f = linear_fit(&te, &cr).unwrap();
+        // Tolerance accounts for the solver's tiny ridge term on a design
+        // whose TE column is ~1e-2 scale.
+        assert!((f.slope - 500.0).abs() < 1e-2, "slope {}", f.slope);
+        assert!((f.intercept - 2.0).abs() < 1e-3, "intercept {}", f.intercept);
+    }
+}

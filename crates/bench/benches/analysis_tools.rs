@@ -1,0 +1,69 @@
+//! Cost of the analysis toolkit: the 42-characteristic extraction, TreeSHAP
+//! attribution, Kneedle, and the Spearman correlation — the per-cell cost
+//! of the paper's §4.3 analyses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use analysis::correlation::spearman;
+use analysis::features::{extract, FeatureOptions, NUM_FEATURES};
+use analysis::kneedle::{kneedle, Shape};
+use analysis::shap::gbm_shap;
+use forecast::gboost::{GbmConfig, GbmRegressor};
+use tsdata::datasets::{generate_univariate, DatasetKind, GenOptions};
+
+fn bench_features(c: &mut Criterion) {
+    let mut group = c.benchmark_group("features42");
+    group.sample_size(10);
+    for n in [2_000usize, 8_000] {
+        let series = generate_univariate(DatasetKind::ETTm1, GenOptions::with_len(n));
+        let opts =
+            FeatureOptions { period: Some(96), shift_window: 48, cap: None };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &series, |b, s| {
+            b.iter(|| extract(black_box(s.values()), opts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_shap(c: &mut Criterion) {
+    // A TFE-predictor-sized model: 42 features, 80 trees of depth 3.
+    let n = 200;
+    let mut state = 7u64;
+    let mut rand = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let features: Vec<f64> = (0..n * NUM_FEATURES).map(|_| rand() * 2.0).collect();
+    let targets: Vec<f64> =
+        (0..n).map(|r| features[r * NUM_FEATURES] * 2.0 + features[r * NUM_FEATURES + 1]).collect();
+    let model = GbmRegressor::fit(
+        &features,
+        &targets,
+        NUM_FEATURES,
+        GbmConfig { n_estimators: 80, ..Default::default() },
+    );
+    c.bench_function("treeshap/80trees_42features", |b| {
+        b.iter(|| gbm_shap(black_box(&model), black_box(&features[..NUM_FEATURES])))
+    });
+}
+
+fn bench_kneedle_and_spearman(c: &mut Criterion) {
+    let x: Vec<f64> = (0..13).map(|i| 0.01 + i as f64 * 0.006).collect();
+    let y: Vec<f64> = x.iter().map(|&t| (t - 0.04).max(0.0).powi(2) * 100.0).collect();
+    c.bench_function("kneedle/13pt_curve", |b| {
+        b.iter(|| kneedle(black_box(&x), black_box(&y), Shape::ConvexIncreasing, 1.0))
+    });
+    let a: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64).collect();
+    let bb: Vec<f64> = (0..500).map(|i| ((i * 53) % 97) as f64).collect();
+    c.bench_function("spearman/500", |b| b.iter(|| spearman(black_box(&a), black_box(&bb))));
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_features, bench_shap, bench_kneedle_and_spearman
+);
+criterion_main!(benches);

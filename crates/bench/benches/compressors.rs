@@ -1,0 +1,67 @@
+//! Throughput of the three PEBLC compressors and Gorilla: compression and
+//! decompression over a fixed ETTm1-like series at representative error
+//! bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use compression::codec::PeblcCompressor;
+use compression::{Gorilla, Pmc, Swing, Sz};
+use tsdata::datasets::{generate_univariate, DatasetKind, GenOptions};
+use tsdata::series::RegularTimeSeries;
+
+const N: usize = 8_192;
+
+fn series() -> RegularTimeSeries {
+    generate_univariate(DatasetKind::ETTm1, GenOptions::with_len(N))
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let s = series();
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Elements(N as u64));
+    let methods: Vec<(&str, Box<dyn PeblcCompressor>)> = vec![
+        ("PMC", Box::new(Pmc)),
+        ("SWING", Box::new(Swing)),
+        ("SZ", Box::new(Sz)),
+        ("GORILLA", Box::new(Gorilla)),
+    ];
+    for (name, compressor) in &methods {
+        for eps in [0.01, 0.1, 0.4] {
+            group.bench_with_input(
+                BenchmarkId::new(*name, eps),
+                &eps,
+                |b, &eps| {
+                    b.iter(|| compressor.compress(black_box(&s), eps).expect("compresses"))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let s = series();
+    let mut group = c.benchmark_group("decompress");
+    group.throughput(Throughput::Elements(N as u64));
+    let methods: Vec<(&str, Box<dyn PeblcCompressor>)> = vec![
+        ("PMC", Box::new(Pmc)),
+        ("SWING", Box::new(Swing)),
+        ("SZ", Box::new(Sz)),
+        ("GORILLA", Box::new(Gorilla)),
+    ];
+    for (name, compressor) in &methods {
+        let frame = compressor.compress(&s, 0.1).expect("compresses");
+        group.bench_function(*name, |b| {
+            b.iter(|| compressor.decompress(black_box(&frame)).expect("valid frame"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_compress, bench_decompress
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! One Criterion bench per paper table/figure: each measures the harness
+//! that regenerates that experiment (at smoke scale — the `repro` binary
+//! runs the full versions; EXPERIMENTS.md records paper-vs-measured).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use evalcore::experiments::{
+    characteristics_exp, compression_exp, elbows_exp, fig1, forecasting_exp, retrain_exp,
+    table1,
+};
+use evalcore::grid::GridConfig;
+use forecast::model::ModelKind;
+use tsdata::datasets::DatasetKind;
+
+fn tiny_config() -> GridConfig {
+    let mut cfg = GridConfig::smoke();
+    cfg.len = Some(900);
+    cfg.input_len = 24;
+    cfg.horizon = 6;
+    cfg.error_bounds = vec![0.05, 0.2, 0.5];
+    cfg.models = vec![ModelKind::GBoost];
+    cfg.eval_stride = 24;
+    cfg
+}
+
+fn bench_tables_and_figures(c: &mut Criterion) {
+    let cfg = tiny_config();
+    // Shared grid evaluation for the derivation-only experiments.
+    let forecast = forecasting_exp::run(&cfg);
+    let chars = characteristics_exp::run(&forecast);
+    let elbows = elbows_exp::run(&forecast);
+    let caps = elbows.eb_caps();
+
+    c.bench_function("table1/dataset_statistics", |b| {
+        b.iter(|| table1::run(Some(900), 7).render())
+    });
+    c.bench_function("fig1/compressor_outputs", |b| {
+        b.iter(|| fig1::run(DatasetKind::ETTm1, 128, 7).render())
+    });
+    c.bench_function("fig2_fig3_table3/compression_grid", |b| {
+        b.iter(|| {
+            let exp = compression_exp::run(black_box(&cfg));
+            (exp.render_fig2(), exp.render_fig3(), exp.render_table3())
+        })
+    });
+    c.bench_function("table2/baseline_grid", |b| {
+        b.iter(|| forecasting_exp::run(black_box(&cfg)).render_table2())
+    });
+    c.bench_function("fig4/tfe_vs_te", |b| b.iter(|| forecast.render_fig4()));
+    c.bench_function("fig5/shap_ranking", |b| {
+        b.iter(|| characteristics_exp::run(black_box(&forecast)).render_fig5(9))
+    });
+    c.bench_function("table4/spearman_ranking", |b| b.iter(|| chars.render_table4(10)));
+    c.bench_function("table5/elbow_analysis", |b| {
+        b.iter(|| elbows_exp::run(black_box(&forecast)).render())
+    });
+    c.bench_function("table6/key_characteristics", |b| b.iter(|| chars.render_table6()));
+    c.bench_function("fig6/tfe_per_model", |b| b.iter(|| forecast.render_fig6(&caps)));
+    c.bench_function("table7/best_models", |b| b.iter(|| forecast.render_table7(&caps)));
+    c.bench_function("fig7/retrain_on_decompressed", |b| {
+        b.iter(|| {
+            retrain_exp::run(black_box(&cfg), &[ModelKind::GBoost], &[0.1]).render()
+        })
+    });
+    c.bench_function("decomp/trend_remainder_impact", |b| {
+        b.iter(|| retrain_exp::render_decomposition(black_box(&cfg)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tables_and_figures
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Throughput of the lossless substrate: the DEFLATE-style codec (the
+//! gzip stand-in every method's sizes depend on), canonical Huffman, and
+//! the bit stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use compression::bitstream::{BitReader, BitWriter};
+use compression::deflate::{compress, decompress};
+use compression::huffman::CanonicalCode;
+
+fn float_payload(n: usize) -> Vec<u8> {
+    (0..n)
+        .flat_map(|i| {
+            let v = (13.0 + (i as f64 / 96.0 * std::f64::consts::TAU).sin() * 4.0
+                + ((i * 31) % 13) as f64 * 0.01)
+                .to_le_bytes();
+            v
+        })
+        .collect()
+}
+
+fn bench_deflate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deflate");
+    for n in [1_024usize, 16_384] {
+        let data = float_payload(n);
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.bench_with_input(BenchmarkId::new("compress", n), &data, |b, d| {
+            b.iter(|| compress(black_box(d)))
+        });
+        let compressed = compress(&data);
+        group.bench_with_input(BenchmarkId::new("decompress", n), &compressed, |b, d| {
+            b.iter(|| decompress(black_box(d)).expect("own output"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    // SZ-like skewed quantization codes.
+    let symbols: Vec<usize> =
+        (0..50_000).map(|i| if i % 10 < 7 { 512 } else { 512 + (i % 40) }).collect();
+    let mut freqs = vec![0u64; 1026];
+    for &s in &symbols {
+        freqs[s] += 1;
+    }
+    c.bench_function("huffman/encode_50k", |b| {
+        let code = CanonicalCode::from_freqs(&freqs).expect("nonzero");
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            for &s in &symbols {
+                code.encode(s, &mut w);
+            }
+            w.into_bytes()
+        })
+    });
+    c.bench_function("huffman/decode_50k", |b| {
+        let code = CanonicalCode::from_freqs(&freqs).expect("nonzero");
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            code.encode(s, &mut w);
+        }
+        let bytes = w.into_bytes();
+        b.iter(|| {
+            let mut r = BitReader::new(black_box(&bytes));
+            let mut sum = 0usize;
+            for _ in 0..symbols.len() {
+                sum += code.decode(&mut r).expect("valid");
+            }
+            sum
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_deflate, bench_huffman
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Fit and predict cost of each forecasting model at reduced (bench-scale)
+//! window sizes — the per-task cost driver of the evaluation grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use forecast::model::ALL_MODELS;
+use forecast::{build_model, BuildOptions};
+use tsdata::datasets::{generate, DatasetKind, GenOptions};
+use tsdata::split::{split, SplitSpec};
+
+fn options() -> BuildOptions {
+    BuildOptions { input_len: 32, horizon: 8, season: Some(96), ..Default::default() }
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let data = generate(DatasetKind::ETTm1, GenOptions::with_len(1_200));
+    let s = split(&data, SplitSpec::default()).expect("splits");
+    let mut group = c.benchmark_group("fit");
+    group.sample_size(10);
+    for kind in ALL_MODELS {
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                let mut model = build_model(kind, options());
+                model.fit(black_box(&s.train), black_box(&s.val)).expect("fits");
+                model
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let data = generate(DatasetKind::ETTm1, GenOptions::with_len(1_200));
+    let s = split(&data, SplitSpec::default()).expect("splits");
+    let window = s.test.target().values()[..32].to_vec();
+    let mut group = c.benchmark_group("predict");
+    for kind in ALL_MODELS {
+        let mut model = build_model(kind, options());
+        model.fit(&s.train, &s.val).expect("fits");
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| model.predict(black_box(&[window.clone()])).expect("predicts"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fit, bench_predict
+);
+criterion_main!(benches);

@@ -1,0 +1,168 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p bench --release --bin repro -- all            # default scale
+//! cargo run -p bench --release --bin repro -- table2 --quick # one experiment
+//! cargo run -p bench --release --bin repro -- all --paper    # paper scale
+//! ```
+
+use bench::{config_for, parse_args, Experiment, ALL_EXPERIMENTS};
+use evalcore::experiments::{
+    characteristics_exp, compression_exp, elbows_exp, fig1, forecasting_exp, retrain_exp,
+    table1,
+};
+use forecast::model::ModelKind;
+use tsdata::datasets::DatasetKind;
+
+fn main() {
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = config_for(&cli);
+    let experiments: Vec<Experiment> = if cli.experiments.contains(&Experiment::All) {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        cli.experiments.clone()
+    };
+
+    println!(
+        "EvalImpLSTS reproduction — scale {:?}, dataset length {:?}, {} thread(s)\n",
+        cli.scale,
+        cfg.len.map_or("paper-full".to_string(), |l| l.to_string()),
+        cfg.threads
+    );
+
+    // Shared expensive stages, computed lazily at most once.
+    let mut compression: Option<compression_exp::CompressionExperiment> = None;
+    let mut forecast: Option<forecasting_exp::ForecastExperiment> = None;
+    let mut elbows: Option<elbows_exp::Table5> = None;
+    let mut chars: Option<characteristics_exp::CharacteristicsExperiment> = None;
+
+    let get_compression =
+        |cfg: &evalcore::GridConfig,
+         cache: &mut Option<compression_exp::CompressionExperiment>| {
+            if cache.is_none() {
+                eprintln!("[repro] running compression grid...");
+                *cache = Some(compression_exp::run(cfg));
+            }
+            cache.clone().expect("just populated")
+        };
+    let get_forecast = |cfg: &evalcore::GridConfig,
+                            cache: &mut Option<forecasting_exp::ForecastExperiment>| {
+        if cache.is_none() {
+            eprintln!("[repro] running forecasting grid (this is the long part)...");
+            *cache = Some(forecasting_exp::run(cfg));
+        }
+        cache.clone().expect("just populated")
+    };
+
+    for exp in experiments {
+        let started = std::time::Instant::now();
+        let output = match exp {
+            Experiment::Table1 => table1::run(cfg.len, cfg.data_seed).render(),
+            Experiment::Fig1 => {
+                let mut out = fig1::run(DatasetKind::ETTm1, 256, cfg.data_seed).render();
+                out.push('\n');
+                out.push_str(&fig1::run(DatasetKind::ETTm2, 256, cfg.data_seed).render());
+                out
+            }
+            Experiment::Fig2 => get_compression(&cfg, &mut compression).render_fig2(),
+            Experiment::Fig3 => get_compression(&cfg, &mut compression).render_fig3(),
+            Experiment::Table3 => get_compression(&cfg, &mut compression).render_table3(),
+            Experiment::Table2 => get_forecast(&cfg, &mut forecast).render_table2(),
+            Experiment::Fig4 => get_forecast(&cfg, &mut forecast).render_fig4(),
+            Experiment::Fig5 => {
+                let f = get_forecast(&cfg, &mut forecast);
+                chars.get_or_insert_with(|| characteristics_exp::run(&f)).render_fig5(9)
+            }
+            Experiment::Table4 => {
+                let f = get_forecast(&cfg, &mut forecast);
+                chars.get_or_insert_with(|| characteristics_exp::run(&f)).render_table4(10)
+            }
+            Experiment::Table5 => {
+                let f = get_forecast(&cfg, &mut forecast);
+                let t5 = elbows_exp::run(&f);
+                let rendered = t5.render();
+                elbows = Some(t5);
+                rendered
+            }
+            Experiment::Table6 => {
+                let f = get_forecast(&cfg, &mut forecast);
+                chars.get_or_insert_with(|| characteristics_exp::run(&f)).render_table6()
+            }
+            Experiment::Fig6 | Experiment::Table7 => {
+                let f = get_forecast(&cfg, &mut forecast);
+                if elbows.is_none() {
+                    elbows = Some(elbows_exp::run(&f));
+                }
+                let caps = elbows.as_ref().expect("populated above").eb_caps();
+                if exp == Experiment::Fig6 {
+                    f.render_fig6(&caps)
+                } else {
+                    f.render_table7(&caps)
+                }
+            }
+            Experiment::Fig7 => {
+                let mut retrain_cfg = cfg.clone();
+                retrain_cfg.datasets = vec![DatasetKind::ETTm1, DatasetKind::ETTm2];
+                let bounds: Vec<f64> = cfg
+                    .error_bounds
+                    .iter()
+                    .copied()
+                    .filter(|&e| e <= 0.2 + 1e-9)
+                    .collect();
+                retrain_exp::run(
+                    &retrain_cfg,
+                    &[ModelKind::Arima, ModelKind::DLinear],
+                    &bounds,
+                )
+                .render()
+            }
+            Experiment::Decomp => retrain_exp::render_decomposition(&cfg),
+            Experiment::All => unreachable!("expanded above"),
+        };
+        println!("{output}");
+        eprintln!("[repro] {exp:?} done in {:.1?}\n", started.elapsed());
+    }
+
+    // Optional CSV dumps of whatever grids were evaluated.
+    if let Some(dir) = &cli.csv_dir {
+        let dir = std::path::Path::new(dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("[repro] cannot create csv dir {}: {e}", dir.display());
+            return;
+        }
+        let write = |name: &str, contents: String| match std::fs::write(dir.join(name), contents)
+        {
+            Ok(()) => eprintln!("[repro] wrote {}", dir.join(name).display()),
+            Err(e) => eprintln!("[repro] failed writing {name}: {e}"),
+        };
+        if let Some(comp) = &compression {
+            write(
+                "compression.csv",
+                evalcore::results::compression_csv(&comp.records),
+            );
+        }
+        if let Some(fore) = &forecast {
+            write("forecast.csv", evalcore::results::forecast_csv(&fore.forecast));
+            // Figure-4 points: the TFE-vs-TE series per (dataset, method).
+            let mut fig4 = String::from("dataset,method,epsilon,te,mean_tfe,ci95\n");
+            for (d, m, e, te, tfe, ci) in fore.fig4_points() {
+                fig4.push_str(&format!(
+                    "{},{},{},{},{},{}\n",
+                    d.name(),
+                    m.name(),
+                    e,
+                    te,
+                    tfe,
+                    ci
+                ));
+            }
+            write("fig4_points.csv", fig4);
+        }
+    }
+}

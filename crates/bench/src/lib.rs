@@ -1,0 +1,253 @@
+//! # bench — the reproduction harness
+//!
+//! The `repro` binary regenerates every table and figure from the paper
+//! (see DESIGN.md §3 for the index); the Criterion benches under
+//! `benches/` measure compressor/model/feature throughput and run the
+//! ablations DESIGN.md §5 calls out.
+//!
+//! This library holds the argument parsing and experiment-selection logic
+//! so it can be unit-tested.
+
+use evalcore::grid::GridConfig;
+
+/// Which experiment(s) to reproduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Experiment {
+    /// Table 1: dataset statistics.
+    Table1,
+    /// Figure 1: compressor outputs on a segment.
+    Fig1,
+    /// Figure 2: TE and CR per error bound (+ GORILLA baseline).
+    Fig2,
+    /// Figure 3: segment counts.
+    Fig3,
+    /// Table 3: CR = θ1·TE + θ0 regressions.
+    Table3,
+    /// Table 2: baseline forecasting accuracy.
+    Table2,
+    /// Figure 4: TFE vs TE.
+    Fig4,
+    /// Figure 5: SHAP characteristic ranking.
+    Fig5,
+    /// Table 4: Spearman correlations to TFE.
+    Table4,
+    /// Table 5: elbow analysis.
+    Table5,
+    /// Table 6: key-characteristic relative differences.
+    Table6,
+    /// Figure 6: average TFE per model.
+    Fig6,
+    /// Table 7: best models by NRMSE and TFE.
+    Table7,
+    /// Figure 7: retraining on decompressed data.
+    Fig7,
+    /// §4.4.1 trend/remainder decomposition impact.
+    Decomp,
+    /// Everything, sharing one grid evaluation.
+    All,
+}
+
+/// All individual experiments (excludes `All`).
+pub const ALL_EXPERIMENTS: [Experiment; 15] = [
+    Experiment::Table1,
+    Experiment::Fig1,
+    Experiment::Fig2,
+    Experiment::Fig3,
+    Experiment::Table3,
+    Experiment::Table2,
+    Experiment::Fig4,
+    Experiment::Fig5,
+    Experiment::Table4,
+    Experiment::Table5,
+    Experiment::Table6,
+    Experiment::Fig6,
+    Experiment::Table7,
+    Experiment::Fig7,
+    Experiment::Decomp,
+];
+
+impl Experiment {
+    /// Parses an experiment name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Experiment> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "table1" => Experiment::Table1,
+            "fig1" => Experiment::Fig1,
+            "fig2" => Experiment::Fig2,
+            "fig3" => Experiment::Fig3,
+            "table3" => Experiment::Table3,
+            "table2" => Experiment::Table2,
+            "fig4" => Experiment::Fig4,
+            "fig5" => Experiment::Fig5,
+            "table4" => Experiment::Table4,
+            "table5" => Experiment::Table5,
+            "table6" => Experiment::Table6,
+            "fig6" => Experiment::Fig6,
+            "table7" => Experiment::Table7,
+            "fig7" => Experiment::Fig7,
+            "decomp" => Experiment::Decomp,
+            "all" => Experiment::All,
+            _ => return None,
+        })
+    }
+
+    /// Whether the experiment requires the (expensive) forecasting grid.
+    pub fn needs_forecast_grid(self) -> bool {
+        !matches!(
+            self,
+            Experiment::Table1 | Experiment::Fig1 | Experiment::Fig2 | Experiment::Fig3
+                | Experiment::Table3 | Experiment::Fig7 | Experiment::Decomp
+        )
+    }
+}
+
+/// Run-scale presets for the repro binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-scale smoke run (CI-friendly).
+    Quick,
+    /// The default laptop-scale reproduction.
+    Default,
+    /// Paper-scale (full lengths, all seeds; hours of compute).
+    Paper,
+}
+
+/// Parsed command line for the repro binary.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Experiments to run.
+    pub experiments: Vec<Experiment>,
+    /// Run scale.
+    pub scale: Scale,
+    /// Optional dataset-length override.
+    pub len: Option<usize>,
+    /// Optional seed override.
+    pub seed: Option<u64>,
+    /// Directory to write CSV dumps of the grid results into.
+    pub csv_dir: Option<String>,
+}
+
+/// Parses `repro` arguments. Returns `Err` with a usage string on bad
+/// input.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
+    let usage = "usage: repro [all|table1|table2|...|fig7|decomp]... \
+                 [--quick|--paper] [--len N] [--seed S] [--csv DIR]";
+    let mut experiments = Vec::new();
+    let mut scale = Scale::Default;
+    let mut len = None;
+    let mut seed = None;
+    let mut csv_dir = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--paper" => scale = Scale::Paper,
+            "--len" => {
+                let v = iter.next().ok_or_else(|| format!("--len needs a value\n{usage}"))?;
+                len = Some(v.parse().map_err(|_| format!("bad --len {v}\n{usage}"))?);
+            }
+            "--seed" => {
+                let v = iter.next().ok_or_else(|| format!("--seed needs a value\n{usage}"))?;
+                seed = Some(v.parse().map_err(|_| format!("bad --seed {v}\n{usage}"))?);
+            }
+            "--csv" => {
+                let v = iter.next().ok_or_else(|| format!("--csv needs a directory\n{usage}"))?;
+                csv_dir = Some(v);
+            }
+            other => {
+                let e = Experiment::parse(other)
+                    .ok_or_else(|| format!("unknown experiment {other}\n{usage}"))?;
+                experiments.push(e);
+            }
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push(Experiment::All);
+    }
+    Ok(Cli { experiments, scale, len, seed, csv_dir })
+}
+
+/// Builds the grid configuration for a scale.
+pub fn config_for(cli: &Cli) -> GridConfig {
+    let mut cfg = match cli.scale {
+        Scale::Quick => {
+            let mut c = GridConfig::smoke();
+            // The quick scale still covers all datasets and a model pair.
+            c.datasets = tsdata::datasets::ALL_DATASETS.to_vec();
+            c.len = Some(2_000);
+            c.input_len = 48;
+            c.horizon = 12;
+            c.error_bounds = vec![0.01, 0.05, 0.1, 0.2, 0.4, 0.8];
+            c
+        }
+        Scale::Default => GridConfig::default_repro(),
+        Scale::Paper => GridConfig::paper(),
+    };
+    if let Some(len) = cli.len {
+        cfg.len = Some(len);
+    }
+    if let Some(seed) = cli.seed {
+        cfg.data_seed = seed;
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Cli, String> {
+        parse_args(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_experiments_and_flags() {
+        let cli = parse("table1 fig2 --quick --len 500 --seed 9 --csv out").unwrap();
+        assert_eq!(cli.experiments, vec![Experiment::Table1, Experiment::Fig2]);
+        assert_eq!(cli.scale, Scale::Quick);
+        assert_eq!(cli.len, Some(500));
+        assert_eq!(cli.seed, Some(9));
+        assert_eq!(cli.csv_dir.as_deref(), Some("out"));
+    }
+
+    #[test]
+    fn default_is_all() {
+        let cli = parse("").unwrap();
+        assert_eq!(cli.experiments, vec![Experiment::All]);
+        assert_eq!(cli.scale, Scale::Default);
+    }
+
+    #[test]
+    fn bad_input_rejected() {
+        assert!(parse("tableX").is_err());
+        assert!(parse("--len").is_err());
+        assert!(parse("--len abc").is_err());
+        assert!(parse("--csv").is_err());
+    }
+
+    #[test]
+    fn every_experiment_name_round_trips() {
+        for e in ALL_EXPERIMENTS {
+            let name = format!("{e:?}").to_ascii_lowercase();
+            assert_eq!(Experiment::parse(&name), Some(e), "{name}");
+        }
+        assert_eq!(Experiment::parse("all"), Some(Experiment::All));
+    }
+
+    #[test]
+    fn grid_requirements() {
+        assert!(!Experiment::Table1.needs_forecast_grid());
+        assert!(!Experiment::Fig2.needs_forecast_grid());
+        assert!(Experiment::Table2.needs_forecast_grid());
+        assert!(Experiment::Table5.needs_forecast_grid());
+        assert!(!Experiment::Fig7.needs_forecast_grid());
+    }
+
+    #[test]
+    fn config_overrides_apply() {
+        let cli = parse("table1 --quick --len 777 --seed 5").unwrap();
+        let cfg = config_for(&cli);
+        assert_eq!(cfg.len, Some(777));
+        assert_eq!(cfg.data_seed, 5);
+        assert_eq!(cfg.datasets.len(), 6);
+    }
+}

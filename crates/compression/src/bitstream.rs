@@ -1,0 +1,177 @@
+//! Bit-level I/O used by every compressor in this crate.
+//!
+//! Bits are written MSB-first within each byte, which matches the layout of
+//! Gorilla's reference description and keeps the Huffman decoder a simple
+//! left-to-right walk.
+
+use std::fmt;
+
+/// Error returned when a reader runs past the end of its buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfBits;
+
+impl fmt::Display for OutOfBits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bit reader exhausted")
+    }
+}
+
+impl std::error::Error for OutOfBits {}
+
+/// An append-only bit writer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the final byte (0..8). 0 means byte-aligned.
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.bit_pos == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("just pushed");
+            *last |= 0x80 >> self.bit_pos;
+        }
+        self.bit_pos = (self.bit_pos + 1) % 8;
+    }
+
+    /// Writes the low `n` bits of `value`, most significant first.
+    pub fn write_bits(&mut self, value: u64, n: u8) {
+        debug_assert!(n <= 64);
+        for i in (0..n).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Total bits written.
+    pub fn len_bits(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Finishes, padding the final byte with zero bits.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// A sequential bit reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // absolute bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader at bit position zero.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads one bit.
+    pub fn read_bit(&mut self) -> Result<bool, OutOfBits> {
+        let byte = self.pos / 8;
+        if byte >= self.bytes.len() {
+            return Err(OutOfBits);
+        }
+        let bit = (self.bytes[byte] >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `n` bits into the low bits of a `u64`, MSB first.
+    pub fn read_bits(&mut self, n: u8) -> Result<u64, OutOfBits> {
+        debug_assert!(n <= 64);
+        let mut out = 0u64;
+        for _ in 0..n {
+            out = (out << 1) | self.read_bit()? as u64;
+        }
+        Ok(out)
+    }
+
+    /// Bits consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Remaining readable bits.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.len_bits(), 9);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multibit_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bits(0xDEADBEEF, 32);
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0, 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEADBEEF);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+    }
+
+    #[test]
+    fn reader_detects_exhaustion() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8).unwrap(), 0b1010_0000); // padding zeros
+        assert_eq!(r.read_bit(), Err(OutOfBits));
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bit(true); // should land in bit 7 of byte 0
+        let bytes = w.into_bytes();
+        assert_eq!(bytes[0], 0b1000_0000);
+    }
+
+    #[test]
+    fn position_and_remaining() {
+        let bytes = [0xFF, 0x00];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining(), 16);
+        r.read_bits(5).unwrap();
+        assert_eq!(r.position(), 5);
+        assert_eq!(r.remaining(), 11);
+    }
+}

@@ -1,0 +1,439 @@
+//! A DEFLATE-style lossless codec: LZ77 with hash-chain matching followed by
+//! canonical Huffman coding of literal/length and distance symbols.
+//!
+//! This is the repo's stand-in for gzip. The paper (§3.2) gzips the
+//! compressed representations of PMC and Swing "since SZ applies gzip as the
+//! final step", and also gzips the raw dataset to obtain the Eq. 3 sizes.
+//! gzip's payload *is* DEFLATE; we re-implement the algorithm rather than
+//! pulling in a compression dependency (DESIGN.md §1). The container framing
+//! is our own (mode byte + length), not RFC 1951 bit-exact, but the
+//! compression behaviour — LZ77 window, 3..258 match lengths, Huffman over
+//! the DEFLATE alphabets — matches.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::huffman::{CanonicalCode, HuffmanError};
+
+/// Errors from decompression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeflateError {
+    /// The input is shorter than its header claims.
+    Truncated,
+    /// Unknown mode byte.
+    BadMode(u8),
+    /// Entropy decoding failed.
+    Huffman(HuffmanError),
+    /// A back-reference pointed before the start of output.
+    BadDistance { dist: usize, have: usize },
+    /// Decoded length does not match the header.
+    LengthMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for DeflateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeflateError::Truncated => write!(f, "deflate stream truncated"),
+            DeflateError::BadMode(m) => write!(f, "unknown deflate mode byte {m}"),
+            DeflateError::Huffman(e) => write!(f, "huffman error: {e}"),
+            DeflateError::BadDistance { dist, have } => {
+                write!(f, "back-reference distance {dist} exceeds output size {have}")
+            }
+            DeflateError::LengthMismatch { expected, got } => {
+                write!(f, "decoded {got} bytes, header said {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeflateError {}
+
+impl From<HuffmanError> for DeflateError {
+    fn from(e: HuffmanError) -> Self {
+        DeflateError::Huffman(e)
+    }
+}
+
+const WINDOW: usize = 32 * 1024;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+const HASH_BITS: usize = 15;
+const CHAIN_LIMIT: usize = 96;
+const EOB: usize = 256;
+const NUM_LIT_LEN: usize = 286;
+const NUM_DIST: usize = 30;
+
+/// DEFLATE length codes: (symbol - 257) -> (base_length, extra_bits).
+const LEN_TABLE: [(u16, u8); 29] = [
+    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
+    (11, 1), (13, 1), (15, 1), (17, 1), (19, 2), (23, 2), (27, 2), (31, 2),
+    (35, 3), (43, 3), (51, 3), (59, 3), (67, 4), (83, 4), (99, 4), (115, 4),
+    (131, 5), (163, 5), (195, 5), (227, 5), (258, 0),
+];
+
+/// DEFLATE distance codes: symbol -> (base_distance, extra_bits).
+const DIST_TABLE: [(u16, u8); 30] = [
+    (1, 0), (2, 0), (3, 0), (4, 0), (5, 1), (7, 1), (9, 2), (13, 2),
+    (17, 3), (25, 3), (33, 4), (49, 4), (65, 5), (97, 5), (129, 6), (193, 6),
+    (257, 7), (385, 7), (513, 8), (769, 8), (1025, 9), (1537, 9),
+    (2049, 10), (3073, 10), (4097, 11), (6145, 11), (8193, 12), (12289, 12),
+    (16385, 13), (24577, 13),
+];
+
+fn length_symbol(len: usize) -> (usize, u16, u8) {
+    debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+    let mut i = LEN_TABLE.len() - 1;
+    while LEN_TABLE[i].0 as usize > len {
+        i -= 1;
+    }
+    (257 + i, LEN_TABLE[i].0, LEN_TABLE[i].1)
+}
+
+fn distance_symbol(dist: usize) -> (usize, u16, u8) {
+    debug_assert!((1..=WINDOW).contains(&dist));
+    let mut i = DIST_TABLE.len() - 1;
+    while DIST_TABLE[i].0 as usize > dist {
+        i -= 1;
+    }
+    (i, DIST_TABLE[i].0, DIST_TABLE[i].1)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Token {
+    Literal(u8),
+    Match { len: usize, dist: usize },
+}
+
+fn hash(data: &[u8], i: usize) -> usize {
+    let h = (data[i] as u32)
+        .wrapping_mul(506_832_829)
+        .wrapping_add((data[i + 1] as u32).wrapping_mul(2_654_435_761))
+        .wrapping_add((data[i + 2] as u32).wrapping_mul(2_246_822_519));
+    (h >> (32 - HASH_BITS)) as usize
+}
+
+/// Greedy LZ77 tokenization with hash chains.
+fn tokenize(data: &[u8]) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::new();
+    if n < MIN_MATCH + 1 {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; n];
+    let mut i = 0;
+    let insert = |head: &mut Vec<usize>, prev: &mut Vec<usize>, data: &[u8], pos: usize| {
+        if pos + MIN_MATCH <= data.len() {
+            let h = hash(data, pos);
+            prev[pos] = head[h];
+            head[h] = pos;
+        }
+    };
+    while i < n {
+        let mut best_len = 0;
+        let mut best_dist = 0;
+        if i + MIN_MATCH <= n {
+            let h = hash(data, i);
+            let mut cand = head[h];
+            let mut chains = 0;
+            let limit = (n - i).min(MAX_MATCH);
+            while cand != usize::MAX && chains < CHAIN_LIMIT {
+                let dist = i - cand;
+                if dist > WINDOW {
+                    break;
+                }
+                // Extend match.
+                let mut l = 0;
+                while l < limit && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = dist;
+                    if l == limit {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                chains += 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match { len: best_len, dist: best_dist });
+            for k in 0..best_len {
+                insert(&mut head, &mut prev, data, i + k);
+            }
+            i += best_len;
+        } else {
+            tokens.push(Token::Literal(data[i]));
+            insert(&mut head, &mut prev, data, i);
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Compresses `data`. Falls back to a stored block when entropy coding does
+/// not help (e.g. incompressible input).
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let tokens = tokenize(data);
+
+    // Gather symbol frequencies.
+    let mut lit_freq = vec![0u64; NUM_LIT_LEN];
+    let mut dist_freq = vec![0u64; NUM_DIST];
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                lit_freq[length_symbol(len).0] += 1;
+                dist_freq[distance_symbol(dist).0] += 1;
+            }
+        }
+    }
+    lit_freq[EOB] += 1;
+
+    let lit_code = CanonicalCode::from_freqs(&lit_freq).expect("EOB guarantees a symbol");
+    // Distance alphabet may be empty (no matches) — use a dummy 1-symbol code.
+    let dist_code = if dist_freq.iter().any(|&f| f > 0) {
+        CanonicalCode::from_freqs(&dist_freq).expect("checked nonzero")
+    } else {
+        let mut f = vec![0u64; NUM_DIST];
+        f[0] = 1;
+        CanonicalCode::from_freqs(&f).expect("one symbol")
+    };
+
+    let mut w = BitWriter::new();
+    // Header: code lengths, 4 bits each.
+    for &l in lit_code.lengths() {
+        w.write_bits(l as u64, 4);
+    }
+    for &l in dist_code.lengths() {
+        w.write_bits(l as u64, 4);
+    }
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_code.encode(b as usize, &mut w),
+            Token::Match { len, dist } => {
+                let (sym, base, extra) = length_symbol(len);
+                lit_code.encode(sym, &mut w);
+                w.write_bits((len - base as usize) as u64, extra);
+                let (dsym, dbase, dextra) = distance_symbol(dist);
+                dist_code.encode(dsym, &mut w);
+                w.write_bits((dist - dbase as usize) as u64, dextra);
+            }
+        }
+    }
+    lit_code.encode(EOB, &mut w);
+    let payload = w.into_bytes();
+
+    let mut out = Vec::with_capacity(payload.len() + 5);
+    if payload.len() >= data.len() {
+        out.push(0); // stored
+        out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        out.extend_from_slice(data);
+    } else {
+        out.push(1); // huffman
+        out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+    }
+    out
+}
+
+/// Decompresses a buffer produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DeflateError> {
+    if input.len() < 5 {
+        return Err(DeflateError::Truncated);
+    }
+    let mode = input[0];
+    let expected =
+        u32::from_le_bytes(input[1..5].try_into().expect("sliced 4 bytes")) as usize;
+    let body = &input[5..];
+    match mode {
+        0 => {
+            if body.len() < expected {
+                return Err(DeflateError::Truncated);
+            }
+            Ok(body[..expected].to_vec())
+        }
+        1 => {
+            let mut r = BitReader::new(body);
+            let mut lit_lengths = vec![0u8; NUM_LIT_LEN];
+            for l in lit_lengths.iter_mut() {
+                *l = r.read_bits(4).map_err(|_| DeflateError::Truncated)? as u8;
+            }
+            let mut dist_lengths = vec![0u8; NUM_DIST];
+            for l in dist_lengths.iter_mut() {
+                *l = r.read_bits(4).map_err(|_| DeflateError::Truncated)? as u8;
+            }
+            let lit_code = CanonicalCode::from_lengths(&lit_lengths)?;
+            let dist_code = CanonicalCode::from_lengths(&dist_lengths)?;
+            let mut out = Vec::with_capacity(expected);
+            loop {
+                let sym = lit_code.decode(&mut r)?;
+                if sym == EOB {
+                    break;
+                }
+                if sym < 256 {
+                    out.push(sym as u8);
+                } else {
+                    let (base, extra) = LEN_TABLE[sym - 257];
+                    let len = base as usize
+                        + r.read_bits(extra).map_err(|_| DeflateError::Truncated)? as usize;
+                    let dsym = dist_code.decode(&mut r)?;
+                    let (dbase, dextra) = DIST_TABLE[dsym];
+                    let dist = dbase as usize
+                        + r.read_bits(dextra).map_err(|_| DeflateError::Truncated)? as usize;
+                    if dist == 0 || dist > out.len() {
+                        return Err(DeflateError::BadDistance { dist, have: out.len() });
+                    }
+                    let start = out.len() - dist;
+                    for k in 0..len {
+                        let b = out[start + k];
+                        out.push(b);
+                    }
+                }
+            }
+            if out.len() != expected {
+                return Err(DeflateError::LengthMismatch { expected, got: out.len() });
+            }
+            Ok(out)
+        }
+        m => Err(DeflateError::BadMode(m)),
+    }
+}
+
+/// Size in bytes after compression (the paper's ".gz file size").
+pub fn compressed_size(data: &[u8]) -> usize {
+    compress(data).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).unwrap();
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_text_compresses_well() {
+        let data: Vec<u8> = b"the quick brown fox ".repeat(500);
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 10, "{} vs {}", c.len(), data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn constant_bytes_compress_extremely() {
+        let data = vec![42u8; 100_000];
+        let c = compress(&data);
+        assert!(c.len() < 1000, "constant run compressed to {}", c.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_falls_back_to_stored() {
+        // High-entropy data from a simple xorshift.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert!(c.len() <= data.len() + 5);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn long_matches_cross_thresholds() {
+        // Exercise every length bucket including 258.
+        let mut data = Vec::new();
+        for rep in [3usize, 10, 30, 130, 258, 300, 1000] {
+            data.extend(std::iter::repeat_n(b'x', rep));
+            data.extend_from_slice(b"SEP");
+            data.extend((0..16u8).map(|i| i.wrapping_mul(37)));
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn distant_backreferences() {
+        // A repeated phrase separated by > 16 KiB of filler.
+        let mut data = Vec::new();
+        data.extend_from_slice(b"needle-needle-needle");
+        for i in 0..20_000u32 {
+            data.push((i % 251) as u8);
+        }
+        data.extend_from_slice(b"needle-needle-needle");
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn float_series_compress() {
+        // The actual workload: little-endian f64 streams.
+        let vals: Vec<f64> = (0..5000).map(|i| (i as f64 * 0.01).sin() * 10.0).collect();
+        let mut data = Vec::new();
+        for v in vals {
+            data.extend_from_slice(&v.to_le_bytes());
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        assert_eq!(decompress(&[1, 0, 0]).unwrap_err(), DeflateError::Truncated);
+        let c = compress(b"hello world hello world hello world");
+        let cut = &c[..c.len() - 1];
+        // Either truncated or length mismatch depending on where the cut is.
+        assert!(decompress(cut).is_err());
+    }
+
+    #[test]
+    fn bad_mode_rejected() {
+        assert_eq!(decompress(&[7, 0, 0, 0, 0]).unwrap_err(), DeflateError::BadMode(7));
+    }
+
+    #[test]
+    fn length_symbol_buckets() {
+        assert_eq!(length_symbol(3).0, 257);
+        assert_eq!(length_symbol(10).0, 264);
+        assert_eq!(length_symbol(258).0, 285);
+        assert_eq!(distance_symbol(1).0, 0);
+        assert_eq!(distance_symbol(24577).0, 29);
+        assert_eq!(distance_symbol(32768).0, 29);
+    }
+
+    #[test]
+    fn constant_coefficient_stream_beats_pair_stream() {
+        // The paper's PMC-vs-Swing CR argument: constant-value segment
+        // streams gzip better than slope/intercept pair streams. Verify our
+        // codec reproduces that.
+        let constants: Vec<u8> = (0..1000)
+            .flat_map(|_| 13.25f64.to_le_bytes())
+            .collect();
+        let pairs: Vec<u8> = (0..500)
+            .flat_map(|i| {
+                let slope = (i as f64) * 1e-4 + 0.123;
+                let intercept = (i as f64).sin() * 5.0;
+                let mut v = slope.to_le_bytes().to_vec();
+                v.extend_from_slice(&intercept.to_le_bytes());
+                v
+            })
+            .collect();
+        assert_eq!(constants.len(), pairs.len());
+        assert!(compressed_size(&constants) < compressed_size(&pairs));
+    }
+}

@@ -1,0 +1,113 @@
+//! # compression — error-bounded lossy and lossless time-series codecs
+//!
+//! Implements the three pointwise error-bounded lossy compressors (PEBLC)
+//! the paper evaluates — [`pmc::Pmc`], [`swing::Swing`] and [`sz::Sz`] —
+//! plus the lossless [`gorilla::Gorilla`] baseline and the related-work
+//! [`ppa::Ppa`] (quadratic piecewise approximation, used as an ablation of
+//! the paper's low-degree-models argument), on top of from-scratch
+//! substrates:
+//!
+//! * [`bitstream`] — MSB-first bit I/O.
+//! * [`huffman`] — canonical, length-limited Huffman coding.
+//! * [`deflate`] — an LZ77 + Huffman lossless codec standing in for gzip
+//!   (§3.2 applies gzip to every representation and to the raw data).
+//! * [`timestamps`] — the shared timestamp header (§3.2).
+//! * [`codec`] — the [`codec::PeblcCompressor`] trait, sizing rules (Eq. 3)
+//!   and the paper's 13 error bounds.
+//!
+//! All lossy compressors guarantee the *relative* pointwise bound of
+//! Definition 4: `|v̂ - v| <= ε·|v|` for every point.
+//!
+//! ```
+//! use compression::{Pmc, PeblcCompressor, find_bound_violation};
+//! use tsdata::series::RegularTimeSeries;
+//!
+//! let series = RegularTimeSeries::new(0, 60, vec![10.0, 10.4, 10.1, 12.0]).unwrap();
+//! let (decompressed, frame) = Pmc.transform(&series, 0.05).unwrap();
+//! assert_eq!(decompressed.len(), series.len());
+//! assert!(find_bound_violation(series.values(), decompressed.values(), 0.05, 1e-9).is_none());
+//! assert!(frame.num_segments >= 1);
+//! ```
+
+pub mod bitstream;
+pub mod codec;
+pub mod deflate;
+pub mod gorilla;
+pub mod huffman;
+pub mod pmc;
+pub mod ppa;
+pub mod streaming;
+pub mod swing;
+pub mod sz;
+pub mod timestamps;
+
+pub use codec::{
+    check_epsilon, find_bound_violation, point_bound, raw_bytes, raw_compressed_size,
+    CodecError, CompressedSeries, PeblcCompressor, ERROR_BOUNDS,
+};
+pub use gorilla::Gorilla;
+pub use pmc::Pmc;
+pub use ppa::Ppa;
+pub use streaming::{Emit, StreamingPmc, StreamingSwing};
+pub use swing::Swing;
+pub use sz::Sz;
+
+/// The three lossy methods in the paper's order, as trait objects.
+pub fn all_lossy() -> Vec<Box<dyn PeblcCompressor>> {
+    vec![Box::new(Pmc), Box::new(Swing), Box::new(Sz)]
+}
+
+/// Lossy method identifiers, matching [`all_lossy`] order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Poor Man's Compression (PMC-Mean).
+    Pmc,
+    /// Swing filter.
+    Swing,
+    /// SZ.
+    Sz,
+}
+
+/// All lossy methods in the paper's order.
+pub const ALL_METHODS: [Method; 3] = [Method::Pmc, Method::Swing, Method::Sz];
+
+impl Method {
+    /// Name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Pmc => "PMC",
+            Method::Swing => "SWING",
+            Method::Sz => "SZ",
+        }
+    }
+
+    /// Returns the compressor implementation.
+    pub fn compressor(self) -> Box<dyn PeblcCompressor> {
+        match self {
+            Method::Pmc => Box::new(Pmc),
+            Method::Swing => Box::new(Swing),
+            Method::Sz => Box::new(Sz),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_names_match_paper() {
+        assert_eq!(Method::Pmc.name(), "PMC");
+        assert_eq!(Method::Swing.name(), "SWING");
+        assert_eq!(Method::Sz.name(), "SZ");
+        assert_eq!(all_lossy().len(), 3);
+    }
+
+    #[test]
+    fn method_dispatch_consistent() {
+        for (m, c) in ALL_METHODS.iter().zip(all_lossy()) {
+            assert_eq!(m.name(), c.name());
+            assert_eq!(m.compressor().name(), c.name());
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! PMC-Mean (Poor Man's Compression; Lazaridis & Mehrotra, ICDE 2003) with a
+//! relative pointwise error bound.
+//!
+//! The algorithm grows an adaptive window, maintaining the running mean of
+//! its points. A point `v_i` admits a representative `m` iff
+//! `|m - v_i| <= eps * |v_i|`, i.e. `m` lies in
+//! `[v_i - b_i, v_i + b_i]` with `b_i = eps * |v_i|`. The window therefore
+//! stays open while the running mean lies inside the intersection of all
+//! per-point intervals; when adding a point would empty the intersection or
+//! push the mean outside it, the window *without the latest point* becomes a
+//! segment represented by its mean (paper §3.2).
+//!
+//! Segments are serialized as `(length: u16, mean: f64)` after the shared
+//! timestamp header, then passed through the DEFLATE layer (the gzip step
+//! of §3.2). Constant-value segments are exactly what makes PMC's stream
+//! respond so well to that final lossless pass (paper §4.2).
+
+use tsdata::series::RegularTimeSeries;
+
+use crate::codec::{
+    check_epsilon, point_bound, shortest_decimal_in, CodecError, CompressedSeries,
+    PeblcCompressor,
+};
+use crate::deflate;
+use crate::timestamps;
+
+/// The PMC-Mean compressor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pmc;
+
+/// A decoded PMC segment (exposed for Figure 1 style inspection and tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PmcSegment {
+    /// Number of points the segment covers.
+    pub len: usize,
+    /// The constant value representing every point.
+    pub value: f64,
+}
+
+/// Which representative a closed window stores (the DESIGN.md §5 PMC
+/// ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Representative {
+    /// The exact window mean (the original PMC-Mean).
+    Mean,
+    /// The midrange of the constraint interval (PMC-Midrange).
+    Midrange,
+    /// The most compressible round decimal near the mean (this crate's
+    /// default; see `codec::shortest_decimal_in`).
+    Snapped,
+}
+
+/// Runs the PMC windowing with an explicit representative policy.
+pub fn segment_values_repr(
+    values: &[f64],
+    epsilon: f64,
+    repr: Representative,
+) -> Vec<PmcSegment> {
+    segment_values_impl(values, epsilon, repr)
+}
+
+/// Runs the PMC-Mean windowing on raw values, returning segments with the
+/// default (snapped) representative.
+pub fn segment_values(values: &[f64], epsilon: f64) -> Vec<PmcSegment> {
+    segment_values_impl(values, epsilon, Representative::Snapped)
+}
+
+fn segment_values_impl(values: &[f64], epsilon: f64, repr: Representative) -> Vec<PmcSegment> {
+    let mut segments = Vec::new();
+    // Intersection of allowed intervals and running sum for the open window.
+    let mut lo = f64::NEG_INFINITY;
+    let mut hi = f64::INFINITY;
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    let mut mean = 0.0;
+
+    for &v in values.iter() {
+        let b = point_bound(v, epsilon);
+        let nlo = lo.max(v - b);
+        let nhi = hi.min(v + b);
+        let nsum = sum + v;
+        let ncount = count + 1;
+        let nmean = nsum / ncount as f64;
+        if nlo <= nhi && nmean >= nlo && nmean <= nhi {
+            // Window absorbs the point.
+            lo = nlo;
+            hi = nhi;
+            sum = nsum;
+            count = ncount;
+            mean = nmean;
+        } else {
+            // Close the window without the latest point. The mean is
+            // guaranteed to lie in [lo, hi]; the stored representative is
+            // the most compressible value near the mean (see
+            // `codec::shortest_decimal_in`).
+            segments.push(PmcSegment { len: count, value: representative(lo, hi, mean, repr) });
+            lo = v - b;
+            hi = v + b;
+            sum = v;
+            count = 1;
+            mean = v;
+        }
+    }
+    if count > 0 {
+        segments.push(PmcSegment { len: count, value: representative(lo, hi, mean, repr) });
+    }
+    segments
+}
+
+fn representative(lo: f64, hi: f64, mean: f64, repr: Representative) -> f64 {
+    match repr {
+        Representative::Mean => mean,
+        Representative::Midrange => {
+            if lo.is_finite() && hi.is_finite() {
+                (lo + hi) / 2.0
+            } else {
+                mean
+            }
+        }
+        Representative::Snapped => snap_near_mean(lo, hi, mean),
+    }
+}
+
+/// Snaps within the half of `[lo, hi]` centered on the mean, trading a
+/// little of the allowed slack for a round (compressible) representative
+/// while staying close to PMC-Mean's reconstruction error profile.
+fn snap_near_mean(lo: f64, hi: f64, mean: f64) -> f64 {
+    snap_near_mean_public(lo, hi, mean)
+}
+
+/// Crate-visible snapping used by the streaming compressor so its segments
+/// match the batch output exactly.
+pub(crate) fn snap_near_mean_public(lo: f64, hi: f64, mean: f64) -> f64 {
+    let l = mean - 0.5 * (mean - lo).max(0.0);
+    let h = mean + 0.5 * (hi - mean).max(0.0);
+    shortest_decimal_in(l, h)
+}
+
+impl PeblcCompressor for Pmc {
+    fn name(&self) -> &'static str {
+        "PMC"
+    }
+
+    fn compress(
+        &self,
+        series: &RegularTimeSeries,
+        epsilon: f64,
+    ) -> Result<CompressedSeries, CodecError> {
+        check_epsilon(epsilon)?;
+        let segments = segment_values(series.values(), epsilon);
+
+        let mut inner = timestamps::try_encode_header(series.start(), series.interval())?;
+        // Count after 16-bit splitting so the stream is self-describing.
+        let stored: Vec<(u16, f64)> = segments
+            .iter()
+            .flat_map(|s| timestamps::split_segment_len(s.len).map(move |l| (l, s.value)))
+            .collect();
+        inner.extend_from_slice(&(stored.len() as u32).to_le_bytes());
+        for (len, value) in &stored {
+            inner.extend_from_slice(&len.to_le_bytes());
+            // Coefficients are single precision, as in ModelarDB (§3.2
+            // "Implementations Used"); the rounding is covered by the
+            // f32 allowance documented in `codec::find_bound_violation`.
+            inner.extend_from_slice(&(*value as f32).to_le_bytes());
+        }
+        Ok(CompressedSeries {
+            method: self.name(),
+            bytes: deflate::compress(&inner),
+            num_segments: segments.len(),
+        })
+    }
+
+    fn decompress(&self, compressed: &CompressedSeries) -> Result<RegularTimeSeries, CodecError> {
+        let inner = deflate::decompress(&compressed.bytes)?;
+        let (start, interval, rest) = timestamps::decode_header(&inner)?;
+        if rest.len() < 4 {
+            return Err(CodecError::Corrupt("missing segment count".into()));
+        }
+        let n_seg = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+        let mut values = Vec::new();
+        let mut off = 4;
+        for _ in 0..n_seg {
+            if rest.len() < off + 6 {
+                return Err(CodecError::Corrupt("segment record truncated".into()));
+            }
+            let len =
+                u16::from_le_bytes(rest[off..off + 2].try_into().expect("2 bytes")) as usize;
+            let value =
+                f32::from_le_bytes(rest[off + 2..off + 6].try_into().expect("4 bytes")) as f64;
+            values.extend(std::iter::repeat_n(value, len));
+            off += 6;
+        }
+        Ok(RegularTimeSeries::new(start, interval, values)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::find_bound_violation;
+
+    fn series(values: Vec<f64>) -> RegularTimeSeries {
+        RegularTimeSeries::new(0, 60, values).unwrap()
+    }
+
+    #[test]
+    fn constant_series_is_one_segment() {
+        let segs = segment_values(&[5.0; 100], 0.01);
+        assert_eq!(segs, vec![PmcSegment { len: 100, value: 5.0 }]);
+    }
+
+    #[test]
+    fn zero_epsilon_splits_on_change() {
+        let segs = segment_values(&[1.0, 1.0, 2.0, 2.0, 2.0], 0.0);
+        assert_eq!(
+            segs,
+            vec![PmcSegment { len: 2, value: 1.0 }, PmcSegment { len: 3, value: 2.0 }]
+        );
+    }
+
+    #[test]
+    fn mean_respects_all_points() {
+        // values 10, 11 with eps 0.1: bounds [9,11] and [9.9,12.1];
+        // the representative must lie in the intersection [9.9, 11].
+        let segs = segment_values(&[10.0, 11.0], 0.1);
+        assert_eq!(segs.len(), 1);
+        assert!((9.9..=11.0).contains(&segs[0].value), "value {}", segs[0].value);
+        // 10 then 13 with eps 0.1: intersection [11.7, 11.0] is empty -> split.
+        let segs = segment_values(&[10.0, 13.0], 0.1);
+        assert_eq!(segs.len(), 2);
+    }
+
+    #[test]
+    fn representative_is_round_decimal() {
+        // Mean 10.5, allowed interval [9.9, 11]: the snapped half-interval
+        // [10.2, 10.75] admits the one-decimal value 10.5.
+        let segs = segment_values(&[10.0, 11.0], 0.1);
+        assert_eq!(segs[0].value, 10.5);
+        // A wide interval snaps to an integer.
+        let segs = segment_values(&[100.0, 104.0], 0.3);
+        assert_eq!(segs[0].value.fract(), 0.0, "value {}", segs[0].value);
+    }
+
+    #[test]
+    fn exact_zeros_preserved() {
+        // Solar night-time: relative bound at v=0 is 0, so zeros must be
+        // reconstructed exactly.
+        let vals = vec![0.0, 0.0, 0.0, 4.0, 5.0, 0.0, 0.0];
+        let (d, _) = Pmc.transform(&series(vals.clone()), 0.5).unwrap();
+        assert_eq!(d.values()[0], 0.0);
+        assert_eq!(d.values()[5], 0.0);
+        assert!(find_bound_violation(&vals, d.values(), 0.5, 1e-9).is_none());
+    }
+
+    #[test]
+    fn roundtrip_respects_error_bound() {
+        let vals: Vec<f64> =
+            (0..2000).map(|i| 10.0 + (i as f64 * 0.05).sin() * 3.0 + (i % 7) as f64 * 0.1).collect();
+        for eps in [0.01, 0.1, 0.5] {
+            let (d, c) = Pmc.transform(&series(vals.clone()), eps).unwrap();
+            assert_eq!(d.len(), vals.len());
+            assert!(
+                find_bound_violation(&vals, d.values(), eps, 1e-9).is_none(),
+                "bound violated at eps {eps}"
+            );
+            assert!(c.num_segments >= 1);
+        }
+    }
+
+    #[test]
+    fn higher_epsilon_fewer_segments() {
+        let vals: Vec<f64> = (0..5000)
+            .map(|i| 20.0 + (i as f64 * 0.01).sin() * 5.0 + ((i * 13) % 11) as f64 * 0.05)
+            .collect();
+        let s = series(vals);
+        let segs: Vec<usize> = [0.01, 0.05, 0.2, 0.8]
+            .iter()
+            .map(|&e| Pmc.compress(&s, e).unwrap().num_segments)
+            .collect();
+        assert!(segs.windows(2).all(|w| w[0] >= w[1]), "{segs:?}");
+        assert!(segs[0] > segs[3], "{segs:?}");
+    }
+
+    #[test]
+    fn compression_ratio_improves_with_epsilon() {
+        let vals: Vec<f64> =
+            (0..5000).map(|i| 100.0 + (i as f64 * 0.02).sin() * 10.0).collect();
+        let s = series(vals);
+        let raw = crate::codec::raw_compressed_size(&s);
+        let small = Pmc.compress(&s, 0.01).unwrap().size_bytes();
+        let large = Pmc.compress(&s, 0.5).unwrap().size_bytes();
+        assert!(large < small);
+        assert!(raw > large, "raw gz {raw} should exceed PMC@0.5 {large}");
+    }
+
+    #[test]
+    fn timestamps_roundtrip() {
+        let s = RegularTimeSeries::new(1_000_000, 900, vec![1.0, 1.01, 1.02, 5.0]).unwrap();
+        let (d, _) = Pmc.transform(&s, 0.05).unwrap();
+        assert_eq!(d.start(), 1_000_000);
+        assert_eq!(d.interval(), 900);
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn negative_values_bounded_by_magnitude() {
+        let vals = vec![-10.0, -10.5, -9.8, -10.2, 10.0];
+        let (d, _) = Pmc.transform(&series(vals.clone()), 0.1).unwrap();
+        assert!(find_bound_violation(&vals, d.values(), 0.1, 1e-9).is_none());
+    }
+
+    #[test]
+    fn invalid_epsilon_rejected() {
+        let s = series(vec![1.0, 2.0]);
+        assert!(Pmc.compress(&s, -1.0).is_err());
+        assert!(Pmc.compress(&s, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn corrupt_buffer_rejected() {
+        let s = series(vec![1.0, 2.0, 3.0]);
+        let mut c = Pmc.compress(&s, 0.1).unwrap();
+        c.bytes = deflate::compress(&[0u8; 3]); // too short for header+count
+        assert!(Pmc.decompress(&c).is_err());
+    }
+
+    #[test]
+    fn long_segment_split_at_u16() {
+        let vals = vec![7.0; 70_000];
+        let (d, c) = Pmc.transform(&series(vals.clone()), 0.1).unwrap();
+        assert_eq!(d.values(), &vals[..]);
+        // one logical segment even though storage splits it
+        assert_eq!(c.num_segments, 1);
+    }
+}

@@ -1,0 +1,294 @@
+//! Streaming (online) compression — the paper's deployment scenario (§1):
+//! "the time series are lossy compressed on the wind turbine" and shipped
+//! segment by segment over a constrained link.
+//!
+//! [`StreamingPmc`] and [`StreamingSwing`] accept points one at a time and
+//! emit closed segments as soon as the error bound forces a cut, so memory
+//! stays O(1) regardless of stream length. Their output is identical to
+//! the batch `segment_values` of the respective modules (tested below),
+//! except that the streaming side also enforces the 16-bit segment-length
+//! cap during segmentation — both algorithms are single-pass by
+//! construction; the batch API merely materializes everything at once.
+
+use crate::codec::point_bound;
+use crate::pmc::PmcSegment;
+use crate::swing::SwingSegment;
+
+/// An emitted streaming segment event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Emit<S> {
+    /// No segment closed on this point.
+    Pending,
+    /// The previous window closed with this segment.
+    Segment(S),
+}
+
+/// Online PMC-Mean: push points, receive closed segments.
+#[derive(Debug, Clone)]
+pub struct StreamingPmc {
+    epsilon: f64,
+    lo: f64,
+    hi: f64,
+    sum: f64,
+    count: usize,
+    mean: f64,
+}
+
+impl StreamingPmc {
+    /// Creates a streaming compressor with relative bound `epsilon`.
+    pub fn new(epsilon: f64) -> Self {
+        StreamingPmc {
+            epsilon,
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+            sum: 0.0,
+            count: 0,
+            mean: 0.0,
+        }
+    }
+
+    /// Number of points in the open window.
+    pub fn pending_len(&self) -> usize {
+        self.count
+    }
+
+    /// Pushes one point; returns the segment that closed, if any.
+    pub fn push(&mut self, v: f64) -> Emit<PmcSegment> {
+        let b = point_bound(v, self.epsilon);
+        let nlo = self.lo.max(v - b);
+        let nhi = self.hi.min(v + b);
+        let nsum = self.sum + v;
+        let ncount = self.count + 1;
+        let nmean = nsum / ncount as f64;
+        if nlo <= nhi && nmean >= nlo && nmean <= nhi {
+            self.lo = nlo;
+            self.hi = nhi;
+            self.sum = nsum;
+            self.count = ncount;
+            self.mean = nmean;
+            // Respect the 16-bit segment-length storage cap.
+            if self.count == u16::MAX as usize {
+                return Emit::Segment(self.take_segment(f64::NAN));
+            }
+            Emit::Pending
+        } else {
+            Emit::Segment(self.take_segment(v))
+        }
+    }
+
+    /// Flushes the open window at end of stream.
+    pub fn finish(mut self) -> Option<PmcSegment> {
+        (self.count > 0).then(|| self.take_segment(f64::NAN))
+    }
+
+    fn take_segment(&mut self, next: f64) -> PmcSegment {
+        let seg = PmcSegment {
+            len: self.count,
+            value: crate::pmc::snap_near_mean_public(self.lo, self.hi, self.mean),
+        };
+        if next.is_nan() {
+            self.lo = f64::NEG_INFINITY;
+            self.hi = f64::INFINITY;
+            self.sum = 0.0;
+            self.count = 0;
+            self.mean = 0.0;
+        } else {
+            let b = point_bound(next, self.epsilon);
+            self.lo = next - b;
+            self.hi = next + b;
+            self.sum = next;
+            self.count = 1;
+            self.mean = next;
+        }
+        seg
+    }
+}
+
+/// Online Swing filter: push points, receive closed line segments.
+#[derive(Debug, Clone)]
+pub struct StreamingSwing {
+    epsilon: f64,
+    anchor: f64,
+    offset: usize,
+    slope_lo: f64,
+    slope_hi: f64,
+    started: bool,
+}
+
+impl StreamingSwing {
+    /// Creates a streaming Swing filter with relative bound `epsilon`.
+    pub fn new(epsilon: f64) -> Self {
+        StreamingSwing {
+            epsilon,
+            anchor: 0.0,
+            offset: 0,
+            slope_lo: f64::NEG_INFINITY,
+            slope_hi: f64::INFINITY,
+            started: false,
+        }
+    }
+
+    /// Number of points in the open window.
+    pub fn pending_len(&self) -> usize {
+        if self.started {
+            self.offset + 1
+        } else {
+            0
+        }
+    }
+
+    fn close(&mut self) -> SwingSegment {
+        let slope = if self.slope_lo.is_finite() && self.slope_hi.is_finite() {
+            (self.slope_lo + self.slope_hi) / 2.0
+        } else {
+            0.0
+        };
+        SwingSegment { len: self.offset + 1, intercept: self.anchor, slope }
+    }
+
+    fn reanchor(&mut self, v: f64) {
+        self.anchor = v;
+        self.offset = 0;
+        self.slope_lo = f64::NEG_INFINITY;
+        self.slope_hi = f64::INFINITY;
+        self.started = true;
+    }
+
+    /// Pushes one point; returns the segment that closed, if any.
+    pub fn push(&mut self, v: f64) -> Emit<SwingSegment> {
+        if !self.started {
+            self.reanchor(v);
+            return Emit::Pending;
+        }
+        // Mirrors `swing::segment_values`: exact zeros either extend a
+        // zero-anchored zero-slope line or force a cut.
+        if v == 0.0 && self.epsilon < 1.0 {
+            if self.anchor == 0.0 && self.slope_lo <= 0.0 && 0.0 <= self.slope_hi {
+                self.slope_lo = 0.0;
+                self.slope_hi = 0.0;
+                self.offset += 1;
+                return Emit::Pending;
+            }
+            let seg = self.close();
+            self.reanchor(v);
+            return Emit::Segment(seg);
+        }
+        let off = (self.offset + 1) as f64;
+        let b = point_bound(v, self.epsilon);
+        let margin = 2.0 * f32::EPSILON as f64 * (self.anchor.abs() + v.abs() + b);
+        let b_eff = b - margin;
+        let nlo = self.slope_lo.max((v - b_eff - self.anchor) / off);
+        let nhi = self.slope_hi.min((v + b_eff - self.anchor) / off);
+        if b_eff > 0.0 && nlo <= nhi && self.offset + 2 <= u16::MAX as usize {
+            self.slope_lo = nlo;
+            self.slope_hi = nhi;
+            self.offset += 1;
+            Emit::Pending
+        } else {
+            let seg = self.close();
+            self.reanchor(v);
+            Emit::Segment(seg)
+        }
+    }
+
+    /// Flushes the open window at end of stream.
+    pub fn finish(mut self) -> Option<SwingSegment> {
+        self.started.then(|| self.close())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdata::datasets::{generate_univariate, DatasetKind, GenOptions};
+
+    fn drain_pmc(values: &[f64], eps: f64) -> Vec<PmcSegment> {
+        let mut s = StreamingPmc::new(eps);
+        let mut out = Vec::new();
+        for &v in values {
+            if let Emit::Segment(seg) = s.push(v) {
+                out.push(seg);
+            }
+        }
+        out.extend(s.finish());
+        out
+    }
+
+    fn drain_swing(values: &[f64], eps: f64) -> Vec<SwingSegment> {
+        let mut s = StreamingSwing::new(eps);
+        let mut out = Vec::new();
+        for &v in values {
+            if let Emit::Segment(seg) = s.push(v) {
+                out.push(seg);
+            }
+        }
+        out.extend(s.finish());
+        out
+    }
+
+    #[test]
+    fn streaming_pmc_matches_batch() {
+        let series =
+            generate_univariate(DatasetKind::ETTm1, GenOptions::with_len(3_000));
+        for eps in [0.01, 0.1, 0.4] {
+            let streamed = drain_pmc(series.values(), eps);
+            let batch = crate::pmc::segment_values(series.values(), eps);
+            assert_eq!(streamed, batch, "eps {eps}");
+        }
+    }
+
+    #[test]
+    fn streaming_swing_matches_batch() {
+        let series =
+            generate_univariate(DatasetKind::Solar, GenOptions::with_len(3_000));
+        for eps in [0.01, 0.1, 0.4] {
+            let streamed = drain_swing(series.values(), eps);
+            let batch = crate::swing::segment_values(series.values(), eps);
+            assert_eq!(streamed, batch, "eps {eps}");
+        }
+    }
+
+    #[test]
+    fn segments_cover_the_stream() {
+        let series =
+            generate_univariate(DatasetKind::Wind, GenOptions::with_len(2_000));
+        let segs = drain_pmc(series.values(), 0.1);
+        let total: usize = segs.iter().map(|s| s.len).sum();
+        assert_eq!(total, 2_000);
+        let segs = drain_swing(series.values(), 0.1);
+        let total: usize = segs.iter().map(|s| s.len).sum();
+        assert_eq!(total, 2_000);
+    }
+
+    #[test]
+    fn pending_len_tracks_open_window() {
+        let mut s = StreamingPmc::new(0.5);
+        assert_eq!(s.pending_len(), 0);
+        s.push(10.0);
+        s.push(10.1);
+        assert_eq!(s.pending_len(), 2);
+        let mut w = StreamingSwing::new(0.5);
+        w.push(1.0);
+        w.push(2.0);
+        assert_eq!(w.pending_len(), 2);
+    }
+
+    #[test]
+    fn empty_stream_finishes_empty() {
+        assert!(StreamingPmc::new(0.1).finish().is_none());
+        assert!(StreamingSwing::new(0.1).finish().is_none());
+    }
+
+    #[test]
+    fn long_constant_stream_respects_u16_cap() {
+        let mut s = StreamingPmc::new(0.1);
+        let mut segments = 0;
+        for _ in 0..200_000 {
+            if let Emit::Segment(seg) = s.push(5.0) {
+                assert!(seg.len <= u16::MAX as usize);
+                segments += 1;
+            }
+        }
+        assert!(segments >= 3, "u16 cap should have forced cuts: {segments}");
+    }
+}

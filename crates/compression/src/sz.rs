@@ -1,0 +1,625 @@
+//! SZ-style error-bounded lossy compression (Liang et al., Big Data 2018;
+//! the paper uses SZ 2.1 via Libpressio).
+//!
+//! The pipeline mirrors SZ's stages (paper §3.2):
+//!
+//! 1. **Pointwise relative bound via log transform.** SZ 2.1's pointwise
+//!    relative mode compresses `t = ln|v|` with the *absolute* bound
+//!    `δ = ln(1 + ε)`; then `v̂ = sign · exp(t̂)` satisfies
+//!    `|v̂ - v| ≤ ε·|v|`. Exact zeros and signs are kept in bitmaps.
+//! 2. **Block split.** The (nonzero) log values are cut into fixed blocks.
+//! 3. **Best-fit predictor per block** among classic Lorenzo (previous
+//!    reconstructed value), mean-integrated Lorenzo (block mean) and linear
+//!    regression, chosen by estimated coding cost.
+//! 4. **Linear-scale quantization** of prediction residuals into
+//!    `2·RADIUS + 1` bins of width `2δ`; out-of-range points are stored
+//!    verbatim ("unpredictable", as in SZ).
+//! 5. **Entropy coding** of the quantization codes with canonical Huffman.
+//! 6. A final DEFLATE pass (SZ applies gzip last).
+//!
+//! The quantization step is what makes SZ's output look piecewise-constant
+//! with short-interval fluctuations (paper Figure 1), and this
+//! implementation reproduces that texture.
+
+use tsdata::series::RegularTimeSeries;
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::codec::{check_epsilon, CodecError, CompressedSeries, PeblcCompressor};
+use crate::deflate;
+use crate::huffman::CanonicalCode;
+use crate::timestamps;
+
+/// Quantization radius: codes lie in `[-RADIUS, RADIUS]`.
+const RADIUS: i64 = 512;
+/// Alphabet: shifted codes plus one escape symbol for unpredictable points.
+const ALPHABET: usize = (2 * RADIUS + 1) as usize + 1;
+const ESCAPE: usize = ALPHABET - 1;
+/// SZ's default 1-D block size.
+pub const BLOCK_SIZE: usize = 128;
+
+/// The SZ compressor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sz;
+
+/// Per-block predictor, as selected by SZ's best-fit stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Predictor {
+    /// Classic Lorenzo: previous reconstructed value.
+    Lorenzo,
+    /// Mean-integrated Lorenzo: the block mean.
+    Mean(f64),
+    /// Linear regression within the block: `a + b·i`.
+    Linear { a: f64, b: f64 },
+}
+
+impl Predictor {
+    fn tag(&self) -> u8 {
+        match self {
+            Predictor::Lorenzo => 0,
+            Predictor::Mean(_) => 1,
+            Predictor::Linear { .. } => 2,
+        }
+    }
+}
+
+/// Encodes one block with the given predictor, returning quantization codes
+/// (`None` = unpredictable) and the reconstructed values.
+fn quantize_block(
+    block: &[f64],
+    pred: Predictor,
+    prev_recon: Option<f64>,
+    delta: f64,
+) -> (Vec<Option<i64>>, Vec<f64>) {
+    let mut codes = Vec::with_capacity(block.len());
+    let mut recon = Vec::with_capacity(block.len());
+    for (i, &t) in block.iter().enumerate() {
+        let p = match pred {
+            Predictor::Lorenzo => {
+                if i > 0 {
+                    recon[i - 1]
+                } else {
+                    prev_recon.unwrap_or(0.0)
+                }
+            }
+            Predictor::Mean(m) => m,
+            Predictor::Linear { a, b } => a + b * i as f64,
+        };
+        let m = ((t - p) / (2.0 * delta)).round() as i64;
+        if m.abs() <= RADIUS {
+            let r = p + 2.0 * delta * m as f64;
+            // Guard against pathological float cancellation: if the
+            // reconstruction drifted past the bound, store verbatim.
+            if (r - t).abs() <= delta {
+                codes.push(Some(m));
+                recon.push(r);
+                continue;
+            }
+        }
+        codes.push(None);
+        recon.push(t);
+    }
+    (codes, recon)
+}
+
+/// Estimated coding cost in bits for a code sequence.
+fn cost(codes: &[Option<i64>]) -> f64 {
+    codes
+        .iter()
+        .map(|c| match c {
+            // ~2·log2(|m|+2) models the Huffman length of a centered code.
+            Some(m) => 2.0 * ((m.abs() + 2) as f64).log2() + 1.0,
+            None => 72.0, // escape symbol + raw f64
+        })
+        .sum()
+}
+
+fn fit_linear(block: &[f64]) -> (f64, f64) {
+    let n = block.len() as f64;
+    if block.len() < 2 {
+        return (block.first().copied().unwrap_or(0.0), 0.0);
+    }
+    let mean_i = (n - 1.0) / 2.0;
+    let mean_t: f64 = block.iter().sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, &t) in block.iter().enumerate() {
+        let di = i as f64 - mean_i;
+        num += di * (t - mean_t);
+        den += di * di;
+    }
+    let b = if den == 0.0 { 0.0 } else { num / den };
+    (mean_t - b * mean_i, b)
+}
+
+/// Chooses the cheapest predictor for a block (SZ's best-fit selection).
+fn select_predictor(
+    block: &[f64],
+    prev_recon: Option<f64>,
+    delta: f64,
+) -> (Predictor, Vec<Option<i64>>, Vec<f64>) {
+    let mean = block.iter().sum::<f64>() / block.len() as f64;
+    let (a, b) = fit_linear(block);
+    let candidates = [Predictor::Lorenzo, Predictor::Mean(mean), Predictor::Linear { a, b }];
+    let mut best: Option<(f64, Predictor, Vec<Option<i64>>, Vec<f64>)> = None;
+    for pred in candidates {
+        let (codes, recon) = quantize_block(block, pred, prev_recon, delta);
+        // Coefficient storage counts toward the cost (Lorenzo is free).
+        let coeff_bits = match pred {
+            Predictor::Lorenzo => 0.0,
+            Predictor::Mean(_) => 64.0,
+            Predictor::Linear { .. } => 128.0,
+        };
+        let c = cost(&codes) + coeff_bits;
+        if best.as_ref().is_none_or(|(bc, ..)| c < *bc) {
+            best = Some((c, pred, codes, recon));
+        }
+    }
+    let (_, pred, codes, recon) = best.expect("three candidates evaluated");
+    (pred, codes, recon)
+}
+
+fn write_bitmap(bits: &[bool], out: &mut Vec<u8>) {
+    let mut w = BitWriter::new();
+    for &b in bits {
+        w.write_bit(b);
+    }
+    out.extend_from_slice(&w.into_bytes());
+}
+
+fn read_bitmap(buf: &[u8], n: usize) -> Result<(Vec<bool>, usize), CodecError> {
+    let bytes = n.div_ceil(8);
+    if buf.len() < bytes {
+        return Err(CodecError::Corrupt("bitmap truncated".into()));
+    }
+    let mut r = BitReader::new(&buf[..bytes]);
+    let bits = (0..n)
+        .map(|_| r.read_bit().expect("sized above"))
+        .collect();
+    Ok((bits, bytes))
+}
+
+impl PeblcCompressor for Sz {
+    fn name(&self) -> &'static str {
+        "SZ"
+    }
+
+    fn compress(
+        &self,
+        series: &RegularTimeSeries,
+        epsilon: f64,
+    ) -> Result<CompressedSeries, CodecError> {
+        check_epsilon(epsilon)?;
+        let values = series.values();
+        let n = values.len();
+        let mut inner = timestamps::try_encode_header(series.start(), series.interval())?;
+        inner.extend_from_slice(&(n as u32).to_le_bytes());
+
+        if epsilon == 0.0 {
+            // Lossless fallback mode.
+            inner.push(0);
+            for &v in values {
+                inner.extend_from_slice(&v.to_le_bytes());
+            }
+            let bytes = deflate::compress(&inner);
+            let num_segments = constant_runs(values);
+            return Ok(CompressedSeries { method: self.name(), bytes, num_segments });
+        }
+        inner.push(1);
+        inner.extend_from_slice(&epsilon.to_le_bytes());
+
+        let zero: Vec<bool> = values.iter().map(|&v| v == 0.0).collect();
+        let sign: Vec<bool> = values.iter().map(|&v| v < 0.0).collect();
+        write_bitmap(&zero, &mut inner);
+        write_bitmap(&sign, &mut inner);
+
+        let logs: Vec<f64> =
+            values.iter().filter(|&&v| v != 0.0).map(|&v| v.abs().ln()).collect();
+        let delta = (1.0 + epsilon).ln();
+
+        // Encode blocks.
+        let mut block_meta: Vec<u8> = Vec::new();
+        let mut all_codes: Vec<Option<i64>> = Vec::with_capacity(logs.len());
+        let mut unpredictable: Vec<f64> = Vec::new();
+        let mut prev_recon: Option<f64> = None;
+        let mut recon_logs: Vec<f64> = Vec::with_capacity(logs.len());
+        for block in logs.chunks(BLOCK_SIZE) {
+            let (pred, codes, recon) = select_predictor(block, prev_recon, delta);
+            block_meta.push(pred.tag());
+            match pred {
+                Predictor::Lorenzo => {}
+                Predictor::Mean(m) => block_meta.extend_from_slice(&m.to_le_bytes()),
+                Predictor::Linear { a, b } => {
+                    block_meta.extend_from_slice(&a.to_le_bytes());
+                    block_meta.extend_from_slice(&b.to_le_bytes());
+                }
+            }
+            for (c, (&t, &r)) in codes.iter().zip(block.iter().zip(&recon)) {
+                if c.is_none() {
+                    debug_assert_eq!(t, r);
+                    unpredictable.push(t);
+                }
+            }
+            prev_recon = recon.last().copied().or(prev_recon);
+            all_codes.extend_from_slice(&codes);
+            recon_logs.extend_from_slice(&recon);
+        }
+
+        let num_blocks = logs.len().div_ceil(BLOCK_SIZE);
+        inner.extend_from_slice(&(num_blocks as u32).to_le_bytes());
+        inner.extend_from_slice(&block_meta);
+
+        // Entropy-code the quantization codes.
+        if !all_codes.is_empty() {
+            let mut freqs = vec![0u64; ALPHABET];
+            for c in &all_codes {
+                let sym = c.map_or(ESCAPE, |m| (m + RADIUS) as usize);
+                freqs[sym] += 1;
+            }
+            let code = CanonicalCode::from_freqs(&freqs)
+                .map_err(|e| CodecError::Corrupt(format!("huffman build: {e}")))?;
+            let mut w = BitWriter::new();
+            for &l in code.lengths() {
+                w.write_bits(l as u64, 4);
+            }
+            for c in &all_codes {
+                let sym = c.map_or(ESCAPE, |m| (m + RADIUS) as usize);
+                code.encode(sym, &mut w);
+            }
+            let payload = w.into_bytes();
+            inner.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            inner.extend_from_slice(&payload);
+        } else {
+            inner.extend_from_slice(&0u32.to_le_bytes());
+        }
+
+        inner.extend_from_slice(&(unpredictable.len() as u32).to_le_bytes());
+        for &u in &unpredictable {
+            inner.extend_from_slice(&u.to_le_bytes());
+        }
+
+        // Figure-3 segment counting for SZ: runs of constant decompressed
+        // values, the "constant line like PMC" texture quantization creates.
+        let decompressed = reassemble(values.len(), &zero, &sign, &recon_logs);
+        let num_segments = constant_runs(&decompressed);
+
+        Ok(CompressedSeries {
+            method: self.name(),
+            bytes: deflate::compress(&inner),
+            num_segments,
+        })
+    }
+
+    fn decompress(&self, compressed: &CompressedSeries) -> Result<RegularTimeSeries, CodecError> {
+        let inner = deflate::decompress(&compressed.bytes)?;
+        let (start, interval, rest) = timestamps::decode_header(&inner)?;
+        if rest.len() < 5 {
+            return Err(CodecError::Corrupt("missing count/mode".into()));
+        }
+        let n = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+        let mode = rest[4];
+        let mut off = 5;
+        match mode {
+            0 => {
+                if rest.len() < off + 8 * n {
+                    return Err(CodecError::Corrupt("raw values truncated".into()));
+                }
+                let values = (0..n)
+                    .map(|i| {
+                        f64::from_le_bytes(
+                            rest[off + 8 * i..off + 8 * i + 8].try_into().expect("8 bytes"),
+                        )
+                    })
+                    .collect();
+                Ok(RegularTimeSeries::new(start, interval, values)?)
+            }
+            1 => {
+                if rest.len() < off + 8 {
+                    return Err(CodecError::Corrupt("epsilon truncated".into()));
+                }
+                let epsilon =
+                    f64::from_le_bytes(rest[off..off + 8].try_into().expect("8 bytes"));
+                off += 8;
+                let delta = (1.0 + epsilon).ln();
+                let (zero, used) = read_bitmap(&rest[off..], n)?;
+                off += used;
+                let (sign, used) = read_bitmap(&rest[off..], n)?;
+                off += used;
+                let nz = zero.iter().filter(|&&z| !z).count();
+                if rest.len() < off + 4 {
+                    return Err(CodecError::Corrupt("block count truncated".into()));
+                }
+                let num_blocks =
+                    u32::from_le_bytes(rest[off..off + 4].try_into().expect("4 bytes")) as usize;
+                off += 4;
+                // Block metadata.
+                let mut preds = Vec::with_capacity(num_blocks);
+                for _ in 0..num_blocks {
+                    if rest.len() < off + 1 {
+                        return Err(CodecError::Corrupt("block meta truncated".into()));
+                    }
+                    let tag = rest[off];
+                    off += 1;
+                    let pred = match tag {
+                        0 => Predictor::Lorenzo,
+                        1 => {
+                            if rest.len() < off + 8 {
+                                return Err(CodecError::Corrupt("mean coeff truncated".into()));
+                            }
+                            let m = f64::from_le_bytes(
+                                rest[off..off + 8].try_into().expect("8 bytes"),
+                            );
+                            off += 8;
+                            Predictor::Mean(m)
+                        }
+                        2 => {
+                            if rest.len() < off + 16 {
+                                return Err(CodecError::Corrupt("linear coeffs truncated".into()));
+                            }
+                            let a = f64::from_le_bytes(
+                                rest[off..off + 8].try_into().expect("8 bytes"),
+                            );
+                            let b = f64::from_le_bytes(
+                                rest[off + 8..off + 16].try_into().expect("8 bytes"),
+                            );
+                            off += 16;
+                            Predictor::Linear { a, b }
+                        }
+                        t => return Err(CodecError::Corrupt(format!("unknown predictor {t}"))),
+                    };
+                    preds.push(pred);
+                }
+                // Huffman codes.
+                if rest.len() < off + 4 {
+                    return Err(CodecError::Corrupt("code stream length truncated".into()));
+                }
+                let paylen =
+                    u32::from_le_bytes(rest[off..off + 4].try_into().expect("4 bytes")) as usize;
+                off += 4;
+                if rest.len() < off + paylen {
+                    return Err(CodecError::Corrupt("code stream truncated".into()));
+                }
+                let mut symbols = Vec::with_capacity(nz);
+                if paylen > 0 {
+                    let mut r = BitReader::new(&rest[off..off + paylen]);
+                    let mut lengths = vec![0u8; ALPHABET];
+                    for l in lengths.iter_mut() {
+                        *l = r
+                            .read_bits(4)
+                            .map_err(|_| CodecError::Corrupt("huffman table truncated".into()))?
+                            as u8;
+                    }
+                    let code = CanonicalCode::from_lengths(&lengths)
+                        .map_err(|e| CodecError::Corrupt(format!("huffman table: {e}")))?;
+                    for _ in 0..nz {
+                        let s = code
+                            .decode(&mut r)
+                            .map_err(|e| CodecError::Corrupt(format!("code stream: {e}")))?;
+                        symbols.push(s);
+                    }
+                }
+                off += paylen;
+                // Unpredictable raw values.
+                if rest.len() < off + 4 {
+                    return Err(CodecError::Corrupt("unpredictable count truncated".into()));
+                }
+                let n_unp =
+                    u32::from_le_bytes(rest[off..off + 4].try_into().expect("4 bytes")) as usize;
+                off += 4;
+                if rest.len() < off + 8 * n_unp {
+                    return Err(CodecError::Corrupt("unpredictable values truncated".into()));
+                }
+                let unpredictable: Vec<f64> = (0..n_unp)
+                    .map(|i| {
+                        f64::from_le_bytes(
+                            rest[off + 8 * i..off + 8 * i + 8].try_into().expect("8 bytes"),
+                        )
+                    })
+                    .collect();
+
+                // Reconstruct log values block by block.
+                let mut recon_logs = Vec::with_capacity(nz);
+                let mut unp_iter = unpredictable.iter();
+                let mut prev_recon: Option<f64> = None;
+                let mut pos = 0usize;
+                for &pred in &preds {
+                    let blen = BLOCK_SIZE.min(nz - pos);
+                    let mut block_recon: Vec<f64> = Vec::with_capacity(blen);
+                    for i in 0..blen {
+                        let sym = symbols[pos + i];
+                        let p = match pred {
+                            Predictor::Lorenzo => {
+                                if i > 0 {
+                                    block_recon[i - 1]
+                                } else {
+                                    prev_recon.unwrap_or(0.0)
+                                }
+                            }
+                            Predictor::Mean(m) => m,
+                            Predictor::Linear { a, b } => a + b * i as f64,
+                        };
+                        let t = if sym == ESCAPE {
+                            *unp_iter.next().ok_or_else(|| {
+                                CodecError::Corrupt("unpredictable underflow".into())
+                            })?
+                        } else {
+                            p + 2.0 * delta * (sym as i64 - RADIUS) as f64
+                        };
+                        block_recon.push(t);
+                    }
+                    prev_recon = block_recon.last().copied().or(prev_recon);
+                    recon_logs.extend_from_slice(&block_recon);
+                    pos += blen;
+                }
+
+                let values = reassemble(n, &zero, &sign, &recon_logs);
+                Ok(RegularTimeSeries::new(start, interval, values)?)
+            }
+            m => Err(CodecError::Corrupt(format!("unknown SZ mode {m}"))),
+        }
+    }
+}
+
+/// Re-inserts zeros and signs around reconstructed log magnitudes.
+fn reassemble(n: usize, zero: &[bool], sign: &[bool], recon_logs: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    let mut it = recon_logs.iter();
+    for i in 0..n {
+        if zero[i] {
+            out.push(0.0);
+        } else {
+            let mag = it.next().copied().unwrap_or(0.0).exp();
+            out.push(if sign[i] { -mag } else { mag });
+        }
+    }
+    out
+}
+
+/// Number of maximal runs of identical consecutive values.
+pub fn constant_runs(values: &[f64]) -> usize {
+    if values.is_empty() {
+        return 0;
+    }
+    1 + values.windows(2).filter(|w| w[0] != w[1]).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::find_bound_violation;
+
+    fn series(values: Vec<f64>) -> RegularTimeSeries {
+        RegularTimeSeries::new(0, 600, values).unwrap()
+    }
+
+    fn wavy(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| 20.0 + (i as f64 * 0.03).sin() * 8.0 + ((i * 7) % 5) as f64 * 0.05)
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_respects_relative_bound() {
+        let vals = wavy(3000);
+        for eps in [0.01, 0.05, 0.2, 0.8] {
+            let (d, _) = Sz.transform(&series(vals.clone()), eps).unwrap();
+            assert_eq!(d.len(), vals.len());
+            assert!(
+                find_bound_violation(&vals, d.values(), eps, 1e-9).is_none(),
+                "bound violated at eps {eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn zeros_and_signs_survive() {
+        let vals = vec![0.0, -3.0, 2.0, 0.0, -0.5, 1e-8, 0.0];
+        let (d, _) = Sz.transform(&series(vals.clone()), 0.3).unwrap();
+        assert_eq!(d.values()[0], 0.0);
+        assert_eq!(d.values()[3], 0.0);
+        assert_eq!(d.values()[6], 0.0);
+        assert!(d.values()[1] < 0.0);
+        assert!(d.values()[4] < 0.0);
+        assert!(find_bound_violation(&vals, d.values(), 0.3, 1e-12).is_none());
+    }
+
+    #[test]
+    fn epsilon_zero_is_lossless() {
+        let vals = wavy(500);
+        let (d, _) = Sz.transform(&series(vals.clone()), 0.0).unwrap();
+        assert_eq!(d.values(), &vals[..]);
+    }
+
+    #[test]
+    fn quantization_creates_constant_runs() {
+        // Paper Figure 1: "SZ seems to fit a constant line like PMC ...
+        // due to the quantization step".
+        let vals = wavy(4000);
+        let c = Sz.compress(&series(vals.clone()), 0.2).unwrap();
+        let runs_raw = constant_runs(&vals);
+        assert!(c.num_segments < runs_raw, "{} vs {}", c.num_segments, runs_raw);
+    }
+
+    #[test]
+    fn segment_count_drops_with_epsilon() {
+        let vals = wavy(6000);
+        let s = series(vals);
+        let low = Sz.compress(&s, 0.05).unwrap().num_segments;
+        let high = Sz.compress(&s, 0.5).unwrap().num_segments;
+        assert!(high < low, "{high} vs {low}");
+    }
+
+    #[test]
+    fn high_cr_at_low_epsilon_vs_pmc() {
+        // Paper §4.2 / RQ1.2: SZ provides the highest CR at low error
+        // bounds thanks to quantization + entropy coding.
+        let vals = wavy(10_000);
+        let s = series(vals);
+        let sz = Sz.compress(&s, 0.01).unwrap().size_bytes();
+        let pmc = crate::pmc::Pmc.compress(&s, 0.01).unwrap().size_bytes();
+        assert!(sz < pmc, "sz {sz} vs pmc {pmc}");
+    }
+
+    #[test]
+    fn smooth_blocks_use_cheap_predictors() {
+        // A noiseless trending series should compress to very few bytes.
+        let vals: Vec<f64> = (0..5000).map(|i| 100.0 + 0.01 * i as f64).collect();
+        let s = series(vals.clone());
+        let c = Sz.compress(&s, 0.05).unwrap();
+        assert!(c.size_bytes() < 2000, "{}", c.size_bytes());
+        let d = Sz.decompress(&c).unwrap();
+        assert!(find_bound_violation(&vals, d.values(), 0.05, 1e-9).is_none());
+    }
+
+    #[test]
+    fn spiky_outliers_stored_unpredictably_but_bounded() {
+        let mut vals = wavy(1000);
+        vals[100] = 1e6;
+        vals[500] = 1e-6;
+        vals[900] = -4000.0;
+        let (d, _) = Sz.transform(&series(vals.clone()), 0.1).unwrap();
+        assert!(find_bound_violation(&vals, d.values(), 0.1, 1e-6).is_none());
+    }
+
+    #[test]
+    fn all_zero_series() {
+        let vals = vec![0.0; 300];
+        let (d, _) = Sz.transform(&series(vals.clone()), 0.5).unwrap();
+        assert_eq!(d.values(), &vals[..]);
+    }
+
+    #[test]
+    fn timestamps_roundtrip() {
+        let s = RegularTimeSeries::new(777, 2, vec![3.0, 4.0, 5.0]).unwrap();
+        let (d, _) = Sz.transform(&s, 0.1).unwrap();
+        assert_eq!(d.start(), 777);
+        assert_eq!(d.interval(), 2);
+    }
+
+    #[test]
+    fn corrupt_data_detected() {
+        let c = Sz.compress(&series(wavy(100)), 0.1).unwrap();
+        let truncated = CompressedSeries {
+            method: "SZ",
+            bytes: deflate::compress(&[1, 2, 3]),
+            num_segments: 0,
+        };
+        assert!(Sz.decompress(&truncated).is_err());
+        // Flipping the mode byte inside is caught too.
+        let inner = deflate::decompress(&c.bytes).unwrap();
+        let mut bad = inner.clone();
+        bad[10] = 9; // mode byte position: 6 header + 4 count
+        let frame = CompressedSeries {
+            method: "SZ",
+            bytes: deflate::compress(&bad),
+            num_segments: 0,
+        };
+        assert!(Sz.decompress(&frame).is_err());
+    }
+
+    #[test]
+    fn constant_runs_counting() {
+        assert_eq!(constant_runs(&[]), 0);
+        assert_eq!(constant_runs(&[1.0]), 1);
+        assert_eq!(constant_runs(&[1.0, 1.0, 2.0, 2.0, 1.0]), 3);
+    }
+}

@@ -1,0 +1,121 @@
+//! Shared timestamp codec (§3.2).
+//!
+//! The paper stores, for every method, "the first timestamp as a 32-bit
+//! integer, the sampling interval as a 16-bit integer, and the length of the
+//! generated segments as a 16-bit integer" so that the methods are directly
+//! comparable. This module implements that header and the segment-length
+//! stream; the per-method payloads carry only model coefficients.
+
+/// Header length: 4-byte start + 2-byte interval.
+pub const HEADER_LEN: usize = 6;
+
+/// The maximum representable segment length (16-bit).
+pub const MAX_SEGMENT_LEN: usize = u16::MAX as usize;
+
+/// Errors from timestamp (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimestampError {
+    /// The start timestamp does not fit a 32-bit integer.
+    StartOutOfRange(i64),
+    /// The interval does not fit a 16-bit unsigned integer.
+    IntervalOutOfRange(i64),
+    /// The buffer is too short to contain a header.
+    Truncated,
+}
+
+impl std::fmt::Display for TimestampError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimestampError::StartOutOfRange(t) => write!(f, "start {t} exceeds 32 bits"),
+            TimestampError::IntervalOutOfRange(i) => write!(f, "interval {i} exceeds 16 bits"),
+            TimestampError::Truncated => write!(f, "timestamp header truncated"),
+        }
+    }
+}
+
+impl std::error::Error for TimestampError {}
+
+/// Encodes the header. Panics only via [`try_encode_header`]'s error path in
+/// release use; prefer the fallible variant for untrusted input.
+pub fn encode_header(start: i64, interval: i64) -> Vec<u8> {
+    try_encode_header(start, interval).expect("timestamps in range for generated data")
+}
+
+/// Fallible header encoding.
+pub fn try_encode_header(start: i64, interval: i64) -> Result<Vec<u8>, TimestampError> {
+    let start32 =
+        i32::try_from(start).map_err(|_| TimestampError::StartOutOfRange(start))?;
+    let interval16 =
+        u16::try_from(interval).map_err(|_| TimestampError::IntervalOutOfRange(interval))?;
+    let mut out = Vec::with_capacity(HEADER_LEN);
+    out.extend_from_slice(&start32.to_le_bytes());
+    out.extend_from_slice(&interval16.to_le_bytes());
+    Ok(out)
+}
+
+/// Decodes a header, returning `(start, interval, rest)`.
+pub fn decode_header(buf: &[u8]) -> Result<(i64, i64, &[u8]), TimestampError> {
+    if buf.len() < HEADER_LEN {
+        return Err(TimestampError::Truncated);
+    }
+    let start = i32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as i64;
+    let interval = u16::from_le_bytes(buf[4..6].try_into().expect("2 bytes")) as i64;
+    Ok((start, interval, &buf[HEADER_LEN..]))
+}
+
+/// Splits a logical segment length into 16-bit chunks, since the paper's
+/// format caps segment lengths at 16 bits. Each chunk shares the segment's
+/// model, so splitting preserves the reconstruction exactly.
+pub fn split_segment_len(len: usize) -> impl Iterator<Item = u16> {
+    let full = len / MAX_SEGMENT_LEN;
+    let rem = (len % MAX_SEGMENT_LEN) as u16;
+    std::iter::repeat_n(u16::MAX, full).chain((rem > 0).then_some(rem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let b = encode_header(1_672_531_200, 900);
+        assert_eq!(b.len(), HEADER_LEN);
+        let (s, i, rest) = decode_header(&b).unwrap();
+        assert_eq!(s, 1_672_531_200);
+        assert_eq!(i, 900);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(matches!(
+            try_encode_header(i64::MAX, 900),
+            Err(TimestampError::StartOutOfRange(_))
+        ));
+        assert!(matches!(
+            try_encode_header(0, 70_000),
+            Err(TimestampError::IntervalOutOfRange(_))
+        ));
+        assert!(matches!(
+            try_encode_header(0, -1),
+            Err(TimestampError::IntervalOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_header() {
+        assert_eq!(decode_header(&[1, 2, 3]).unwrap_err(), TimestampError::Truncated);
+    }
+
+    #[test]
+    fn segment_splitting() {
+        assert_eq!(split_segment_len(10).collect::<Vec<_>>(), vec![10]);
+        assert_eq!(split_segment_len(65_535).collect::<Vec<_>>(), vec![65_535]);
+        assert_eq!(split_segment_len(65_536).collect::<Vec<_>>(), vec![65_535, 1]);
+        assert_eq!(
+            split_segment_len(200_000).collect::<Vec<_>>(),
+            vec![65_535, 65_535, 65_535, 3_395]
+        );
+        assert_eq!(split_segment_len(0).count(), 0);
+    }
+}

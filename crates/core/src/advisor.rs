@@ -1,0 +1,226 @@
+//! Compression advisor — the paper's §5 direction made concrete: "ML
+//! models designed to predict the impact of lossy time series compression
+//! on various analytical tasks ... can guide the selection or optimization
+//! of compression methods based on the expected impact on analytical
+//! outcomes."
+//!
+//! [`CompressionAdvisor`] trains the same GBoost TFE-predictor the paper
+//! uses for its SHAP analysis (characteristic differences → TFE) on an
+//! evaluated grid, and then, for a *new* series, predicts the TFE of every
+//! `(method, ε)` candidate and recommends the one with the highest
+//! compression ratio whose predicted TFE stays within a budget.
+
+use analysis::features::{extract, FeatureOptions, NUM_FEATURES};
+use compression::{raw_compressed_size, Method};
+use forecast::gboost::{GbmConfig, GbmRegressor};
+use tsdata::metrics::compression_ratio;
+use tsdata::series::RegularTimeSeries;
+
+use crate::experiments::characteristics_exp::CharacteristicsExperiment;
+
+/// A `(method, ε)` recommendation with its predicted impact.
+#[derive(Debug, Clone, Copy)]
+pub struct Recommendation {
+    /// Recommended method.
+    pub method: Method,
+    /// Recommended error bound.
+    pub epsilon: f64,
+    /// Predicted TFE (fraction; 0.05 = 5% accuracy loss).
+    pub predicted_tfe: f64,
+    /// Measured compression ratio on the probe series.
+    pub cr: f64,
+}
+
+/// Errors from advising.
+#[derive(Debug)]
+pub enum AdvisorError {
+    /// Not enough training rows to fit the predictor.
+    TooFewRows(usize),
+    /// Compression of the probe series failed.
+    Codec(compression::CodecError),
+}
+
+impl std::fmt::Display for AdvisorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdvisorError::TooFewRows(n) => {
+                write!(f, "advisor needs >= 8 grid rows, got {n}")
+            }
+            AdvisorError::Codec(e) => write!(f, "advisor compression: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdvisorError {}
+
+impl From<compression::CodecError> for AdvisorError {
+    fn from(e: compression::CodecError) -> Self {
+        AdvisorError::Codec(e)
+    }
+}
+
+/// The trained TFE predictor plus recommendation logic.
+pub struct CompressionAdvisor {
+    model: GbmRegressor,
+    features: FeatureOptions,
+}
+
+impl CompressionAdvisor {
+    /// Trains on the rows of an evaluated characteristics experiment
+    /// (feature differences → mean TFE across models).
+    pub fn train(
+        experiment: &CharacteristicsExperiment,
+        features: FeatureOptions,
+    ) -> Result<Self, AdvisorError> {
+        let rows = &experiment.rows;
+        if rows.len() < 8 {
+            return Err(AdvisorError::TooFewRows(rows.len()));
+        }
+        let mut x = Vec::with_capacity(rows.len() * NUM_FEATURES);
+        let mut y = Vec::with_capacity(rows.len());
+        for r in rows {
+            x.extend_from_slice(&r.diffs);
+            y.push(r.tfe);
+        }
+        let model = GbmRegressor::fit(
+            &x,
+            &y,
+            NUM_FEATURES,
+            GbmConfig { n_estimators: 120, ..Default::default() },
+        );
+        Ok(CompressionAdvisor { model, features })
+    }
+
+    /// Predicts the TFE of compressing `series` with `(method, epsilon)`.
+    pub fn predict_tfe(
+        &self,
+        series: &RegularTimeSeries,
+        method: Method,
+        epsilon: f64,
+    ) -> Result<f64, AdvisorError> {
+        let original = extract(series.values(), self.features);
+        let (decompressed, _) = method.compressor().transform(series, epsilon)?;
+        let transformed = extract(decompressed.values(), self.features);
+        Ok(self.model.predict(&transformed.diff(&original)))
+    }
+
+    /// Scans every `(method, ε)` candidate and returns the one with the
+    /// highest CR whose predicted TFE is within `tfe_budget`; `None` when
+    /// no candidate fits the budget.
+    pub fn recommend(
+        &self,
+        series: &RegularTimeSeries,
+        methods: &[Method],
+        error_bounds: &[f64],
+        tfe_budget: f64,
+    ) -> Result<Option<Recommendation>, AdvisorError> {
+        let raw = raw_compressed_size(series);
+        let original = extract(series.values(), self.features);
+        let mut best: Option<Recommendation> = None;
+        for &method in methods {
+            let compressor = method.compressor();
+            for &epsilon in error_bounds {
+                let (decompressed, frame) = compressor.transform(series, epsilon)?;
+                let transformed = extract(decompressed.values(), self.features);
+                let predicted_tfe = self.model.predict(&transformed.diff(&original));
+                if predicted_tfe > tfe_budget {
+                    continue;
+                }
+                let cr = compression_ratio(raw, frame.size_bytes());
+                if best.as_ref().is_none_or(|b| cr > b.cr) {
+                    best = Some(Recommendation { method, epsilon, predicted_tfe, cr });
+                }
+            }
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{characteristics_exp, forecasting_exp};
+    use crate::grid::GridConfig;
+    use forecast::model::ModelKind;
+    use tsdata::datasets::{generate_univariate, DatasetKind, GenOptions};
+
+    fn trained_advisor() -> (CompressionAdvisor, GridConfig) {
+        let mut cfg = GridConfig::smoke();
+        cfg.len = Some(1_600);
+        cfg.error_bounds = vec![0.01, 0.05, 0.1, 0.3, 0.6];
+        cfg.models = vec![ModelKind::GBoost];
+        let exp = forecasting_exp::run(&cfg);
+        let chars = characteristics_exp::run(&exp);
+        let features = FeatureOptions {
+            period: Some(96),
+            shift_window: 48,
+            cap: Some(4_000),
+        };
+        (CompressionAdvisor::train(&chars, features).expect("enough rows"), cfg)
+    }
+
+    #[test]
+    fn advisor_trains_and_predicts_sensible_magnitudes() {
+        let (advisor, _) = trained_advisor();
+        let probe = generate_univariate(
+            DatasetKind::ETTm1,
+            GenOptions { len: Some(1_600), channels: None, seed: 777 },
+        );
+        let small = advisor.predict_tfe(&probe, Method::Pmc, 0.01).expect("predicts");
+        let large = advisor.predict_tfe(&probe, Method::Pmc, 0.6).expect("predicts");
+        assert!(small.is_finite() && large.is_finite());
+        assert!(
+            small < large + 0.1,
+            "predicted TFE should not collapse at high eps: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn recommendation_respects_budget_and_maximizes_cr() {
+        let (advisor, cfg) = trained_advisor();
+        let probe = generate_univariate(
+            DatasetKind::ETTm1,
+            GenOptions { len: Some(1_600), channels: None, seed: 778 },
+        );
+        let rec = advisor
+            .recommend(&probe, &cfg.methods, &cfg.error_bounds, 0.10)
+            .expect("runs")
+            .expect("a candidate fits a 10% budget");
+        assert!(rec.predicted_tfe <= 0.10);
+        assert!(rec.cr > 1.0);
+        // A looser budget can only improve (or keep) the achievable CR.
+        let loose = advisor
+            .recommend(&probe, &cfg.methods, &cfg.error_bounds, 0.50)
+            .expect("runs")
+            .expect("candidates exist");
+        assert!(loose.cr >= rec.cr);
+    }
+
+    #[test]
+    fn impossible_budget_returns_none() {
+        let (advisor, cfg) = trained_advisor();
+        let probe = generate_univariate(
+            DatasetKind::ETTm1,
+            GenOptions { len: Some(1_600), channels: None, seed: 779 },
+        );
+        let rec = advisor
+            .recommend(&probe, &cfg.methods, &cfg.error_bounds, -10.0)
+            .expect("runs");
+        assert!(rec.is_none(), "a negative TFE budget can never be met");
+    }
+
+    #[test]
+    fn too_few_rows_rejected() {
+        let chars = CharacteristicsExperiment {
+            rows: Vec::new(),
+            shap_importance: Vec::new(),
+            correlations: Vec::new(),
+            r2: 0.0,
+        };
+        let features = FeatureOptions::default();
+        assert!(matches!(
+            CompressionAdvisor::train(&chars, features),
+            Err(AdvisorError::TooFewRows(0))
+        ));
+    }
+}

@@ -1,0 +1,288 @@
+//! Algorithm 1 — the paper's evaluation procedure.
+//!
+//! A forecasting model is trained once on the *raw* training subset; the
+//! *test* subset is lossy-compressed and decompressed (`T(test | C, ε)`),
+//! and the model predicts from the transformed inputs while being scored
+//! against the raw targets. The transformation forecasting error (TFE)
+//! compares those scores to the raw-input baseline.
+//!
+//! The alternative scenario of §4.4.1 — retraining on decompressed data —
+//! is implemented by [`retrain_scenario`].
+
+use compression::codec::PeblcCompressor;
+use forecast::model::{ForecastError, Forecaster};
+use tsdata::metrics::{metric_set, MetricSet};
+use tsdata::scaler::StandardScaler;
+use tsdata::series::{MultiSeries, SeriesError};
+use tsdata::split::{make_eval_windows, make_windows, Window};
+
+/// Errors from running the scenario.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// Model fitting or prediction failed.
+    Forecast(ForecastError),
+    /// Compression or decompression failed.
+    Codec(compression::CodecError),
+    /// Series manipulation failed.
+    Series(SeriesError),
+    /// The test subset yields no evaluation windows.
+    NoWindows,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Forecast(e) => write!(f, "forecasting: {e}"),
+            ScenarioError::Codec(e) => write!(f, "compression: {e}"),
+            ScenarioError::Series(e) => write!(f, "series: {e}"),
+            ScenarioError::NoWindows => write!(f, "no evaluation windows in test subset"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<ForecastError> for ScenarioError {
+    fn from(e: ForecastError) -> Self {
+        ScenarioError::Forecast(e)
+    }
+}
+
+impl From<compression::CodecError> for ScenarioError {
+    fn from(e: compression::CodecError) -> Self {
+        ScenarioError::Codec(e)
+    }
+}
+
+impl From<SeriesError> for ScenarioError {
+    fn from(e: SeriesError) -> Self {
+        ScenarioError::Series(e)
+    }
+}
+
+/// Applies the transformation `T` to every channel of a series.
+pub fn transform_series(
+    data: &MultiSeries,
+    compressor: &dyn PeblcCompressor,
+    epsilon: f64,
+) -> Result<MultiSeries, ScenarioError> {
+    let mut err = None;
+    let out = data.map_channels(|c| match compressor.transform(c, epsilon) {
+        Ok((d, _)) => d,
+        Err(e) => {
+            err = Some(e);
+            c.clone()
+        }
+    })?;
+    match err {
+        Some(e) => Err(e.into()),
+        None => Ok(out),
+    }
+}
+
+/// Scores a fitted model on evaluation windows. Metrics are computed in
+/// *scaled* units (the train-fitted standard scaler applied to both
+/// predictions and raw targets), matching the magnitudes of the paper's
+/// Table 2.
+pub fn score_windows(
+    model: &dyn Forecaster,
+    windows: &[Window],
+    scaler: &StandardScaler,
+) -> Result<MetricSet, ScenarioError> {
+    if windows.is_empty() {
+        return Err(ScenarioError::NoWindows);
+    }
+    let mut all_pred = Vec::new();
+    let mut all_truth = Vec::new();
+    for w in windows {
+        let pred = model.predict(&w.inputs)?;
+        all_pred.extend(scaler.transform(0, &pred));
+        all_truth.extend(scaler.transform(0, &w.target));
+    }
+    Ok(metric_set(&all_truth, &all_pred))
+}
+
+/// One evaluated configuration: baseline plus per-(method, ε) scores.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Scores on the raw test subset (the Table-2 baseline).
+    pub baseline: MetricSet,
+    /// Scores on transformed test subsets, in the order evaluated:
+    /// `(method_name, epsilon, metrics)`.
+    pub transformed: Vec<(&'static str, f64, MetricSet)>,
+}
+
+/// Runs Algorithm 1 for one fitted model: evaluates the raw baseline and
+/// every `(compressor, ε)` combination on the test subset.
+///
+/// `eval_stride` subsamples test windows (1 = every window, as in the
+/// paper; larger = faster).
+pub fn evaluate_scenario(
+    model: &mut dyn Forecaster,
+    train: &MultiSeries,
+    val: &MultiSeries,
+    test: &MultiSeries,
+    compressors: &[Box<dyn PeblcCompressor>],
+    error_bounds: &[f64],
+    eval_stride: usize,
+) -> Result<ScenarioOutcome, ScenarioError> {
+    model.fit(train, val)?;
+    let scaler = StandardScaler::fit_single(train.target().values());
+    let input_len = model.input_len();
+    let horizon = model.horizon();
+
+    let raw_windows = make_windows(test, input_len, horizon, eval_stride);
+    if raw_windows.is_empty() {
+        return Err(ScenarioError::NoWindows);
+    }
+    let baseline = score_windows(model, &raw_windows, &scaler)?;
+
+    let mut transformed = Vec::new();
+    for compressor in compressors {
+        for &eps in error_bounds {
+            let t_test = transform_series(test, compressor.as_ref(), eps)?;
+            let windows = make_eval_windows(test, &t_test, input_len, horizon, eval_stride)?;
+            let metrics = score_windows(model, &windows, &scaler)?;
+            transformed.push((compressor.name(), eps, metrics));
+        }
+    }
+    Ok(ScenarioOutcome { baseline, transformed })
+}
+
+/// The §4.4.1 variant: train *and* infer on decompressed data, scoring
+/// against the raw targets. Returns `(method, ε, metrics)` per
+/// combination, plus the raw-trained baseline for TFE computation.
+pub fn retrain_scenario(
+    make_model: &mut dyn FnMut() -> Box<dyn Forecaster>,
+    train: &MultiSeries,
+    val: &MultiSeries,
+    test: &MultiSeries,
+    compressors: &[Box<dyn PeblcCompressor>],
+    error_bounds: &[f64],
+    eval_stride: usize,
+) -> Result<ScenarioOutcome, ScenarioError> {
+    // Baseline: raw-trained model on raw test data.
+    let mut base_model = make_model();
+    base_model.fit(train, val)?;
+    let scaler = StandardScaler::fit_single(train.target().values());
+    let raw_windows =
+        make_windows(test, base_model.input_len(), base_model.horizon(), eval_stride);
+    if raw_windows.is_empty() {
+        return Err(ScenarioError::NoWindows);
+    }
+    let baseline = score_windows(base_model.as_ref(), &raw_windows, &scaler)?;
+
+    let mut transformed = Vec::new();
+    for compressor in compressors {
+        for &eps in error_bounds {
+            let t_train = transform_series(train, compressor.as_ref(), eps)?;
+            let t_val = transform_series(val, compressor.as_ref(), eps)?;
+            let t_test = transform_series(test, compressor.as_ref(), eps)?;
+            let mut model = make_model();
+            model.fit(&t_train, &t_val)?;
+            let windows = make_eval_windows(
+                test,
+                &t_test,
+                model.input_len(),
+                model.horizon(),
+                eval_stride,
+            )?;
+            let metrics = score_windows(model.as_ref(), &windows, &scaler)?;
+            transformed.push((compressor.name(), eps, metrics));
+        }
+    }
+    Ok(ScenarioOutcome { baseline, transformed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compression::{Pmc, Sz};
+    use forecast::{build_model, BuildOptions, ModelKind};
+    use tsdata::series::RegularTimeSeries;
+    use tsdata::split::{split, SplitSpec};
+
+    fn dataset(n: usize) -> MultiSeries {
+        let vals: Vec<f64> = (0..n)
+            .map(|i| 10.0 + 3.0 * (i as f64 / 24.0 * std::f64::consts::TAU).sin()
+                + ((i * 13) % 7) as f64 * 0.05)
+            .collect();
+        MultiSeries::univariate("y", RegularTimeSeries::new(0, 3600, vals).unwrap())
+    }
+
+    #[test]
+    fn transform_series_respects_bound() {
+        let data = dataset(500);
+        let t = transform_series(&data, &Pmc, 0.1).unwrap();
+        assert_eq!(t.len(), data.len());
+        assert!(compression::find_bound_violation(
+            data.target().values(),
+            t.target().values(),
+            0.1,
+            1e-9
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn evaluate_scenario_end_to_end() {
+        let data = dataset(1500);
+        let s = split(&data, SplitSpec::default()).unwrap();
+        let mut model = build_model(
+            ModelKind::GBoost,
+            BuildOptions { input_len: 48, horizon: 12, ..Default::default() },
+        );
+        let compressors: Vec<Box<dyn PeblcCompressor>> = vec![Box::new(Pmc), Box::new(Sz)];
+        let outcome = evaluate_scenario(
+            model.as_mut(),
+            &s.train,
+            &s.val,
+            &s.test,
+            &compressors,
+            &[0.01, 0.3],
+            4,
+        )
+        .unwrap();
+        assert_eq!(outcome.transformed.len(), 4);
+        // Baseline on this clean seasonal series must be decent.
+        assert!(outcome.baseline.rmse < 0.6, "baseline rmse {}", outcome.baseline.rmse);
+        // Tiny error bound barely changes accuracy; huge one changes it more.
+        let small = outcome.transformed[0].2.rmse;
+        let large = outcome.transformed[1].2.rmse;
+        let tfe_small = tsdata::metrics::tfe(outcome.baseline.rmse, small);
+        let tfe_large = tsdata::metrics::tfe(outcome.baseline.rmse, large);
+        assert!(tfe_small.abs() < 0.5, "tfe at eps 0.01: {tfe_small}");
+        assert!(tfe_large >= tfe_small - 0.05, "{tfe_large} vs {tfe_small}");
+    }
+
+    #[test]
+    fn retrain_scenario_runs() {
+        let data = dataset(1200);
+        let s = split(&data, SplitSpec::default()).unwrap();
+        let compressors: Vec<Box<dyn PeblcCompressor>> = vec![Box::new(Pmc)];
+        let mut make = || {
+            build_model(
+                ModelKind::DLinear,
+                BuildOptions { input_len: 48, horizon: 12, ..Default::default() },
+            )
+        };
+        let outcome =
+            retrain_scenario(&mut make, &s.train, &s.val, &s.test, &compressors, &[0.1], 6)
+                .unwrap();
+        assert_eq!(outcome.transformed.len(), 1);
+        assert!(outcome.transformed[0].2.rmse.is_finite());
+    }
+
+    #[test]
+    fn no_windows_error() {
+        let data = dataset(300);
+        let s = split(&data, SplitSpec::default()).unwrap();
+        let mut model = build_model(
+            ModelKind::GBoost,
+            BuildOptions { input_len: 96, horizon: 24, ..Default::default() },
+        );
+        // test subset has 60 points < 96 + 24 -> no windows
+        let res = evaluate_scenario(model.as_mut(), &s.train, &s.val, &s.test, &[], &[], 1);
+        assert!(matches!(res, Err(ScenarioError::NoWindows) | Err(ScenarioError::Forecast(_))));
+    }
+}

@@ -1,0 +1,253 @@
+//! Resilient ensembles — the paper's §5 research direction: "create an
+//! ensemble model using Transformer which has good overall forecasting
+//! accuracy and Arima which is more resilient. This should improve the
+//! resilience and overall accuracy of forecasting models."
+//!
+//! [`Ensemble`] wraps any set of fitted forecasters and combines their
+//! horizon forecasts by simple or validation-weighted averaging. The
+//! weighting is learned once on the raw validation subset, so a fragile
+//! member keeps its influence from clean-data accuracy while the resilient
+//! member bounds the damage under compression.
+
+use tsdata::metrics::rmse;
+use tsdata::series::MultiSeries;
+use tsdata::split::make_windows;
+
+use crate::model::{validate_window, ForecastError, Forecaster};
+
+/// How member forecasts are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combine {
+    /// Unweighted mean of member forecasts.
+    Mean,
+    /// Weights proportional to inverse squared validation RMSE, learned
+    /// at fit time on the raw validation subset.
+    InverseValidationError,
+}
+
+/// An ensemble of forecasters.
+pub struct Ensemble {
+    members: Vec<Box<dyn Forecaster>>,
+    combine: Combine,
+    weights: Vec<f64>,
+    name: &'static str,
+}
+
+impl Ensemble {
+    /// Creates an ensemble; all members must share `input_len`/`horizon`.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty or window geometry disagrees.
+    pub fn new(members: Vec<Box<dyn Forecaster>>, combine: Combine) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        let (k, h) = (members[0].input_len(), members[0].horizon());
+        for m in &members {
+            assert_eq!(m.input_len(), k, "member input_len mismatch");
+            assert_eq!(m.horizon(), h, "member horizon mismatch");
+        }
+        let n = members.len();
+        Ensemble { members, combine, weights: vec![1.0 / n as f64; n], name: "Ensemble" }
+    }
+
+    /// The learned member weights (uniform until fitted).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Member count.
+    pub fn num_members(&self) -> usize {
+        self.members.len()
+    }
+
+    fn learn_weights(&mut self, val: &MultiSeries) -> Result<(), ForecastError> {
+        let k = self.input_len();
+        let h = self.horizon();
+        let windows = make_windows(val, k, h, (k / 2).max(1));
+        if windows.is_empty() {
+            return Ok(()); // keep uniform weights
+        }
+        let mut errors = Vec::with_capacity(self.members.len());
+        for member in &self.members {
+            let mut preds = Vec::new();
+            let mut truth = Vec::new();
+            for w in &windows {
+                preds.extend(member.predict(&w.inputs)?);
+                truth.extend(w.target.iter().copied());
+            }
+            errors.push(rmse(&truth, &preds).max(1e-9));
+        }
+        // Inverse *squared* error sharpens the weighting so a clearly
+        // better member dominates while weaker members still contribute.
+        let inv: Vec<f64> = errors.iter().map(|e| 1.0 / (e * e)).collect();
+        let total: f64 = inv.iter().sum();
+        self.weights = inv.into_iter().map(|w| w / total).collect();
+        Ok(())
+    }
+}
+
+impl Forecaster for Ensemble {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn input_len(&self) -> usize {
+        self.members[0].input_len()
+    }
+
+    fn horizon(&self) -> usize {
+        self.members[0].horizon()
+    }
+
+    fn fit(&mut self, train: &MultiSeries, val: &MultiSeries) -> Result<(), ForecastError> {
+        for member in &mut self.members {
+            member.fit(train, val)?;
+        }
+        if self.combine == Combine::InverseValidationError {
+            self.learn_weights(val)?;
+        }
+        Ok(())
+    }
+
+    fn predict(&self, inputs: &[Vec<f64>]) -> Result<Vec<f64>, ForecastError> {
+        validate_window(inputs, self.input_len())?;
+        let h = self.horizon();
+        let mut combined = vec![0.0; h];
+        for (member, &w) in self.members.iter().zip(&self.weights) {
+            let pred = member.predict(inputs)?;
+            for (c, p) in combined.iter_mut().zip(pred) {
+                *c += w * p;
+            }
+        }
+        Ok(combined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_model, BuildOptions, ModelKind};
+    use tsdata::series::RegularTimeSeries;
+    use tsdata::split::{split, SplitSpec};
+
+    fn dataset(n: usize) -> MultiSeries {
+        let vals: Vec<f64> = (0..n)
+            .map(|i| 10.0 + 3.0 * (i as f64 / 24.0 * std::f64::consts::TAU).sin()
+                + ((i * 13) % 7) as f64 * 0.03)
+            .collect();
+        MultiSeries::univariate("y", RegularTimeSeries::new(0, 3600, vals).unwrap())
+    }
+
+    fn options() -> BuildOptions {
+        BuildOptions { input_len: 48, horizon: 12, season: Some(24), ..Default::default() }
+    }
+
+    #[test]
+    fn ensemble_averages_members() {
+        let data = dataset(1500);
+        let s = split(&data, SplitSpec::default()).unwrap();
+        let mut ens = Ensemble::new(
+            vec![
+                build_model(ModelKind::Arima, options()),
+                build_model(ModelKind::GBoost, options()),
+            ],
+            Combine::Mean,
+        );
+        ens.fit(&s.train, &s.val).unwrap();
+        assert_eq!(ens.weights(), &[0.5, 0.5]);
+        let window = s.test.target().values()[..48].to_vec();
+        let pred = ens.predict(&[window.clone()]).unwrap();
+        assert_eq!(pred.len(), 12);
+        // Combined forecast lies between (or at) the members' envelope.
+        let mut a = build_model(ModelKind::Arima, options());
+        a.fit(&s.train, &s.val).unwrap();
+        let mut g = build_model(ModelKind::GBoost, options());
+        g.fit(&s.train, &s.val).unwrap();
+        let pa = a.predict(&[window.clone()]).unwrap();
+        let pg = g.predict(&[window]).unwrap();
+        for i in 0..12 {
+            let lo = pa[i].min(pg[i]) - 1e-9;
+            let hi = pa[i].max(pg[i]) + 1e-9;
+            assert!((lo..=hi).contains(&pred[i]), "pred outside member envelope");
+        }
+    }
+
+    #[test]
+    fn weighted_combine_learns_nonuniform_weights() {
+        let data = dataset(1500);
+        let s = split(&data, SplitSpec::default()).unwrap();
+        let mut ens = Ensemble::new(
+            vec![
+                build_model(ModelKind::GBoost, options()),
+                build_model(ModelKind::Gru, options()), // weaker at tiny scale
+            ],
+            Combine::InverseValidationError,
+        );
+        ens.fit(&s.train, &s.val).unwrap();
+        let w = ens.weights();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.iter().all(|&x| x > 0.0));
+        assert_ne!(w[0], w[1], "weights should differ between members");
+    }
+
+    #[test]
+    fn ensemble_accuracy_at_least_close_to_best_member() {
+        let data = dataset(2000);
+        let s = split(&data, SplitSpec::default()).unwrap();
+        let kinds = [ModelKind::Arima, ModelKind::GBoost];
+        let mut member_rmse = Vec::new();
+        let windows = make_windows(&s.test, 48, 12, 24);
+        for kind in kinds {
+            let mut m = build_model(kind, options());
+            m.fit(&s.train, &s.val).unwrap();
+            let mut preds = Vec::new();
+            let mut truth = Vec::new();
+            for w in &windows {
+                preds.extend(m.predict(&w.inputs).unwrap());
+                truth.extend(w.target.iter().copied());
+            }
+            member_rmse.push(rmse(&truth, &preds));
+        }
+        let mut ens = Ensemble::new(
+            kinds.iter().map(|&k| build_model(k, options())).collect(),
+            Combine::InverseValidationError,
+        );
+        ens.fit(&s.train, &s.val).unwrap();
+        let mut preds = Vec::new();
+        let mut truth = Vec::new();
+        for w in &windows {
+            preds.extend(ens.predict(&w.inputs).unwrap());
+            truth.extend(w.target.iter().copied());
+        }
+        let ens_rmse = rmse(&truth, &preds);
+        let best = member_rmse.iter().cloned().fold(f64::INFINITY, f64::min);
+        let worst = member_rmse.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            ens_rmse < worst,
+            "ensemble {ens_rmse} should beat the worst member {worst}"
+        );
+        // Weighted averaging cannot be guaranteed to match the best member
+        // (validation error is only a proxy for test error), but it must
+        // stay the same order of magnitude.
+        assert!(
+            ens_rmse < best * 5.0,
+            "ensemble {ens_rmse} drifted far from the best member {best}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_rejected() {
+        Ensemble::new(vec![], Combine::Mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon mismatch")]
+    fn mismatched_members_rejected() {
+        let a = build_model(ModelKind::GBoost, options());
+        let b = build_model(
+            ModelKind::GBoost,
+            BuildOptions { horizon: 6, ..options() },
+        );
+        Ensemble::new(vec![a, b], Combine::Mean);
+    }
+}

@@ -1,0 +1,404 @@
+//! Least-squares gradient boosting (Friedman 2001) over CART regression
+//! trees — the paper's GBoost model (§3.4), and also the regressor the
+//! characteristics analysis trains to predict TFE (§4.3.1).
+//!
+//! Two layers: [`GbmRegressor`] is a generic `X → y` booster (reused by
+//! `analysis::shap`); [`GBoost`] wraps it as a [`Forecaster`] using lag
+//! features and recursive multi-step prediction.
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+use tsdata::scaler::StandardScaler;
+use tsdata::series::MultiSeries;
+
+use crate::model::{validate_window, ForecastError, Forecaster};
+use crate::tree::{BinnedFeatures, RegressionTree, TreeConfig};
+
+/// Boosting hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GbmConfig {
+    /// Number of boosting rounds.
+    pub n_estimators: usize,
+    /// Shrinkage applied to each tree's contribution.
+    pub learning_rate: f64,
+    /// Per-tree limits.
+    pub tree: TreeConfig,
+    /// Row subsampling fraction per round (stochastic gradient boosting).
+    pub subsample: f64,
+    /// RNG seed for subsampling.
+    pub seed: u64,
+    /// Histogram bins for split finding; `None` = exact (per-node sorted)
+    /// splits, which are slower on large training sets.
+    pub bins: Option<usize>,
+}
+
+impl Default for GbmConfig {
+    fn default() -> Self {
+        GbmConfig {
+            n_estimators: 100,
+            learning_rate: 0.1,
+            tree: TreeConfig::default(),
+            subsample: 1.0,
+            seed: 0,
+            bins: Some(64),
+        }
+    }
+}
+
+/// A fitted gradient-boosting ensemble for regression.
+#[derive(Debug, Clone)]
+pub struct GbmRegressor {
+    base: f64,
+    trees: Vec<RegressionTree>,
+    learning_rate: f64,
+    num_features: usize,
+}
+
+impl GbmRegressor {
+    /// Fits on row-major `features` (`n × num_features`).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or empty input.
+    pub fn fit(features: &[f64], targets: &[f64], num_features: usize, config: GbmConfig) -> Self {
+        let n = targets.len();
+        assert!(n > 0, "empty training set");
+        assert_eq!(features.len(), n * num_features, "feature matrix shape");
+        let base = targets.iter().sum::<f64>() / n as f64;
+        let mut pred = vec![base; n];
+        let mut trees = Vec::with_capacity(config.n_estimators);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut indices: Vec<usize> = (0..n).collect();
+        let sub_n = ((n as f64 * config.subsample).round() as usize).clamp(1, n);
+        let binned = config.bins.map(|b| BinnedFeatures::build(features, n, num_features, b));
+        for _ in 0..config.n_estimators {
+            // Negative gradient of squared loss = residual.
+            let residuals: Vec<f64> =
+                targets.iter().zip(&pred).map(|(t, p)| t - p).collect();
+            let chosen: &[usize] = if sub_n < n {
+                indices.shuffle(&mut rng);
+                &indices[..sub_n]
+            } else {
+                &indices
+            };
+            let tree = match &binned {
+                Some(binned) => RegressionTree::fit_binned(
+                    binned,
+                    &residuals,
+                    chosen.to_vec(),
+                    config.tree,
+                ),
+                None => {
+                    let mut xf = Vec::with_capacity(chosen.len() * num_features);
+                    let mut rf = Vec::with_capacity(chosen.len());
+                    for &i in chosen {
+                        xf.extend_from_slice(
+                            &features[i * num_features..(i + 1) * num_features],
+                        );
+                        rf.push(residuals[i]);
+                    }
+                    RegressionTree::fit(&xf, &rf, num_features, config.tree)
+                }
+            };
+            for (i, p) in pred.iter_mut().enumerate() {
+                *p += config.learning_rate
+                    * tree.predict(&features[i * num_features..(i + 1) * num_features]);
+            }
+            trees.push(tree);
+        }
+        GbmRegressor { base, trees, learning_rate: config.learning_rate, num_features }
+    }
+
+    /// Predicts one sample.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.num_features);
+        self.base
+            + self.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+    }
+
+    /// The fitted trees (for TreeSHAP).
+    pub fn trees(&self) -> &[RegressionTree] {
+        &self.trees
+    }
+
+    /// The constant base prediction.
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    /// Shrinkage factor applied per tree.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// Feature dimensionality.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+}
+
+/// Multi-step strategy for [`GBoost`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiStep {
+    /// One booster per horizon step (no error feedback; the default).
+    Direct,
+    /// A single one-step booster applied recursively — cheaper to fit but
+    /// drifts over long horizons (kept for the ablation bench).
+    Recursive,
+}
+
+/// Forecasting configuration for [`GBoost`].
+#[derive(Debug, Clone)]
+pub struct GBoostConfig {
+    /// Input window length `k`.
+    pub input_len: usize,
+    /// Forecast horizon `h`.
+    pub horizon: usize,
+    /// Boosting hyperparameters.
+    pub gbm: GbmConfig,
+    /// Stride between training windows (controls sample count).
+    pub stride: usize,
+    /// Cap on training windows (most recent kept).
+    pub max_windows: usize,
+    /// Multi-step strategy.
+    pub strategy: MultiStep,
+}
+
+impl Default for GBoostConfig {
+    fn default() -> Self {
+        GBoostConfig {
+            input_len: 96,
+            horizon: 24,
+            gbm: GbmConfig { n_estimators: 80, subsample: 0.8, ..Default::default() },
+            stride: 2,
+            max_windows: 4000,
+            strategy: MultiStep::Direct,
+        }
+    }
+}
+
+/// The GBoost forecaster: boosters on lag features, multi-step via the
+/// configured [`MultiStep`] strategy.
+#[derive(Debug, Clone)]
+pub struct GBoost {
+    config: GBoostConfig,
+    /// One booster per horizon step (Direct) or a single one (Recursive).
+    models: Vec<GbmRegressor>,
+    scaler: Option<StandardScaler>,
+}
+
+impl GBoost {
+    /// Creates an unfitted model.
+    pub fn new(config: GBoostConfig) -> Self {
+        GBoost { config, models: Vec::new(), scaler: None }
+    }
+}
+
+impl Forecaster for GBoost {
+    fn name(&self) -> &'static str {
+        "GBoost"
+    }
+
+    fn input_len(&self) -> usize {
+        self.config.input_len
+    }
+
+    fn horizon(&self) -> usize {
+        self.config.horizon
+    }
+
+    fn fit(&mut self, train: &MultiSeries, _val: &MultiSeries) -> Result<(), ForecastError> {
+        let raw = train.target().values();
+        let k = self.config.input_len;
+        let h = self.config.horizon;
+        if raw.len() < k + h + 10 {
+            return Err(ForecastError::TooShort { needed: k + h + 10, got: raw.len() });
+        }
+        let scaler = StandardScaler::fit_single(raw);
+        let y = scaler.transform(0, raw);
+        // Lag-feature windows, sliding with stride; the targets cover the
+        // full horizon so both strategies share the feature matrix.
+        let mut starts: Vec<usize> = (0..y.len() - k - (h - 1)).step_by(self.config.stride).collect();
+        if starts.len() > self.config.max_windows {
+            starts = starts[starts.len() - self.config.max_windows..].to_vec();
+        }
+        let mut features = Vec::with_capacity(starts.len() * k);
+        for &s in &starts {
+            features.extend_from_slice(&y[s..s + k]);
+        }
+        self.models = match self.config.strategy {
+            MultiStep::Recursive => {
+                let targets: Vec<f64> = starts.iter().map(|&s| y[s + k]).collect();
+                vec![GbmRegressor::fit(&features, &targets, k, self.config.gbm)]
+            }
+            MultiStep::Direct => (0..h)
+                .map(|step| {
+                    let targets: Vec<f64> =
+                        starts.iter().map(|&s| y[s + k + step]).collect();
+                    let cfg = GbmConfig {
+                        seed: self.config.gbm.seed.wrapping_add(step as u64),
+                        ..self.config.gbm
+                    };
+                    GbmRegressor::fit(&features, &targets, k, cfg)
+                })
+                .collect(),
+        };
+        self.scaler = Some(scaler);
+        Ok(())
+    }
+
+    fn predict(&self, inputs: &[Vec<f64>]) -> Result<Vec<f64>, ForecastError> {
+        if self.models.is_empty() {
+            return Err(ForecastError::NotFitted);
+        }
+        let scaler = self.scaler.as_ref().ok_or(ForecastError::NotFitted)?;
+        validate_window(inputs, self.config.input_len)?;
+        let window = scaler.transform(0, &inputs[0]);
+        let out = match self.config.strategy {
+            MultiStep::Direct => {
+                self.models.iter().map(|m| m.predict(&window)).collect::<Vec<f64>>()
+            }
+            MultiStep::Recursive => {
+                let model = &self.models[0];
+                let mut window = window;
+                let mut out = Vec::with_capacity(self.config.horizon);
+                for _ in 0..self.config.horizon {
+                    let next = model.predict(&window);
+                    out.push(next);
+                    window.rotate_left(1);
+                    let last = window.len() - 1;
+                    window[last] = next;
+                }
+                out
+            }
+        };
+        Ok(scaler.inverse(0, &out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdata::series::RegularTimeSeries;
+
+    fn uni(values: Vec<f64>) -> MultiSeries {
+        MultiSeries::univariate("y", RegularTimeSeries::new(0, 900, values).unwrap())
+    }
+
+    #[test]
+    fn gbm_fits_nonlinear_function() {
+        // y = x0^2 + step(x1)
+        let n = 400;
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..n {
+            let x0 = (i % 20) as f64 / 10.0 - 1.0;
+            let x1 = ((i * 7) % 13) as f64 - 6.0;
+            features.extend_from_slice(&[x0, x1]);
+            targets.push(x0 * x0 + if x1 > 0.0 { 2.0 } else { 0.0 });
+        }
+        let gbm = GbmRegressor::fit(
+            &features,
+            &targets,
+            2,
+            GbmConfig { n_estimators: 120, ..Default::default() },
+        );
+        let mut sse = 0.0;
+        for i in 0..n {
+            let p = gbm.predict(&features[2 * i..2 * i + 2]);
+            sse += (p - targets[i]) * (p - targets[i]);
+        }
+        let mse = sse / n as f64;
+        assert!(mse < 0.05, "mse {mse}");
+    }
+
+    #[test]
+    fn gbm_more_trees_fit_better() {
+        let n = 300;
+        let features: Vec<f64> = (0..n).map(|i| i as f64 / 30.0).collect();
+        let targets: Vec<f64> = features.iter().map(|x| (x * 2.0).sin()).collect();
+        let mse = |rounds: usize| {
+            let gbm = GbmRegressor::fit(
+                &features,
+                &targets,
+                1,
+                GbmConfig { n_estimators: rounds, ..Default::default() },
+            );
+            (0..n)
+                .map(|i| {
+                    let p = gbm.predict(&features[i..i + 1]);
+                    (p - targets[i]) * (p - targets[i])
+                })
+                .sum::<f64>()
+                / n as f64
+        };
+        assert!(mse(100) < mse(5));
+    }
+
+    #[test]
+    fn gbm_base_is_mean_with_zero_trees() {
+        let gbm = GbmRegressor::fit(
+            &[1.0, 2.0, 3.0],
+            &[10.0, 20.0, 30.0],
+            1,
+            GbmConfig { n_estimators: 0, ..Default::default() },
+        );
+        assert_eq!(gbm.predict(&[2.0]), 20.0);
+        assert!(gbm.trees().is_empty());
+    }
+
+    #[test]
+    fn subsampling_is_deterministic_per_seed() {
+        let n = 200;
+        let features: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let targets: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let fit = |seed| {
+            GbmRegressor::fit(
+                &features,
+                &targets,
+                1,
+                GbmConfig { n_estimators: 10, subsample: 0.5, seed, ..Default::default() },
+            )
+            .predict(&[0.3])
+        };
+        assert_eq!(fit(1), fit(1));
+        assert_ne!(fit(1), fit(2));
+    }
+
+    #[test]
+    fn forecaster_learns_seasonal_pattern() {
+        let n = 2000;
+        let data: Vec<f64> = (0..n)
+            .map(|i| 10.0 + 3.0 * (i as f64 / 24.0 * std::f64::consts::TAU).sin())
+            .collect();
+        let (train, test) = data.split_at(1600);
+        let mut model = GBoost::new(GBoostConfig {
+            input_len: 48,
+            horizon: 12,
+            ..Default::default()
+        });
+        model.fit(&uni(train.to_vec()), &uni(test.to_vec())).unwrap();
+        let window = test[..48].to_vec();
+        let actual = &test[48..60];
+        let pred = model.predict(&[window]).unwrap();
+        let rmse = tsdata::metrics::rmse(actual, &pred);
+        assert!(rmse < 1.0, "rmse {rmse}");
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let m = GBoost::new(GBoostConfig::default());
+        assert_eq!(m.predict(&[vec![0.0; 96]]).unwrap_err(), ForecastError::NotFitted);
+    }
+
+    #[test]
+    fn window_length_validated() {
+        let data: Vec<f64> = (0..800).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut m = GBoost::new(GBoostConfig { input_len: 48, horizon: 8, ..Default::default() });
+        m.fit(&uni(data.clone()), &uni(data)).unwrap();
+        assert!(matches!(
+            m.predict(&[vec![0.0; 3]]).unwrap_err(),
+            ForecastError::BadWindow { .. }
+        ));
+    }
+}

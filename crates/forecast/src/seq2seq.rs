@@ -1,0 +1,403 @@
+//! Shared encoder-decoder sequence model underlying the Transformer and
+//! Informer forecasters.
+//!
+//! Architecture (per sample; batching loops outside the attention):
+//!
+//! * scalar embedding `Dense(1 → d_model)` + sinusoidal positional encoding;
+//! * `enc_layers` × (self-attention → add&norm → FFN → add&norm), where the
+//!   self-attention is full for Transformer and ProbSparse for Informer;
+//! * a *generative* decoder (Informer §4.2, also used for the vanilla
+//!   Transformer here): the decoder input is the last `label_len` observed
+//!   values concatenated with zero placeholders for the horizon, processed
+//!   in ONE forward pass — causal self-attention, cross-attention to the
+//!   encoder output, FFN — then projected to scalars; the horizon tail is
+//!   the forecast.
+//!
+//! Omitted vs. the full Informer: the convolutional distilling stage
+//! between encoder layers (a constant-factor memory optimization that does
+//! not change which queries attend), documented in DESIGN.md.
+
+use neural::attention::{positional_encoding, AttentionKind, MultiHeadAttention};
+use neural::graph::{Graph, NodeId, ParamStore};
+use neural::layers::{Activation, Dense, Dropout, LayerNorm};
+use neural::tensor::Tensor;
+use neural::train::{train, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tsdata::scaler::StandardScaler;
+use tsdata::series::MultiSeries;
+
+use crate::deep::{make_batches, prepare, Batch, BatchSpec};
+use crate::model::{validate_window, ForecastError, Forecaster};
+
+/// Configuration shared by Transformer and Informer.
+#[derive(Debug, Clone)]
+pub struct Seq2SeqConfig {
+    /// Input window length `k`.
+    pub input_len: usize,
+    /// Forecast horizon `h`.
+    pub horizon: usize,
+    /// Decoder warm-start ("label") length.
+    pub label_len: usize,
+    /// Model width.
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Encoder layers.
+    pub enc_layers: usize,
+    /// Decoder layers.
+    pub dec_layers: usize,
+    /// Feed-forward hidden width.
+    pub ffn: usize,
+    /// Dropout probability.
+    pub dropout: f64,
+    /// Encoder self-attention kind (full ⇒ Transformer, sparse ⇒ Informer).
+    pub encoder_attention: AttentionKind,
+    /// Batching limits.
+    pub batches: BatchSpec,
+    /// Training loop settings.
+    pub train: TrainConfig,
+}
+
+impl Seq2SeqConfig {
+    /// Vanilla Transformer preset.
+    pub fn transformer() -> Self {
+        Seq2SeqConfig {
+            input_len: 96,
+            horizon: 24,
+            label_len: 24,
+            d_model: 16,
+            heads: 2,
+            enc_layers: 1,
+            dec_layers: 1,
+            ffn: 32,
+            dropout: 0.05,
+            encoder_attention: AttentionKind::Full,
+            batches: BatchSpec { stride: 8, batch_size: 8, max_windows: 400 },
+            train: TrainConfig { max_epochs: 15, ..Default::default() },
+        }
+    }
+
+    /// Informer preset: ProbSparse encoder self-attention (factor 5).
+    pub fn informer() -> Self {
+        Seq2SeqConfig {
+            encoder_attention: AttentionKind::ProbSparse { factor: 5 },
+            ..Self::transformer()
+        }
+    }
+}
+
+struct EncoderLayer {
+    attn: MultiHeadAttention,
+    ln1: LayerNorm,
+    ln2: LayerNorm,
+    ff1: Dense,
+    ff2: Dense,
+}
+
+struct DecoderLayer {
+    self_attn: MultiHeadAttention,
+    cross_attn: MultiHeadAttention,
+    ln1: LayerNorm,
+    ln2: LayerNorm,
+    ln3: LayerNorm,
+    ff1: Dense,
+    ff2: Dense,
+}
+
+struct Net {
+    embed: Dense,
+    dec_embed: Dense,
+    encoder: Vec<EncoderLayer>,
+    decoder: Vec<DecoderLayer>,
+    proj: Dense,
+}
+
+fn ffn_block(
+    g: &mut Graph,
+    store: &ParamStore,
+    ff1: &Dense,
+    ff2: &Dense,
+    x: NodeId,
+    dropout: &Dropout,
+    training: bool,
+    rng: &mut StdRng,
+) -> NodeId {
+    let h = ff1.forward(g, store, x);
+    let h = dropout.forward(g, h, training, rng);
+    ff2.forward(g, store, h)
+}
+
+/// The generic encoder-decoder forecaster. Instantiated as
+/// [`crate::transformer::Transformer`] and [`crate::informer::Informer`].
+pub struct Seq2Seq {
+    name: &'static str,
+    config: Seq2SeqConfig,
+    store: ParamStore,
+    net: Option<Net>,
+    scaler: Option<StandardScaler>,
+}
+
+impl Seq2Seq {
+    /// Creates an unfitted model with the given display name.
+    pub fn new(name: &'static str, config: Seq2SeqConfig) -> Self {
+        assert!(config.label_len <= config.input_len, "label_len exceeds input_len");
+        Seq2Seq { name, config, store: ParamStore::new(), net: None, scaler: None }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &Seq2SeqConfig {
+        &self.config
+    }
+
+    fn build_net(&self, store: &mut ParamStore, rng: &mut StdRng) -> Net {
+        let c = &self.config;
+        let embed = Dense::new(store, "embed", 1, c.d_model, Activation::Identity, rng);
+        let dec_embed =
+            Dense::new(store, "dec_embed", 1, c.d_model, Activation::Identity, rng);
+        let encoder = (0..c.enc_layers)
+            .map(|l| EncoderLayer {
+                attn: MultiHeadAttention::new(store, &format!("enc{l}.attn"), c.d_model, c.heads, rng),
+                ln1: LayerNorm::new(store, &format!("enc{l}.ln1"), c.d_model),
+                ln2: LayerNorm::new(store, &format!("enc{l}.ln2"), c.d_model),
+                ff1: Dense::new(store, &format!("enc{l}.ff1"), c.d_model, c.ffn, Activation::Relu, rng),
+                ff2: Dense::new(store, &format!("enc{l}.ff2"), c.ffn, c.d_model, Activation::Identity, rng),
+            })
+            .collect();
+        let decoder = (0..c.dec_layers)
+            .map(|l| DecoderLayer {
+                self_attn: MultiHeadAttention::new(store, &format!("dec{l}.self"), c.d_model, c.heads, rng),
+                cross_attn: MultiHeadAttention::new(store, &format!("dec{l}.cross"), c.d_model, c.heads, rng),
+                ln1: LayerNorm::new(store, &format!("dec{l}.ln1"), c.d_model),
+                ln2: LayerNorm::new(store, &format!("dec{l}.ln2"), c.d_model),
+                ln3: LayerNorm::new(store, &format!("dec{l}.ln3"), c.d_model),
+                ff1: Dense::new(store, &format!("dec{l}.ff1"), c.d_model, c.ffn, Activation::Relu, rng),
+                ff2: Dense::new(store, &format!("dec{l}.ff2"), c.ffn, c.d_model, Activation::Identity, rng),
+            })
+            .collect();
+        let proj = Dense::new(store, "proj", c.d_model, 1, Activation::Identity, rng);
+        Net { embed, dec_embed, encoder, decoder, proj }
+    }
+
+    /// Forward pass for ONE sample window (scaled); returns `[1, horizon]`.
+    fn forward_sample(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        net: &Net,
+        window: &[f64],
+        training: bool,
+        rng: &mut StdRng,
+    ) -> NodeId {
+        let c = &self.config;
+        let dropout = Dropout::new(c.dropout);
+        // --- Encoder ---
+        let x_col = g.input(Tensor::col(window));
+        let mut enc = net.embed.forward(g, store, x_col); // [k, d]
+        let pe = g.input(positional_encoding(window.len(), c.d_model));
+        enc = g.add(enc, pe);
+        for layer in &net.encoder {
+            let attn = layer.attn.forward(g, store, enc, enc, enc, c.encoder_attention, false);
+            let attn = dropout.forward(g, attn, training, rng);
+            let sum = g.add(enc, attn);
+            let normed = layer.ln1.forward(g, store, sum);
+            let ff = ffn_block(g, store, &layer.ff1, &layer.ff2, normed, &dropout, training, rng);
+            let sum2 = g.add(normed, ff);
+            enc = layer.ln2.forward(g, store, sum2);
+        }
+        // --- Decoder (generative one-pass) ---
+        let mut dec_in: Vec<f64> = window[window.len() - c.label_len..].to_vec();
+        dec_in.extend(std::iter::repeat_n(0.0, c.horizon));
+        let d_col = g.input(Tensor::col(&dec_in));
+        let mut dec = net.dec_embed.forward(g, store, d_col);
+        let pe_d = g.input(positional_encoding(dec_in.len(), c.d_model));
+        dec = g.add(dec, pe_d);
+        for layer in &net.decoder {
+            let sa = layer.self_attn.forward(g, store, dec, dec, dec, AttentionKind::Full, true);
+            let sa = dropout.forward(g, sa, training, rng);
+            let sum = g.add(dec, sa);
+            let normed = layer.ln1.forward(g, store, sum);
+            let ca =
+                layer.cross_attn.forward(g, store, normed, enc, enc, AttentionKind::Full, false);
+            let ca = dropout.forward(g, ca, training, rng);
+            let sum2 = g.add(normed, ca);
+            let normed2 = layer.ln2.forward(g, store, sum2);
+            let ff =
+                ffn_block(g, store, &layer.ff1, &layer.ff2, normed2, &dropout, training, rng);
+            let sum3 = g.add(normed2, ff);
+            dec = layer.ln3.forward(g, store, sum3);
+        }
+        let scalars = net.proj.forward(g, store, dec); // [label+h, 1]
+        let tail = g.slice_rows(scalars, c.label_len, c.label_len + c.horizon);
+        g.transpose(tail) // [1, h]
+    }
+
+    /// Batch forward: stacks per-sample predictions into `[n, horizon]`.
+    fn forward_batch(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        net: &Net,
+        batch: &Batch,
+        training: bool,
+        rng: &mut StdRng,
+    ) -> NodeId {
+        let (n, k) = batch.x.shape();
+        let mut preds: Option<NodeId> = None;
+        for r in 0..n {
+            let window: Vec<f64> = (0..k).map(|c| batch.x.get(r, c)).collect();
+            let p = self.forward_sample(g, store, net, &window, training, rng);
+            preds = Some(match preds {
+                None => p,
+                Some(acc) => g.vstack(acc, p),
+            });
+        }
+        preds.expect("non-empty batch")
+    }
+}
+
+impl Forecaster for Seq2Seq {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn input_len(&self) -> usize {
+        self.config.input_len
+    }
+
+    fn horizon(&self) -> usize {
+        self.config.horizon
+    }
+
+    fn fit(&mut self, train_data: &MultiSeries, val: &MultiSeries) -> Result<(), ForecastError> {
+        let scaler = prepare(train_data, self.config.input_len, self.config.horizon)?;
+        let train_b = make_batches(
+            train_data,
+            &scaler,
+            self.config.input_len,
+            self.config.horizon,
+            self.config.batches,
+        );
+        if train_b.is_empty() {
+            return Err(ForecastError::TooShort {
+                needed: self.config.input_len + self.config.horizon,
+                got: train_data.len(),
+            });
+        }
+        let val_b = make_batches(
+            val,
+            &scaler,
+            self.config.input_len,
+            self.config.horizon,
+            self.config.batches,
+        );
+        let mut rng = StdRng::seed_from_u64(self.config.train.seed);
+        let mut store = ParamStore::new();
+        let net = self.build_net(&mut store, &mut rng);
+
+        let this = &*self;
+        train(
+            &mut store,
+            this.config.train,
+            train_b.len(),
+            val_b.len(),
+            |g, s, b, training, rng| {
+                let batch = if training { &train_b[b] } else { &val_b[b] };
+                let pred = this.forward_batch(g, s, &net, batch, training, rng);
+                g.mse(pred, &batch.y)
+            },
+        );
+
+        self.store = store;
+        self.net = Some(net);
+        self.scaler = Some(scaler);
+        Ok(())
+    }
+
+    fn predict(&self, inputs: &[Vec<f64>]) -> Result<Vec<f64>, ForecastError> {
+        let (Some(net), Some(scaler)) = (&self.net, &self.scaler) else {
+            return Err(ForecastError::NotFitted);
+        };
+        validate_window(inputs, self.config.input_len)?;
+        let x = scaler.transform(0, &inputs[0]);
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let pred = self.forward_sample(&mut g, &self.store, net, &x, false, &mut rng);
+        Ok(scaler.inverse(0, g.value(pred).data()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdata::series::RegularTimeSeries;
+
+    fn uni(values: Vec<f64>) -> MultiSeries {
+        MultiSeries::univariate("y", RegularTimeSeries::new(0, 900, values).unwrap())
+    }
+
+    fn tiny_config() -> Seq2SeqConfig {
+        Seq2SeqConfig {
+            input_len: 16,
+            horizon: 4,
+            label_len: 8,
+            d_model: 8,
+            heads: 2,
+            enc_layers: 1,
+            dec_layers: 1,
+            ffn: 16,
+            dropout: 0.0,
+            encoder_attention: AttentionKind::Full,
+            batches: BatchSpec { stride: 4, batch_size: 8, max_windows: 120 },
+            train: TrainConfig { max_epochs: 20, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn transformer_learns_seasonal_series() {
+        let n = 700;
+        let data: Vec<f64> =
+            (0..n).map(|i| (i as f64 / 8.0 * std::f64::consts::TAU).sin()).collect();
+        let (tr, rest) = data.split_at(500);
+        let (va, te) = rest.split_at(100);
+        let mut model = Seq2Seq::new("Transformer", tiny_config());
+        model.fit(&uni(tr.to_vec()), &uni(va.to_vec())).unwrap();
+        let pred = model.predict(&[te[..16].to_vec()]).unwrap();
+        let rmse = tsdata::metrics::rmse(&te[16..20], &pred);
+        assert!(rmse < 0.6, "rmse {rmse}");
+    }
+
+    #[test]
+    fn informer_variant_runs() {
+        let n = 500;
+        let data: Vec<f64> =
+            (0..n).map(|i| (i as f64 / 10.0 * std::f64::consts::TAU).cos() * 2.0).collect();
+        let (tr, rest) = data.split_at(350);
+        let (va, te) = rest.split_at(75);
+        let mut model = Seq2Seq::new(
+            "Informer",
+            Seq2SeqConfig {
+                encoder_attention: AttentionKind::ProbSparse { factor: 1 },
+                train: TrainConfig { max_epochs: 5, ..Default::default() },
+                ..tiny_config()
+            },
+        );
+        model.fit(&uni(tr.to_vec()), &uni(va.to_vec())).unwrap();
+        let pred = model.predict(&[te[..16].to_vec()]).unwrap();
+        assert_eq!(pred.len(), 4);
+        assert!(pred.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let m = Seq2Seq::new("Transformer", tiny_config());
+        assert_eq!(m.predict(&[vec![0.0; 16]]).unwrap_err(), ForecastError::NotFitted);
+    }
+
+    #[test]
+    #[should_panic(expected = "label_len")]
+    fn label_longer_than_input_rejected() {
+        Seq2Seq::new("x", Seq2SeqConfig { label_len: 99, ..tiny_config() });
+    }
+}

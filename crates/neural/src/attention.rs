@@ -1,0 +1,306 @@
+//! Scaled dot-product attention, multi-head attention, and Informer's
+//! ProbSparse variant.
+//!
+//! Attention operates per sample: inputs are `[seq, d_model]` matrices, and
+//! the layer code loops over the batch (batches are small in this workload,
+//! and per-sample graphs keep the 2-D tensor substrate simple).
+
+use rand::rngs::StdRng;
+
+use crate::graph::{Graph, NodeId, ParamId, ParamStore};
+use crate::layers::glorot;
+use crate::tensor::Tensor;
+
+/// Multi-head attention with optional ProbSparse query selection.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    wq: ParamId,
+    wk: ParamId,
+    wv: ParamId,
+    wo: ParamId,
+    heads: usize,
+    d_model: usize,
+    d_head: usize,
+}
+
+/// Which attention to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttentionKind {
+    /// Full softmax attention (Transformer).
+    Full,
+    /// Informer's ProbSparse self-attention: only the `ceil(c·ln L)` most
+    /// informative queries attend; the rest fall back to uniform attention
+    /// over values (≈ the running mean of V the Informer paper uses).
+    ProbSparse {
+        /// Sampling factor `c` (Informer default 5).
+        factor: usize,
+    },
+}
+
+impl MultiHeadAttention {
+    /// Registers projection weights. `d_model` must be divisible by
+    /// `heads`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        d_model: usize,
+        heads: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(heads > 0 && d_model % heads == 0, "d_model {d_model} not divisible by {heads}");
+        let wq = store.add(&format!("{name}.wq"), glorot(d_model, d_model, rng));
+        let wk = store.add(&format!("{name}.wk"), glorot(d_model, d_model, rng));
+        let wv = store.add(&format!("{name}.wv"), glorot(d_model, d_model, rng));
+        let wo = store.add(&format!("{name}.wo"), glorot(d_model, d_model, rng));
+        MultiHeadAttention { wq, wk, wv, wo, heads, d_model, d_head: d_model / heads }
+    }
+
+    /// Model width.
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+
+    /// Applies attention for one sample.
+    ///
+    /// `q_in: [Lq, d_model]`, `k_in`/`v_in`: `[Lk, d_model]`.
+    /// `causal` masks future key positions (decoder self-attention).
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        q_in: NodeId,
+        k_in: NodeId,
+        v_in: NodeId,
+        kind: AttentionKind,
+        causal: bool,
+    ) -> NodeId {
+        let lq = g.value(q_in).rows();
+        let lk = g.value(k_in).rows();
+        let wq = g.param(store, self.wq);
+        let wk = g.param(store, self.wk);
+        let wv = g.param(store, self.wv);
+        let q = g.matmul(q_in, wq);
+        let k = g.matmul(k_in, wk);
+        let v = g.matmul(v_in, wv);
+
+        let mut heads_out: Option<NodeId> = None;
+        for h in 0..self.heads {
+            let (s, e) = (h * self.d_head, (h + 1) * self.d_head);
+            let qh = g.slice_cols(q, s, e);
+            let kh = g.slice_cols(k, s, e);
+            let vh = g.slice_cols(v, s, e);
+            let kt = g.transpose(kh);
+            let scores = g.matmul(qh, kt);
+            let mut scores = g.scale(scores, 1.0 / (self.d_head as f64).sqrt());
+
+            // ProbSparse: zero the score rows of "lazy" queries so their
+            // softmax is uniform (mean over V), matching Informer's
+            // fallback for unselected queries.
+            if let AttentionKind::ProbSparse { factor } = kind {
+                let u = ((factor as f64) * (lk.max(2) as f64).ln()).ceil() as usize;
+                if u < lq {
+                    let mask = sparse_query_mask(g.value(scores), u);
+                    let mask_node = g.input(mask);
+                    scores = g.mul(scores, mask_node);
+                }
+            }
+            if causal {
+                let mut m = Tensor::zeros(lq, lk);
+                // Queries may be shorter than keys (decoder attending to
+                // label + horizon): align the causal frontier to the right.
+                let offset = lk - lq.min(lk);
+                for r in 0..lq {
+                    for c in 0..lk {
+                        if c > r + offset {
+                            m.set(r, c, -1e9);
+                        }
+                    }
+                }
+                let mask_node = g.input(m);
+                scores = g.add(scores, mask_node);
+            }
+            let attn = g.softmax_rows(scores);
+            let out = g.matmul(attn, vh);
+            heads_out = Some(match heads_out {
+                None => out,
+                Some(prev) => g.hstack(prev, out),
+            });
+        }
+        let concat = heads_out.expect("at least one head");
+        let wo = g.param(store, self.wo);
+        g.matmul(concat, wo)
+    }
+}
+
+/// Builds a 0/1 mask keeping the `u` query rows with the largest sparsity
+/// measure `M(q) = max_j s_qj − mean_j s_qj` (Informer Eq. 4).
+fn sparse_query_mask(scores: &Tensor, u: usize) -> Tensor {
+    let (lq, lk) = scores.shape();
+    let mut measures: Vec<(usize, f64)> = (0..lq)
+        .map(|r| {
+            let row: Vec<f64> = (0..lk).map(|c| scores.get(r, c)).collect();
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mean = row.iter().sum::<f64>() / lk as f64;
+            (r, max - mean)
+        })
+        .collect();
+    measures.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+    let mut mask = Tensor::zeros(lq, lk);
+    for &(r, _) in measures.iter().take(u) {
+        for c in 0..lk {
+            mask.set(r, c, 1.0);
+        }
+    }
+    mask
+}
+
+/// Sinusoidal positional encoding `[len, d_model]` (Vaswani et al. 2017).
+pub fn positional_encoding(len: usize, d_model: usize) -> Tensor {
+    let mut pe = Tensor::zeros(len, d_model);
+    for pos in 0..len {
+        for i in 0..d_model {
+            let angle = pos as f64 / 10_000f64.powf((2 * (i / 2)) as f64 / d_model as f64);
+            pe.set(pos, i, if i % 2 == 0 { angle.sin() } else { angle.cos() });
+        }
+    }
+    pe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn output_shape_matches_query_length() {
+        let mut store = ParamStore::new();
+        let mha = MultiHeadAttention::new(&mut store, "attn", 8, 2, &mut rng());
+        let mut g = Graph::new();
+        let q = g.input(Tensor::zeros(5, 8));
+        let kv = g.input(Tensor::zeros(12, 8));
+        let out = mha.forward(&mut g, &store, q, kv, kv, AttentionKind::Full, false);
+        assert_eq!(g.value(out).shape(), (5, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_heads_panic() {
+        let mut store = ParamStore::new();
+        MultiHeadAttention::new(&mut store, "attn", 7, 2, &mut rng());
+    }
+
+    #[test]
+    fn attention_rows_sum_to_one_effect() {
+        // With identical value rows, any softmax weighting returns that row:
+        // a direct consequence of rows summing to 1.
+        let mut store = ParamStore::new();
+        let mha = MultiHeadAttention::new(&mut store, "attn", 4, 1, &mut rng());
+        let mut g = Graph::new();
+        let q = g.input(Tensor::new(3, 4, vec![0.5; 12]));
+        let kv_data: Vec<f64> = (0..6).flat_map(|_| vec![1.0, -1.0, 2.0, 0.0]).collect();
+        let kv = g.input(Tensor::new(6, 4, kv_data));
+        let out = mha.forward(&mut g, &store, q, kv, kv, AttentionKind::Full, false);
+        // All value rows are equal, so out rows must be equal too.
+        let v = g.value(out);
+        for r in 1..3 {
+            for c in 0..4 {
+                assert!((v.get(r, c) - v.get(0, c)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        // With a causal mask, changing a *future* key/value row must not
+        // change earlier outputs.
+        let mut store = ParamStore::new();
+        let mha = MultiHeadAttention::new(&mut store, "attn", 4, 1, &mut rng());
+        let base: Vec<f64> = (0..16).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut altered = base.clone();
+        for v in altered[12..16].iter_mut() {
+            *v += 5.0; // perturb the last key/value row
+        }
+        let run = |data: Vec<f64>| {
+            let mut g = Graph::new();
+            let x = g.input(Tensor::new(4, 4, data));
+            let out = mha.forward(&mut g, &store, x, x, x, AttentionKind::Full, true);
+            g.value(out).slice_rows(0, 3).clone()
+        };
+        let a = run(base);
+        let b = run(altered);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-9, "causal leak: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn probsparse_differs_from_full_on_long_sequences() {
+        let mut store = ParamStore::new();
+        let mha = MultiHeadAttention::new(&mut store, "attn", 4, 1, &mut rng());
+        let data: Vec<f64> = (0..128).map(|i| ((i * 31 % 17) as f64 - 8.0) / 8.0).collect();
+        let mut g = Graph::new();
+        let x = g.input(Tensor::new(32, 4, data));
+        let full = mha.forward(&mut g, &store, x, x, x, AttentionKind::Full, false);
+        let sparse = mha.forward(
+            &mut g,
+            &store,
+            x,
+            x,
+            x,
+            AttentionKind::ProbSparse { factor: 1 },
+            false,
+        );
+        assert_eq!(g.value(full).shape(), g.value(sparse).shape());
+        let diff: f64 = g
+            .value(full)
+            .data()
+            .iter()
+            .zip(g.value(sparse).data())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-6, "ProbSparse should deviate from full attention");
+    }
+
+    #[test]
+    fn sparse_mask_keeps_top_u_rows() {
+        let scores = Tensor::new(3, 3, vec![5.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.0, 0.0, 9.0]);
+        let mask = sparse_query_mask(&scores, 2);
+        // Rows 0 and 2 have high max-mean; row 1 is uniform (measure 0).
+        assert_eq!(mask.get(0, 0), 1.0);
+        assert_eq!(mask.get(1, 0), 0.0);
+        assert_eq!(mask.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn positional_encoding_properties() {
+        let pe = positional_encoding(16, 8);
+        assert_eq!(pe.shape(), (16, 8));
+        // First position: sin(0)=0, cos(0)=1 alternating.
+        assert_eq!(pe.get(0, 0), 0.0);
+        assert_eq!(pe.get(0, 1), 1.0);
+        assert!(pe.data().iter().all(|v| v.abs() <= 1.0));
+        // Distinct positions get distinct encodings.
+        assert_ne!(pe.slice_rows(1, 2).data(), pe.slice_rows(2, 3).data());
+    }
+
+    #[test]
+    fn attention_is_differentiable() {
+        // End-to-end: gradients flow into all four projections.
+        let mut store = ParamStore::new();
+        let mha = MultiHeadAttention::new(&mut store, "attn", 4, 2, &mut rng());
+        store.zero_grads();
+        let mut g = Graph::new();
+        let x = g.input(Tensor::new(3, 4, (0..12).map(|i| i as f64 * 0.1).collect()));
+        let out = mha.forward(&mut g, &store, x, x, x, AttentionKind::Full, false);
+        let target = Tensor::zeros(3, 4);
+        let loss = g.mse(out, &target);
+        g.backward(loss, &mut store);
+        for id in store.ids() {
+            assert!(store.grad(id).norm() > 0.0, "no grad for {}", store.name(id));
+        }
+    }
+}

@@ -1,0 +1,797 @@
+//! Reverse-mode automatic differentiation on a flat tape.
+//!
+//! A [`Graph`] is built per forward pass: every operation appends a node
+//! holding its computed value and the op descriptor. [`Graph::backward`]
+//! walks the tape in reverse, propagating adjoints, and accumulates
+//! parameter gradients into the shared [`ParamStore`]. This
+//! define-by-run design matches how the forecasting models (GRU, NBeats,
+//! Transformer, Informer, DLinear) construct different graphs per batch.
+
+use crate::tensor::Tensor;
+
+/// Identifier of a parameter in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub usize);
+
+/// Identifier of a node in a [`Graph`] tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+/// Holds model parameters and their accumulated gradients.
+#[derive(Debug, Default, Clone)]
+pub struct ParamStore {
+    values: Vec<Tensor>,
+    grads: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter, returning its id.
+    pub fn add(&mut self, name: &str, value: Tensor) -> ParamId {
+        let (r, c) = value.shape();
+        self.values.push(value);
+        self.grads.push(Tensor::zeros(r, c));
+        self.names.push(name.to_string());
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Number of parameters (tensors).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// Parameter value.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Mutable parameter value (used by optimizers).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    /// Accumulated gradient.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Parameter name.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// All parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.values.len()).map(ParamId)
+    }
+
+    /// Zeroes all gradients (call before each backward pass).
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.data_mut().fill(0.0);
+        }
+    }
+
+    /// Global L2 norm of all gradients (for clipping).
+    pub fn grad_norm(&self) -> f64 {
+        self.grads.iter().map(|g| g.data().iter().map(|v| v * v).sum::<f64>()).sum::<f64>().sqrt()
+    }
+
+    /// Scales all gradients (for clipping).
+    pub fn scale_grads(&mut self, k: f64) {
+        for g in &mut self.grads {
+            g.scale_assign(k);
+        }
+    }
+
+    fn accumulate(&mut self, id: ParamId, grad: &Tensor) {
+        self.grads[id.0].add_assign(grad);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Input,
+    Param(ParamId),
+    MatMul(NodeId, NodeId),
+    Add(NodeId, NodeId),
+    /// `a [n,c] + bias [1,c]` broadcast over rows.
+    AddRow(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    Scale(NodeId, f64),
+    /// The constant is applied at construction; backward only routes the
+    /// gradient, so the field is write-only after the forward pass.
+    AddConst(NodeId, #[allow(dead_code)] f64),
+    Tanh(NodeId),
+    Sigmoid(NodeId),
+    Relu(NodeId),
+    /// Row-wise softmax; the node value caches the output.
+    SoftmaxRows(NodeId),
+    Transpose(NodeId),
+    HStack(NodeId, NodeId),
+    VStack(NodeId, NodeId),
+    SliceCols(NodeId, usize, usize),
+    SliceRows(NodeId, usize, usize),
+    /// Mean of all elements, a `1×1` scalar.
+    MeanAll(NodeId),
+    /// Mean squared error against a constant target, a `1×1` scalar.
+    Mse(NodeId, Tensor),
+    /// Inverted dropout with a precomputed 0/`1/keep` mask.
+    Dropout(NodeId, Tensor),
+    /// Row-wise layer normalization with `gamma`/`beta` `[1,c]` params;
+    /// caches `(x_hat, inv_std)` for the backward pass.
+    LayerNorm { x: NodeId, gamma: NodeId, beta: NodeId, x_hat: Tensor, inv_std: Vec<f64> },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// A define-by-run computation tape.
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> NodeId {
+        self.nodes.push(Node { value, op });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// The computed value of a node.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a constant input.
+    pub fn input(&mut self, value: Tensor) -> NodeId {
+        self.push(value, Op::Input)
+    }
+
+    /// Adds a parameter leaf (value copied from the store).
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Elementwise sum (same shape).
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).zip(self.value(b), |x, y| x + y);
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Adds a `[1,c]` bias row to every row of `a`.
+    pub fn add_row(&mut self, a: NodeId, bias: NodeId) -> NodeId {
+        let (n, c) = self.value(a).shape();
+        assert_eq!(self.value(bias).shape(), (1, c), "bias must be 1x{c}");
+        let mut v = self.value(a).clone();
+        for r in 0..n {
+            for j in 0..c {
+                let b = self.value(bias).get(0, j);
+                v.set(r, j, v.get(r, j) + b);
+            }
+        }
+        self.push(v, Op::AddRow(a, bias))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).zip(self.value(b), |x, y| x - y);
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).zip(self.value(b), |x, y| x * y);
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: NodeId, k: f64) -> NodeId {
+        let v = self.value(a).map(|x| x * k);
+        self.push(v, Op::Scale(a, k))
+    }
+
+    /// Adds a scalar constant.
+    pub fn add_const(&mut self, a: NodeId, k: f64) -> NodeId {
+        let v = self.value(a).map(|x| x + k);
+        self.push(v, Op::AddConst(a, k))
+    }
+
+    /// `1 - a`, the gate complement used by GRU.
+    pub fn one_minus(&mut self, a: NodeId) -> NodeId {
+        let neg = self.scale(a, -1.0);
+        self.add_const(neg, 1.0)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(f64::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Row-wise softmax (numerically stabilized).
+    pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
+        let x = self.value(a);
+        let (n, c) = x.shape();
+        let mut v = Tensor::zeros(n, c);
+        for r in 0..n {
+            let row: Vec<f64> = (0..c).map(|j| x.get(r, j)).collect();
+            let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = row.iter().map(|&x| (x - m).exp()).collect();
+            let s: f64 = exps.iter().sum();
+            for j in 0..c {
+                v.set(r, j, exps[j] / s);
+            }
+        }
+        self.push(v, Op::SoftmaxRows(a))
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).transpose();
+        self.push(v, Op::Transpose(a))
+    }
+
+    /// Column concatenation.
+    pub fn hstack(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).hstack(self.value(b));
+        self.push(v, Op::HStack(a, b))
+    }
+
+    /// Row concatenation.
+    pub fn vstack(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).vstack(self.value(b));
+        self.push(v, Op::VStack(a, b))
+    }
+
+    /// Column slice `start..end`.
+    pub fn slice_cols(&mut self, a: NodeId, start: usize, end: usize) -> NodeId {
+        let v = self.value(a).slice_cols(start, end);
+        self.push(v, Op::SliceCols(a, start, end))
+    }
+
+    /// Row slice `start..end`.
+    pub fn slice_rows(&mut self, a: NodeId, start: usize, end: usize) -> NodeId {
+        let v = self.value(a).slice_rows(start, end);
+        self.push(v, Op::SliceRows(a, start, end))
+    }
+
+    /// Mean of all elements (`1×1`).
+    pub fn mean_all(&mut self, a: NodeId) -> NodeId {
+        let x = self.value(a);
+        let v = Tensor::new(1, 1, vec![x.sum() / x.len() as f64]);
+        self.push(v, Op::MeanAll(a))
+    }
+
+    /// Mean squared error against a constant target (`1×1`).
+    pub fn mse(&mut self, pred: NodeId, target: &Tensor) -> NodeId {
+        let p = self.value(pred);
+        assert_eq!(p.shape(), target.shape(), "mse shape mismatch");
+        let sse: f64 = p.data().iter().zip(target.data()).map(|(a, b)| (a - b) * (a - b)).sum();
+        let v = Tensor::new(1, 1, vec![sse / p.len() as f64]);
+        self.push(v, Op::Mse(pred, target.clone()))
+    }
+
+    /// Inverted dropout with a caller-supplied Bernoulli mask already scaled
+    /// by `1/keep_prob` (pass all-ones at inference).
+    pub fn dropout(&mut self, a: NodeId, mask: Tensor) -> NodeId {
+        assert_eq!(self.value(a).shape(), mask.shape(), "dropout mask shape");
+        let v = self.value(a).zip(&mask, |x, m| x * m);
+        self.push(v, Op::Dropout(a, mask))
+    }
+
+    /// Row-wise layer normalization: `(x - mean) / std * gamma + beta`,
+    /// with `gamma`/`beta` `[1,c]` parameter nodes.
+    pub fn layer_norm(&mut self, x: NodeId, gamma: NodeId, beta: NodeId) -> NodeId {
+        const EPS: f64 = 1e-5;
+        let xv = self.value(x);
+        let (n, c) = xv.shape();
+        assert_eq!(self.value(gamma).shape(), (1, c), "gamma shape");
+        assert_eq!(self.value(beta).shape(), (1, c), "beta shape");
+        let mut x_hat = Tensor::zeros(n, c);
+        let mut inv_std = Vec::with_capacity(n);
+        let mut out = Tensor::zeros(n, c);
+        for r in 0..n {
+            let mean: f64 = (0..c).map(|j| xv.get(r, j)).sum::<f64>() / c as f64;
+            let var: f64 =
+                (0..c).map(|j| (xv.get(r, j) - mean).powi(2)).sum::<f64>() / c as f64;
+            let istd = 1.0 / (var + EPS).sqrt();
+            inv_std.push(istd);
+            for j in 0..c {
+                let xh = (xv.get(r, j) - mean) * istd;
+                x_hat.set(r, j, xh);
+                out.set(r, j, xh * self.value(gamma).get(0, j) + self.value(beta).get(0, j));
+            }
+        }
+        self.push(out, Op::LayerNorm { x, gamma, beta, x_hat, inv_std })
+    }
+
+    /// Runs reverse-mode differentiation from `root` (which must be `1×1`),
+    /// accumulating parameter gradients into `store`.
+    ///
+    /// # Panics
+    /// Panics if `root` is not a scalar node.
+    pub fn backward(&self, root: NodeId, store: &mut ParamStore) {
+        assert_eq!(self.value(root).shape(), (1, 1), "backward root must be scalar");
+        let mut adjoints: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        adjoints[root.0] = Some(Tensor::new(1, 1, vec![1.0]));
+
+        for i in (0..self.nodes.len()).rev() {
+            let Some(grad) = adjoints[i].take() else { continue };
+            let accum = |adjoints: &mut Vec<Option<Tensor>>, id: NodeId, g: Tensor| {
+                match &mut adjoints[id.0] {
+                    Some(existing) => existing.add_assign(&g),
+                    slot @ None => *slot = Some(g),
+                }
+            };
+            match &self.nodes[i].op {
+                Op::Input => {}
+                Op::Param(pid) => store.accumulate(*pid, &grad),
+                Op::MatMul(a, b) => {
+                    let ga = grad.matmul(&self.value(*b).transpose());
+                    let gb = self.value(*a).transpose().matmul(&grad);
+                    accum(&mut adjoints, *a, ga);
+                    accum(&mut adjoints, *b, gb);
+                }
+                Op::Add(a, b) => {
+                    accum(&mut adjoints, *a, grad.clone());
+                    accum(&mut adjoints, *b, grad);
+                }
+                Op::AddRow(a, bias) => {
+                    let (n, c) = grad.shape();
+                    let mut gb = Tensor::zeros(1, c);
+                    for r in 0..n {
+                        for j in 0..c {
+                            gb.set(0, j, gb.get(0, j) + grad.get(r, j));
+                        }
+                    }
+                    accum(&mut adjoints, *a, grad);
+                    accum(&mut adjoints, *bias, gb);
+                }
+                Op::Sub(a, b) => {
+                    accum(&mut adjoints, *a, grad.clone());
+                    accum(&mut adjoints, *b, grad.map(|g| -g));
+                }
+                Op::Mul(a, b) => {
+                    let ga = grad.zip(self.value(*b), |g, y| g * y);
+                    let gb = grad.zip(self.value(*a), |g, x| g * x);
+                    accum(&mut adjoints, *a, ga);
+                    accum(&mut adjoints, *b, gb);
+                }
+                Op::Scale(a, k) => accum(&mut adjoints, *a, grad.map(|g| g * k)),
+                Op::AddConst(a, _) => accum(&mut adjoints, *a, grad),
+                Op::Tanh(a) => {
+                    let g = grad.zip(&self.nodes[i].value, |g, y| g * (1.0 - y * y));
+                    accum(&mut adjoints, *a, g);
+                }
+                Op::Sigmoid(a) => {
+                    let g = grad.zip(&self.nodes[i].value, |g, y| g * y * (1.0 - y));
+                    accum(&mut adjoints, *a, g);
+                }
+                Op::Relu(a) => {
+                    let g = grad.zip(self.value(*a), |g, x| if x > 0.0 { g } else { 0.0 });
+                    accum(&mut adjoints, *a, g);
+                }
+                Op::SoftmaxRows(a) => {
+                    let y = &self.nodes[i].value;
+                    let (n, c) = y.shape();
+                    let mut g = Tensor::zeros(n, c);
+                    for r in 0..n {
+                        let dot: f64 = (0..c).map(|j| grad.get(r, j) * y.get(r, j)).sum();
+                        for j in 0..c {
+                            g.set(r, j, y.get(r, j) * (grad.get(r, j) - dot));
+                        }
+                    }
+                    accum(&mut adjoints, *a, g);
+                }
+                Op::Transpose(a) => accum(&mut adjoints, *a, grad.transpose()),
+                Op::HStack(a, b) => {
+                    let ca = self.value(*a).cols();
+                    accum(&mut adjoints, *a, grad.slice_cols(0, ca));
+                    accum(&mut adjoints, *b, grad.slice_cols(ca, grad.cols()));
+                }
+                Op::VStack(a, b) => {
+                    let ra = self.value(*a).rows();
+                    accum(&mut adjoints, *a, grad.slice_rows(0, ra));
+                    accum(&mut adjoints, *b, grad.slice_rows(ra, grad.rows()));
+                }
+                Op::SliceCols(a, start, end) => {
+                    let (n, c) = self.value(*a).shape();
+                    let mut g = Tensor::zeros(n, c);
+                    for r in 0..n {
+                        for j in *start..*end {
+                            g.set(r, j, grad.get(r, j - start));
+                        }
+                    }
+                    accum(&mut adjoints, *a, g);
+                }
+                Op::SliceRows(a, start, end) => {
+                    let (n, c) = self.value(*a).shape();
+                    let mut g = Tensor::zeros(n, c);
+                    for r in *start..*end {
+                        for j in 0..c {
+                            g.set(r, j, grad.get(r - start, j));
+                        }
+                    }
+                    accum(&mut adjoints, *a, g);
+                }
+                Op::MeanAll(a) => {
+                    let x = self.value(*a);
+                    let k = grad.get(0, 0) / x.len() as f64;
+                    accum(&mut adjoints, *a, x.map(|_| k));
+                }
+                Op::Mse(a, target) => {
+                    let p = self.value(*a);
+                    let k = 2.0 * grad.get(0, 0) / p.len() as f64;
+                    let g = p.zip(target, |x, t| k * (x - t));
+                    accum(&mut adjoints, *a, g);
+                }
+                Op::Dropout(a, mask) => {
+                    accum(&mut adjoints, *a, grad.zip(mask, |g, m| g * m));
+                }
+                Op::LayerNorm { x, gamma, beta, x_hat, inv_std } => {
+                    let (n, c) = grad.shape();
+                    let gv = self.value(*gamma);
+                    let mut g_gamma = Tensor::zeros(1, c);
+                    let mut g_beta = Tensor::zeros(1, c);
+                    let mut g_x = Tensor::zeros(n, c);
+                    for r in 0..n {
+                        // dL/dx_hat = grad * gamma
+                        let dxhat: Vec<f64> =
+                            (0..c).map(|j| grad.get(r, j) * gv.get(0, j)).collect();
+                        let mean_dxhat: f64 = dxhat.iter().sum::<f64>() / c as f64;
+                        let mean_dxhat_xhat: f64 = (0..c)
+                            .map(|j| dxhat[j] * x_hat.get(r, j))
+                            .sum::<f64>()
+                            / c as f64;
+                        for j in 0..c {
+                            g_gamma.set(
+                                0,
+                                j,
+                                g_gamma.get(0, j) + grad.get(r, j) * x_hat.get(r, j),
+                            );
+                            g_beta.set(0, j, g_beta.get(0, j) + grad.get(r, j));
+                            let gx = inv_std[r]
+                                * (dxhat[j] - mean_dxhat - x_hat.get(r, j) * mean_dxhat_xhat);
+                            g_x.set(r, j, gx);
+                        }
+                    }
+                    accum(&mut adjoints, *x, g_x);
+                    accum(&mut adjoints, *gamma, g_gamma);
+                    accum(&mut adjoints, *beta, g_beta);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference gradient check: perturb each parameter scalar and
+    /// compare the numerical gradient of `f` with the autodiff gradient.
+    fn grad_check<F>(store: &mut ParamStore, build: F, tol: f64)
+    where
+        F: Fn(&mut Graph, &ParamStore) -> NodeId,
+    {
+        // Autodiff gradients.
+        store.zero_grads();
+        let mut g = Graph::new();
+        let loss = build(&mut g, store);
+        g.backward(loss, store);
+        let auto: Vec<Tensor> = store.ids().map(|id| store.grad(id).clone()).collect();
+
+        // Numerical gradients.
+        let h = 1e-6;
+        for id in store.ids().collect::<Vec<_>>() {
+            for k in 0..store.value(id).len() {
+                let orig = store.value(id).data()[k];
+                store.value_mut(id).data_mut()[k] = orig + h;
+                let mut g1 = Graph::new();
+                let l1 = build(&mut g1, store);
+                let f1 = g1.value(l1).get(0, 0);
+                store.value_mut(id).data_mut()[k] = orig - h;
+                let mut g2 = Graph::new();
+                let l2 = build(&mut g2, store);
+                let f2 = g2.value(l2).get(0, 0);
+                store.value_mut(id).data_mut()[k] = orig;
+                let num = (f1 - f2) / (2.0 * h);
+                let aut = auto[id.0].data()[k];
+                assert!(
+                    (num - aut).abs() < tol * (1.0 + num.abs().max(aut.abs())),
+                    "param {} elem {k}: numerical {num} vs autodiff {aut}",
+                    store.name(id),
+                );
+            }
+        }
+    }
+
+    fn seeded(vals: &[f64], rows: usize, cols: usize) -> Tensor {
+        Tensor::new(rows, cols, vals.to_vec())
+    }
+
+    #[test]
+    fn grad_dense_tanh_mse() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", seeded(&[0.3, -0.2, 0.5, 0.1, 0.4, -0.6], 2, 3));
+        let b = store.add("b", seeded(&[0.05, -0.05, 0.2], 1, 3));
+        let x = seeded(&[1.0, 2.0, -1.0, 0.5], 2, 2);
+        let t = seeded(&[0.1, 0.2, 0.3, -0.1, 0.0, 0.4], 2, 3);
+        grad_check(
+            &mut store,
+            move |g, s| {
+                let xi = g.input(x.clone());
+                let wi = g.param(s, w);
+                let bi = g.param(s, b);
+                let y = g.matmul(xi, wi);
+                let y = g.add_row(y, bi);
+                let y = g.tanh(y);
+                g.mse(y, &t)
+            },
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_sigmoid_relu_mix() {
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", seeded(&[0.2, -0.4, 0.7, 0.3], 2, 2));
+        let w2 = store.add("w2", seeded(&[0.5, -0.1, -0.3, 0.8], 2, 2));
+        let x = seeded(&[0.6, -1.2, 0.9, 0.1], 2, 2);
+        let t = seeded(&[0.2, 0.4, -0.3, 0.1], 2, 2);
+        grad_check(
+            &mut store,
+            move |g, s| {
+                let xi = g.input(x.clone());
+                let w1i = g.param(s, w1);
+                let w2i = g.param(s, w2);
+                let h = g.matmul(xi, w1i);
+                let h = g.sigmoid(h);
+                let h2 = g.matmul(h, w2i);
+                let h2 = g.relu(h2);
+                g.mse(h2, &t)
+            },
+            1e-4, // relu kinks reduce FD accuracy
+        );
+    }
+
+    #[test]
+    fn grad_softmax_attention_shape() {
+        // A tiny attention-like computation: softmax(QK^T)V.
+        let mut store = ParamStore::new();
+        let q = store.add("q", seeded(&[0.1, 0.5, -0.3, 0.2, 0.4, -0.1], 3, 2));
+        let k = store.add("k", seeded(&[0.3, -0.2, 0.6, 0.1, -0.4, 0.5], 3, 2));
+        let v = store.add("v", seeded(&[1.0, 0.0, 0.5, -0.5, 0.2, 0.8], 3, 2));
+        let t = seeded(&[0.1; 6], 3, 2);
+        grad_check(
+            &mut store,
+            move |g, s| {
+                let qi = g.param(s, q);
+                let ki = g.param(s, k);
+                let vi = g.param(s, v);
+                let kt = g.transpose(ki);
+                let scores = g.matmul(qi, kt);
+                let scores = g.scale(scores, 1.0 / (2.0f64).sqrt());
+                let attn = g.softmax_rows(scores);
+                let out = g.matmul(attn, vi);
+                g.mse(out, &t)
+            },
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_layernorm() {
+        let mut store = ParamStore::new();
+        let x = store.add("x", seeded(&[1.0, 2.0, 4.0, -1.0, 0.5, 3.0], 2, 3));
+        let gamma = store.add("gamma", seeded(&[1.2, 0.8, 1.0], 1, 3));
+        let beta = store.add("beta", seeded(&[0.1, -0.1, 0.0], 1, 3));
+        let t = seeded(&[0.5, -0.5, 0.2, 0.1, 0.3, -0.2], 2, 3);
+        grad_check(
+            &mut store,
+            move |g, s| {
+                let xi = g.param(s, x);
+                let gi = g.param(s, gamma);
+                let bi = g.param(s, beta);
+                let y = g.layer_norm(xi, gi, bi);
+                g.mse(y, &t)
+            },
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn grad_gru_like_gates() {
+        // z = sigmoid(x W_z), h_cand = tanh(x W_h), h = (1-z)*h0 + z*h_cand
+        let mut store = ParamStore::new();
+        let wz = store.add("wz", seeded(&[0.4, -0.2, 0.1, 0.6], 2, 2));
+        let wh = store.add("wh", seeded(&[-0.3, 0.5, 0.2, -0.1], 2, 2));
+        let x = seeded(&[0.7, -0.4, 1.1, 0.2], 2, 2);
+        let h0 = seeded(&[0.1, 0.3, -0.2, 0.5], 2, 2);
+        let t = seeded(&[0.0, 0.1, 0.2, 0.3], 2, 2);
+        grad_check(
+            &mut store,
+            move |g, s| {
+                let xi = g.input(x.clone());
+                let h0i = g.input(h0.clone());
+                let wzi = g.param(s, wz);
+                let whi = g.param(s, wh);
+                let zl = g.matmul(xi, wzi);
+                let z = g.sigmoid(zl);
+                let hl = g.matmul(xi, whi);
+                let hc = g.tanh(hl);
+                let omz = g.one_minus(z);
+                let a = g.mul(omz, h0i);
+                let b = g.mul(z, hc);
+                let h = g.add(a, b);
+                g.mse(h, &t)
+            },
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_stacks_and_slices() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", seeded(&[0.3, -0.7, 0.2, 0.9], 2, 2));
+        let x = seeded(&[1.0, -0.5], 1, 2);
+        let t = seeded(&[0.2, 0.1, 0.4], 1, 3);
+        grad_check(
+            &mut store,
+            move |g, s| {
+                let xi = g.input(x.clone());
+                let wi = g.param(s, w);
+                let y = g.matmul(xi, wi); // 1x2
+                let left = g.slice_cols(y, 0, 1);
+                let h = g.hstack(y, left); // 1x3
+                g.mse(h, &t)
+            },
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_mean_and_scale() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", seeded(&[2.0, -3.0, 1.0, 4.0], 2, 2));
+        grad_check(
+            &mut store,
+            move |g, s| {
+                let wi = g.param(s, w);
+                let sq = g.mul(wi, wi);
+                let sc = g.scale(sq, 0.5);
+                let sh = g.add_const(sc, 1.0);
+                g.mean_all(sh)
+            },
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn grad_vstack_slice_rows() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", seeded(&[1.0, 2.0], 1, 2));
+        let b = store.add("b", seeded(&[3.0, 4.0], 1, 2));
+        let t = seeded(&[0.0, 0.0], 1, 2);
+        grad_check(
+            &mut store,
+            move |g, s| {
+                let ai = g.param(s, a);
+                let bi = g.param(s, b);
+                let st = g.vstack(ai, bi); // 2x2
+                let second = g.slice_rows(st, 1, 2);
+                let sum = g.add(second, ai);
+                g.mse(sum, &t)
+            },
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn dropout_mask_applies_and_routes_grads() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", seeded(&[1.0, 2.0, 3.0, 4.0], 1, 4));
+        let mask = seeded(&[2.0, 0.0, 2.0, 0.0], 1, 4); // keep=0.5 inverted
+        store.zero_grads();
+        let mut g = Graph::new();
+        let wi = g.param(&store, w);
+        let d = g.dropout(wi, mask);
+        assert_eq!(g.value(d).data(), &[2.0, 0.0, 6.0, 0.0]);
+        let t = Tensor::zeros(1, 4);
+        let loss = g.mse(d, &t);
+        g.backward(loss, &mut store);
+        // Gradient through dropped elements must be zero.
+        let grads = store.grad(w).data();
+        assert_eq!(grads[1], 0.0);
+        assert_eq!(grads[3], 0.0);
+        assert!(grads[0] != 0.0);
+    }
+
+    #[test]
+    fn param_reused_twice_accumulates() {
+        // loss = mean((w + w)^2) -> dL/dw = 8w/len, checks adjoint fan-in.
+        let mut store = ParamStore::new();
+        let w = store.add("w", seeded(&[1.0, -2.0], 1, 2));
+        grad_check(
+            &mut store,
+            move |g, s| {
+                let wi = g.param(s, w);
+                let s2 = g.add(wi, wi);
+                let sq = g.mul(s2, s2);
+                g.mean_all(sq)
+            },
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn grad_norm_and_clipping_helpers() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", seeded(&[3.0, 4.0], 1, 2));
+        store.zero_grads();
+        let mut g = Graph::new();
+        let wi = g.param(&store, w);
+        let sq = g.mul(wi, wi);
+        let loss = g.mean_all(sq);
+        g.backward(loss, &mut store);
+        // d/dw mean(w^2) = 2w/2 = w
+        assert!((store.grad_norm() - 5.0).abs() < 1e-9);
+        store.scale_grads(0.5);
+        assert!((store.grad_norm() - 2.5).abs() < 1e-9);
+        store.zero_grads();
+        assert_eq!(store.grad_norm(), 0.0);
+    }
+}

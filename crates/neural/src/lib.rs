@@ -1,0 +1,54 @@
+//! # neural — a from-scratch neural-network framework
+//!
+//! The deep-learning substrate for the paper's five neural forecasters
+//! (GRU, NBeats, DLinear, Transformer, Informer):
+//!
+//! * [`tensor`] — dense row-major 2-D `f64` matrices.
+//! * [`graph`] — define-by-run reverse-mode autodiff on a flat tape, with
+//!   a [`graph::ParamStore`] holding parameters and gradients.
+//! * [`layers`] — dense, dropout, layer norm, Glorot initialization.
+//! * [`rnn`] — GRU cell and sequence unrolling.
+//! * [`attention`] — multi-head attention (full and Informer ProbSparse)
+//!   plus sinusoidal positional encodings.
+//! * [`optim`] — Adam with weight decay and gradient clipping (§3.4).
+//! * [`train`] — mini-batch loop with early stopping, patience 3 (§3.4).
+//!
+//! Every op has finite-difference gradient tests; see `graph::tests`.
+//!
+//! ```
+//! use neural::{Graph, ParamStore, Tensor, Adam, AdamConfig};
+//!
+//! // Fit w to minimize mean((w - target)^2) with three Adam steps.
+//! let mut store = ParamStore::new();
+//! let w = store.add("w", Tensor::row(&[0.0]));
+//! let target = Tensor::row(&[1.0]);
+//! let mut adam = Adam::new(&store, AdamConfig { lr: 0.1, ..Default::default() });
+//! let mut last = f64::INFINITY;
+//! for _ in 0..3 {
+//!     store.zero_grads();
+//!     let mut g = Graph::new();
+//!     let wi = g.param(&store, w);
+//!     let loss = g.mse(wi, &target);
+//!     assert!(g.value(loss).get(0, 0) <= last);
+//!     last = g.value(loss).get(0, 0);
+//!     g.backward(loss, &mut store);
+//!     adam.step(&mut store);
+//! }
+//! assert!(store.value(w).get(0, 0) > 0.0, "w moved toward the target");
+//! ```
+
+pub mod attention;
+pub mod graph;
+pub mod layers;
+pub mod optim;
+pub mod rnn;
+pub mod tensor;
+pub mod train;
+
+pub use attention::{positional_encoding, AttentionKind, MultiHeadAttention};
+pub use graph::{Graph, NodeId, ParamId, ParamStore};
+pub use layers::{glorot, Activation, Dense, Dropout, LayerNorm};
+pub use optim::{Adam, AdamConfig};
+pub use rnn::GruCell;
+pub use tensor::Tensor;
+pub use train::{train, TrainConfig, TrainReport};

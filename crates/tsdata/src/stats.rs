@@ -1,0 +1,134 @@
+//! Descriptive statistics used in Table 1 of the paper: length, mean,
+//! min, max, quartiles, and the relative inter-quartile difference
+//! `rIQD = (Q3 - Q1) / MEAN * 100`.
+
+/// Summary statistics of a value slice (Table 1 columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of values.
+    pub len: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Relative inter-quartile difference in percent:
+    /// `(q3 - q1) / mean * 100`.
+    pub riqd: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population variance; 0.0 for an empty slice.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// Linear-interpolated percentile, `p` in `[0, 1]` (type-7 quantile, as in R
+/// and NumPy's default, which the paper's Python tooling uses).
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let p = p.clamp(0.0, 1.0);
+    let h = (sorted.len() - 1) as f64 * p;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Computes the full Table-1 summary of a value slice.
+///
+/// # Panics
+/// Panics if `values` is empty.
+pub fn summarize(values: &[f64]) -> Summary {
+    assert!(!values.is_empty(), "summarize of empty slice");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in series"));
+    let m = mean(values);
+    let q1 = percentile(&sorted, 0.25);
+    let q3 = percentile(&sorted, 0.75);
+    let riqd = if m == 0.0 { f64::INFINITY } else { (q3 - q1) / m * 100.0 };
+    Summary {
+        len: values.len(),
+        mean: m,
+        min: sorted[0],
+        max: *sorted.last().expect("non-empty"),
+        q1,
+        q3,
+        riqd,
+        std_dev: std_dev(values),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basic() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        assert!((variance(&v) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&v) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 1.0), 4.0);
+        assert!((percentile(&s, 0.5) - 2.5).abs() < 1e-12);
+        assert!((percentile(&s, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = summarize(&v);
+        assert_eq!(s.len, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.q1 - 25.75).abs() < 1e-12);
+        assert!((s.q3 - 75.25).abs() < 1e-12);
+        let riqd = (s.q3 - s.q1) / s.mean * 100.0;
+        assert!((s.riqd - riqd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn riqd_infinite_for_zero_mean() {
+        let s = summarize(&[-1.0, 1.0]);
+        assert!(s.riqd.is_infinite());
+    }
+}

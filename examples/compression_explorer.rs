@@ -1,0 +1,76 @@
+//! Compression deep-dive: how the three PEBLC methods trade error bound,
+//! transformation error, compression ratio and segment structure on every
+//! dataset — the RQ1 experiments as a library-usage example, including the
+//! Table-3 regression and the Gorilla/gzip baselines.
+//!
+//! ```text
+//! cargo run --release --example compression_explorer
+//! ```
+
+use evalimplsts::analysis::regress::linear_fit;
+use evalimplsts::compression::{
+    raw_bytes, raw_compressed_size, Gorilla, PeblcCompressor, ALL_METHODS,
+};
+use evalimplsts::tsdata::datasets::{generate_univariate, GenOptions, ALL_DATASETS};
+use evalimplsts::tsdata::metrics::{compression_ratio, nrmse};
+
+fn main() {
+    let error_bounds = [0.01, 0.05, 0.1, 0.2, 0.4, 0.8];
+    for dataset in ALL_DATASETS {
+        let series = generate_univariate(dataset, GenOptions::with_len(6_000));
+        let stats = dataset.paper_stats();
+        let raw = raw_bytes(&series).len();
+        let raw_gz = raw_compressed_size(&series);
+        let gorilla = Gorilla.compress(&series, 0.0).expect("gorilla is total");
+        println!(
+            "\n=== {} (rIQD {:.0}%) — raw {} KiB, gzip {:.2}x, GORILLA {:.2}x (vs raw) ===",
+            stats.name,
+            stats.riqd,
+            raw / 1024,
+            raw as f64 / raw_gz as f64,
+            compression_ratio(raw, gorilla.size_bytes()),
+        );
+        println!(
+            "{:<6} {:>5} {:>9} {:>11} {:>9}",
+            "method", "eps", "CR", "TE(NRMSE)", "segments"
+        );
+        for method in ALL_METHODS {
+            let compressor = method.compressor();
+            let mut tes = Vec::new();
+            let mut crs = Vec::new();
+            for &eps in &error_bounds {
+                let (decompressed, frame) =
+                    compressor.transform(&series, eps).expect("compresses cleanly");
+                let te = nrmse(series.values(), decompressed.values());
+                let cr = compression_ratio(raw_gz, frame.size_bytes());
+                println!(
+                    "{:<6} {:>5} {:>9.2} {:>11.4} {:>9}",
+                    method.name(),
+                    eps,
+                    cr,
+                    te,
+                    frame.num_segments
+                );
+                tes.push(te);
+                crs.push(cr);
+            }
+            // Table-3 style regression: expected CR gain per unit of TE.
+            if let Ok(fit) = linear_fit(&tes, &crs) {
+                println!(
+                    "   CR = {:.1}*TE + {:.2}  (SE {:.1}/{:.2}, R2 {:.2}) -> +{:.2}x CR per 0.01 TE",
+                    fit.slope,
+                    fit.intercept,
+                    fit.se_slope,
+                    fit.se_intercept,
+                    fit.r2,
+                    fit.slope * 0.01
+                );
+            }
+        }
+    }
+    println!(
+        "\nReading guide: SZ leads at small eps; PMC's constant segments gain the most \
+         from the final DEFLATE pass as eps grows; Swing pays for its two coefficients \
+         per segment (paper §4.2). Weather's tiny rIQD produces the CR anomaly."
+    );
+}

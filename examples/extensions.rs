@@ -1,0 +1,106 @@
+//! The paper's §5 research directions, implemented: train a TFE-predictor
+//! and let it *recommend* a compression configuration under an accuracy
+//! budget (CompressionAdvisor), watch a decompressed stream for
+//! characteristic drift (CharacteristicsMonitor), and combine an accurate
+//! model with a resilient one (Ensemble).
+//!
+//! ```text
+//! cargo run --release --example extensions
+//! ```
+
+use evalimplsts::analysis::features::FeatureOptions;
+use evalimplsts::analysis::monitor::{CharacteristicsMonitor, MonitorConfig};
+use evalimplsts::compression::Method;
+use evalimplsts::evalcore::advisor::CompressionAdvisor;
+use evalimplsts::evalcore::experiments::{characteristics_exp, forecasting_exp};
+use evalimplsts::evalcore::grid::GridConfig;
+use evalimplsts::forecast::ensemble::{Combine, Ensemble};
+use evalimplsts::forecast::model::{Forecaster, ModelKind};
+use evalimplsts::forecast::{build_model, BuildOptions};
+use evalimplsts::tsdata::datasets::{generate, generate_univariate, DatasetKind, GenOptions};
+use evalimplsts::tsdata::split::{split, SplitSpec};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. CompressionAdvisor: learn TFE from a small evaluation grid, then
+    //    recommend (method, eps) for a NEW series under a 5% TFE budget.
+    // ------------------------------------------------------------------
+    println!("== 1. Compression advisor (paper §5: impact prediction) ==");
+    let mut cfg = GridConfig::smoke();
+    cfg.len = Some(2_000);
+    cfg.error_bounds = vec![0.01, 0.05, 0.1, 0.2, 0.4];
+    cfg.models = vec![ModelKind::GBoost];
+    eprintln!("training the TFE predictor on a smoke-scale grid...");
+    let grid = forecasting_exp::run(&cfg);
+    let chars = characteristics_exp::run(&grid);
+    let features = FeatureOptions { period: Some(96), shift_window: 48, cap: Some(4_000) };
+    let advisor = CompressionAdvisor::train(&chars, features).expect("enough grid rows");
+
+    let new_series = generate_univariate(
+        DatasetKind::ETTm2,
+        GenOptions { len: Some(2_000), channels: None, seed: 999 },
+    );
+    for budget in [0.02, 0.05, 0.15] {
+        match advisor
+            .recommend(&new_series, &cfg.methods, &cfg.error_bounds, budget)
+            .expect("advisor runs")
+        {
+            Some(rec) => println!(
+                "  TFE budget {:>4.0}% -> {} @ eps {} (predicted TFE {:+.2}%, CR {:.1})",
+                budget * 100.0,
+                rec.method.name(),
+                rec.epsilon,
+                rec.predicted_tfe * 100.0,
+                rec.cr
+            ),
+            None => println!("  TFE budget {:>4.0}% -> no configuration fits", budget * 100.0),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 2. CharacteristicsMonitor: §4.3.3 thresholds on a live stream.
+    // ------------------------------------------------------------------
+    println!("\n== 2. Characteristics monitor (paper §4.3.3 guidance) ==");
+    let monitor = CharacteristicsMonitor::new(
+        new_series.values(),
+        MonitorConfig::paper_defaults(features),
+    );
+    for (label, eps) in [("mild", 0.05), ("aggressive", 0.8)] {
+        let (decompressed, _) = Method::Pmc
+            .compressor()
+            .transform(&new_series, eps)
+            .expect("compresses");
+        let alerts = monitor.check(decompressed.values());
+        println!("  PMC @ {eps} ({label}): {} alert(s)", alerts.len());
+        for a in alerts.iter().take(3) {
+            println!(
+                "    [{:?}] {} deviated {:.1}% (threshold {:.0}%)",
+                a.severity, a.characteristic, a.deviation_pct, a.threshold_pct
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Ensemble: accurate + resilient members (paper §5).
+    // ------------------------------------------------------------------
+    println!("\n== 3. Accurate+resilient ensemble (paper §5) ==");
+    let data = generate(DatasetKind::ETTm1, GenOptions::with_len(4_000));
+    let s = split(&data, SplitSpec::default()).expect("splits");
+    let opts = BuildOptions { input_len: 96, horizon: 24, season: Some(96), ..Default::default() };
+    let mut ensemble = Ensemble::new(
+        vec![build_model(ModelKind::NBeats, opts), build_model(ModelKind::Arima, opts)],
+        Combine::InverseValidationError,
+    );
+    ensemble.fit(&s.train, &s.val).expect("fits");
+    println!(
+        "  learned weights: NBeats {:.2}, Arima {:.2}",
+        ensemble.weights()[0],
+        ensemble.weights()[1]
+    );
+    let window = s.test.target().values()[..96].to_vec();
+    let pred = ensemble.predict(&[window]).expect("predicts");
+    println!(
+        "  24-step forecast head: {:?}",
+        &pred[..4].iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,80 @@
+//! Quickstart: compress a time series with each lossy method, check the
+//! error bound, train a forecaster, and measure the impact of compression
+//! on its accuracy (the paper's TFE).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use evalimplsts::compression::{all_lossy, find_bound_violation, raw_compressed_size};
+use evalimplsts::evalcore::scenario::{evaluate_scenario, transform_series};
+use evalimplsts::forecast::{build_model, BuildOptions, ModelKind};
+use evalimplsts::tsdata::datasets::{generate, DatasetKind, GenOptions};
+use evalimplsts::tsdata::metrics::{compression_ratio, nrmse, tfe};
+use evalimplsts::tsdata::split::{split, SplitSpec};
+
+fn main() {
+    // 1. A dataset: the synthetic ETTm1 recreation (8k points for speed).
+    let data = generate(DatasetKind::ETTm1, GenOptions::with_len(8_000));
+    let target = data.target();
+    println!("dataset: ETTm1, {} points, target '{}'", data.len(), data.names()[0]);
+
+    // 2. Compress the target channel with each method at ε = 0.1.
+    let epsilon = 0.1;
+    let raw = raw_compressed_size(target);
+    println!("\nlossy compression at relative error bound {epsilon}:");
+    for compressor in all_lossy() {
+        let (decompressed, frame) = compressor
+            .transform(target, epsilon)
+            .expect("generated data compresses cleanly");
+        assert!(
+            find_bound_violation(target.values(), decompressed.values(), epsilon, 1e-9)
+                .is_none(),
+            "PEBLC guarantee must hold"
+        );
+        println!(
+            "  {:<6} CR = {:>6.2}   TE(NRMSE) = {:.4}   segments = {}",
+            compressor.name(),
+            compression_ratio(raw, frame.size_bytes()),
+            nrmse(target.values(), decompressed.values()),
+            frame.num_segments,
+        );
+    }
+
+    // 3. Train a forecaster on the raw training subset and evaluate it on
+    //    raw and lossy-transformed test data (Algorithm 1).
+    let s = split(&data, SplitSpec::default()).expect("dataset splits 70/10/20");
+    let mut model = build_model(ModelKind::GBoost, BuildOptions::default());
+    println!("\ntraining {} (input 96 -> horizon 24)...", model.name());
+    let outcome = evaluate_scenario(
+        model.as_mut(),
+        &s.train,
+        &s.val,
+        &s.test,
+        &all_lossy(),
+        &[0.05, 0.2],
+        8,
+    )
+    .expect("scenario runs");
+    println!("baseline RMSE (scaled): {:.4}", outcome.baseline.rmse);
+    println!("\nimpact of lossy compression on forecasting (TFE, Eq. 2):");
+    for (method, eps, metrics) in &outcome.transformed {
+        println!(
+            "  {:<6} eps = {:<4} RMSE = {:.4}  TFE = {:>+.2}%",
+            method,
+            eps,
+            metrics.rmse,
+            100.0 * tfe(outcome.baseline.rmse, metrics.rmse),
+        );
+    }
+
+    // 4. The transformation itself is reusable: here is the decompressed
+    //    test subset a downstream system would see.
+    let transformed = transform_series(&s.test, all_lossy()[0].as_ref(), 0.2)
+        .expect("transformation succeeds");
+    println!(
+        "\nfirst 5 raw vs decompressed test values (PMC @ 0.2):\n  raw: {:?}\n  dec: {:?}",
+        &s.test.target().values()[..5],
+        &transformed.target().values()[..5],
+    );
+}

@@ -1,0 +1,11 @@
+//! Facade crate re-exporting the EvalImpLSTS workspace.
+//!
+//! See [`tsdata`], [`compression`], [`neural`], [`forecast`], [`analysis`]
+//! and [`evalcore`] for the individual subsystems, and `DESIGN.md` for the
+//! system inventory.
+pub use analysis;
+pub use compression;
+pub use evalcore;
+pub use forecast;
+pub use neural;
+pub use tsdata;

@@ -1,0 +1,145 @@
+//! Property tests on the analysis toolkit: invariances the paper's
+//! statistics must satisfy regardless of input.
+
+use evalimplsts::analysis::acf::{acf, pacf};
+use evalimplsts::analysis::correlation::{ranks, spearman};
+use evalimplsts::analysis::features::{extract, FeatureOptions, NUM_FEATURES};
+use evalimplsts::analysis::kneedle::{kneedle, Shape};
+use evalimplsts::analysis::regress::linear_fit;
+use evalimplsts::analysis::rolling::{crossing_points, flat_spots, max_level_shift};
+use evalimplsts::analysis::shap::{expected_value, tree_shap};
+use evalimplsts::forecast::tree::{RegressionTree, TreeConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn acf_and_pacf_bounded(x in prop::collection::vec(-100.0..100.0f64, 10..200)) {
+        for r in acf(&x, 10) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "acf {r}");
+        }
+        for p in pacf(&x, 5) {
+            prop_assert!(p.is_finite(), "pacf {p}");
+            prop_assert!((-1.5..=1.5).contains(&p), "pacf {p} out of range");
+        }
+    }
+
+    #[test]
+    fn spearman_bounded_and_monotone_invariant(
+        x in prop::collection::vec(-100.0..100.0f64, 3..80),
+    ) {
+        // Spearman against any strictly monotone transform of x is 1
+        // (ties aside, which the float strategy almost never produces).
+        let y: Vec<f64> = x.iter().map(|v| v.exp().min(1e300)).collect();
+        let s = spearman(&x, &y);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+        let distinct = {
+            let mut v = x.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            v.windows(2).all(|w| w[0] != w[1])
+        };
+        if distinct {
+            prop_assert!((s - 1.0).abs() < 1e-9, "monotone transform spearman {s}");
+        }
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_mean(x in prop::collection::vec(-100.0..100.0f64, 1..60)) {
+        let r = ranks(&x);
+        let n = x.len() as f64;
+        let sum: f64 = r.iter().sum();
+        // Ranks always sum to n(n+1)/2, ties or not.
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_residual_orthogonality(
+        pts in prop::collection::vec((-10.0..10.0f64, -10.0..10.0f64), 3..60),
+    ) {
+        let x: Vec<f64> = pts.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pts.iter().map(|p| p.1).collect();
+        // Degenerate all-equal x has no unique fit.
+        if x.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9) {
+            return Ok(());
+        }
+        let f = linear_fit(&x, &y).expect("non-degenerate");
+        // OLS residuals sum ~ 0 and are ~orthogonal to x.
+        let resid: Vec<f64> =
+            x.iter().zip(&y).map(|(xi, yi)| yi - (f.intercept + f.slope * xi)).collect();
+        let sum: f64 = resid.iter().sum();
+        let dot: f64 = resid.iter().zip(&x).map(|(r, xi)| r * xi).sum();
+        let scale = 1.0 + y.iter().map(|v| v.abs()).fold(0.0, f64::max);
+        prop_assert!(sum.abs() < 1e-4 * scale * x.len() as f64, "residual sum {sum}");
+        prop_assert!(dot.abs() < 1e-3 * scale * x.len() as f64 * 10.0, "residual dot {dot}");
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&f.r2));
+    }
+
+    #[test]
+    fn kneedle_returns_valid_index(
+        y in prop::collection::vec(0.0..100.0f64, 3..40),
+    ) {
+        let x: Vec<f64> = (0..y.len()).map(|i| i as f64).collect();
+        for shape in [Shape::ConcaveIncreasing, Shape::ConvexIncreasing] {
+            if let Some(k) = kneedle(&x, &y, shape, 1.0) {
+                prop_assert!(k < y.len());
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_features_shift_invariant(
+        x in prop::collection::vec(-50.0..50.0f64, 60..200),
+        shift in -100.0..100.0f64,
+    ) {
+        // Level/crossing/flat-spot structure is invariant to adding a
+        // constant (flat spots use value deciles, which shift with the
+        // data).
+        let shifted: Vec<f64> = x.iter().map(|v| v + shift).collect();
+        let a = max_level_shift(&x, 10);
+        let b = max_level_shift(&shifted, 10);
+        prop_assert!((a.max - b.max).abs() < 1e-6, "{} vs {}", a.max, b.max);
+        prop_assert_eq!(crossing_points(&x), crossing_points(&shifted));
+        prop_assert_eq!(flat_spots(&x), flat_spots(&shifted));
+    }
+
+    #[test]
+    fn all_42_features_finite_on_arbitrary_series(
+        x in prop::collection::vec(-1e3..1e3f64, 64..300),
+    ) {
+        let f = extract(&x, FeatureOptions { period: Some(12), shift_window: 16, cap: None });
+        prop_assert_eq!(f.values().len(), NUM_FEATURES);
+        for (name, v) in evalimplsts::analysis::features::FEATURE_NAMES.iter().zip(f.values()) {
+            prop_assert!(v.is_finite(), "{name} not finite: {v}");
+        }
+    }
+
+    #[test]
+    fn treeshap_local_accuracy_random_trees(
+        data in prop::collection::vec((-10.0..10.0f64, -10.0..10.0f64, -10.0..10.0f64), 20..80),
+    ) {
+        let nf = 3;
+        let mut features = Vec::with_capacity(data.len() * nf);
+        let mut targets = Vec::with_capacity(data.len());
+        for &(a, b, c) in &data {
+            features.extend_from_slice(&[a, b, c]);
+            targets.push(a * 0.5 + if b > 0.0 { c } else { -c });
+        }
+        let tree = RegressionTree::fit(
+            &features,
+            &targets,
+            nf,
+            TreeConfig { max_depth: 4, min_samples_leaf: 2 },
+        );
+        let sample = &features[..nf];
+        let phi = tree_shap(&tree, sample);
+        let e0 = expected_value(&tree, sample, &[false; 3]);
+        let fx = tree.predict(sample);
+        let total: f64 = phi.iter().sum();
+        prop_assert!(
+            (total - (fx - e0)).abs() < 1e-8,
+            "local accuracy violated: {total} vs {}",
+            fx - e0
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests on the data substrate: metrics identities, scaler
+//! round-trips, window coverage, CSV round-trips, and statistics bounds.
+
+use evalimplsts::tsdata::csv::{parse_multiseries, to_csv};
+use evalimplsts::tsdata::metrics::{nrmse, pearson, rmse, rse, tfe};
+use evalimplsts::tsdata::scaler::StandardScaler;
+use evalimplsts::tsdata::series::{MultiSeries, RegularTimeSeries};
+use evalimplsts::tsdata::split::make_windows;
+use evalimplsts::tsdata::stats::{percentile, summarize};
+use proptest::prelude::*;
+
+fn finite_vec(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rmse_is_symmetric_and_nonnegative(x in finite_vec(1..100), shift in -10.0..10.0f64) {
+        let y: Vec<f64> = x.iter().map(|v| v + shift).collect();
+        let e = rmse(&x, &y);
+        prop_assert!(e >= 0.0);
+        prop_assert!((e - rmse(&y, &x)).abs() < 1e-9);
+        // Constant shift: RMSE equals |shift|.
+        prop_assert!((e - shift.abs()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn metrics_zero_iff_identical(x in finite_vec(2..100)) {
+        prop_assert_eq!(rmse(&x, &x), 0.0);
+        prop_assert_eq!(nrmse(&x, &x), 0.0);
+        prop_assert_eq!(rse(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn pearson_in_unit_interval(x in finite_vec(2..100), y in finite_vec(2..100)) {
+        let n = x.len().min(y.len());
+        let r = pearson(&x[..n], &y[..n]);
+        prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&r), "r = {r}");
+    }
+
+    #[test]
+    fn pearson_affine_invariance(x in finite_vec(3..50), a in 0.1..10.0f64, b in -5.0..5.0f64) {
+        let y: Vec<f64> = x.iter().map(|v| a * v + b).collect();
+        let r = pearson(&x, &y);
+        // Unless x is constant, correlation with a positive-affine image is 1.
+        let constant = x.iter().all(|&v| v == x[0]);
+        if !constant {
+            prop_assert!((r - 1.0).abs() < 1e-6, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn tfe_identities(base in 0.001..100.0f64, factor in 0.0..5.0f64) {
+        let t = tfe(base, base * factor);
+        prop_assert!((t - (factor - 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaler_roundtrip(x in finite_vec(2..200)) {
+        let sc = StandardScaler::fit_single(&x);
+        let back = sc.inverse(0, &sc.transform(0, &x));
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn percentile_monotone(x in finite_vec(1..100), p1 in 0.0..1.0f64, p2 in 0.0..1.0f64) {
+        let mut sorted = x.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        prop_assert!(percentile(&sorted, lo) <= percentile(&sorted, hi) + 1e-12);
+    }
+
+    #[test]
+    fn summary_bounds(x in finite_vec(1..200)) {
+        let s = summarize(&x);
+        prop_assert!(s.min <= s.q1 + 1e-12);
+        prop_assert!(s.q1 <= s.q3 + 1e-12);
+        prop_assert!(s.q3 <= s.max + 1e-12);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    #[test]
+    fn windows_cover_and_align(n in 30..200usize, k in 2..10usize, h in 1..6usize, stride in 1..8usize) {
+        let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let data = MultiSeries::univariate(
+            "x",
+            RegularTimeSeries::new(0, 60, vals).expect("non-empty"),
+        );
+        let windows = make_windows(&data, k, h, stride);
+        let expected = if n >= k + h { (n - k - h) / stride + 1 } else { 0 };
+        prop_assert_eq!(windows.len(), expected);
+        for w in &windows {
+            // Input is contiguous and the target continues it immediately.
+            prop_assert_eq!(w.inputs[0][0] as usize, w.start);
+            prop_assert_eq!(w.target[0] as usize, w.start + k);
+            prop_assert_eq!(w.inputs[0].len(), k);
+            prop_assert_eq!(w.target.len(), h);
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip(vals in prop::collection::vec(-1e4..1e4f64, 2..60), interval in 1i64..3600) {
+        let series = RegularTimeSeries::new(1000, interval, vals.clone()).expect("non-empty");
+        let data = MultiSeries::univariate("v", series);
+        let text = to_csv(&data);
+        let back = parse_multiseries(&text, Some("v")).expect("own output parses");
+        prop_assert_eq!(back.len(), vals.len());
+        prop_assert_eq!(back.target().interval(), interval);
+        for (a, b) in vals.iter().zip(back.target().values()) {
+            prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+}

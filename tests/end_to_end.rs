@@ -1,0 +1,118 @@
+//! End-to-end integration: the full Algorithm-1 pipeline over real crates
+//! boundaries — generated dataset → split → model fit → compression →
+//! TFE — plus the analysis toolchain on the outputs.
+
+use evalimplsts::analysis::features::{extract, FeatureOptions};
+use evalimplsts::analysis::kneedle::{kneedle, Shape};
+use evalimplsts::compression::{all_lossy, Method, PeblcCompressor};
+use evalimplsts::evalcore::grid::GridConfig;
+use evalimplsts::evalcore::scenario::evaluate_scenario;
+use evalimplsts::evalcore::{run_compression_grid, run_forecast_grid};
+use evalimplsts::forecast::{build_model, BuildOptions, ModelKind};
+use evalimplsts::tsdata::datasets::{generate, DatasetKind, GenOptions};
+use evalimplsts::tsdata::metrics::tfe;
+use evalimplsts::tsdata::split::{split, SplitSpec};
+
+fn smoke_config() -> GridConfig {
+    let mut cfg = GridConfig::smoke();
+    cfg.len = Some(1_500);
+    cfg.error_bounds = vec![0.05, 0.3];
+    cfg.models = vec![ModelKind::GBoost];
+    cfg
+}
+
+#[test]
+fn algorithm1_produces_low_tfe_at_small_bounds() {
+    let data = generate(DatasetKind::ETTm2, GenOptions::with_len(3_000));
+    let s = split(&data, SplitSpec::default()).expect("splits");
+    let mut model = build_model(
+        ModelKind::DLinear,
+        BuildOptions { input_len: 48, horizon: 12, ..Default::default() },
+    );
+    let outcome = evaluate_scenario(
+        model.as_mut(),
+        &s.train,
+        &s.val,
+        &s.test,
+        &all_lossy(),
+        &[0.01],
+        8,
+    )
+    .expect("scenario runs");
+    // RQ2: tiny error bounds barely affect forecasting accuracy.
+    for (method, _, metrics) in &outcome.transformed {
+        let t = tfe(outcome.baseline.rmse, metrics.rmse);
+        assert!(t.abs() < 0.15, "{method} @ 0.01 has TFE {t}");
+    }
+}
+
+#[test]
+fn grids_agree_on_dimensions() {
+    let cfg = smoke_config();
+    let comp = run_compression_grid(&cfg);
+    assert_eq!(comp.len(), cfg.methods.len() * cfg.error_bounds.len());
+    let fore = run_forecast_grid(&cfg);
+    // 1 model x 1 seed x (1 baseline + methods x eps records)
+    assert_eq!(fore.len(), 1 + cfg.methods.len() * cfg.error_bounds.len());
+}
+
+#[test]
+fn features_distinguish_raw_from_heavily_compressed() {
+    let data = generate(DatasetKind::ETTm1, GenOptions::with_len(3_000));
+    let target = data.target();
+    let opts = FeatureOptions { period: Some(96), shift_window: 48, cap: None };
+    let original = extract(target.values(), opts);
+    let pmc = Method::Pmc.compressor();
+    let (heavy, _) = pmc.transform(target, 0.8).expect("compresses");
+    let compressed = extract(heavy.values(), opts);
+    // Heavy PMC averaging flattens the series: fewer crossings, more flat
+    // spots, lower variance.
+    assert!(compressed.get("flat_spots") > original.get("flat_spots"));
+    assert!(compressed.get("var") < original.get("var"));
+}
+
+#[test]
+fn elbow_detection_on_real_tfe_curve() {
+    // Build a genuine TFE-vs-TE curve from the pipeline and locate an
+    // elbow on it.
+    let data = generate(DatasetKind::ETTm1, GenOptions::with_len(2_500));
+    let s = split(&data, SplitSpec::default()).expect("splits");
+    let mut model = build_model(
+        ModelKind::GBoost,
+        BuildOptions { input_len: 48, horizon: 12, ..Default::default() },
+    );
+    let bounds = [0.01, 0.05, 0.1, 0.2, 0.4, 0.8];
+    let pmc: Vec<Box<dyn evalimplsts::compression::PeblcCompressor>> =
+        vec![Box::new(evalimplsts::compression::Pmc)];
+    let outcome =
+        evaluate_scenario(model.as_mut(), &s.train, &s.val, &s.test, &pmc, &bounds, 8)
+            .expect("scenario runs");
+    let mut tes = Vec::new();
+    let mut tfes = Vec::new();
+    for (i, (_, _, metrics)) in outcome.transformed.iter().enumerate() {
+        let (d, _) = evalimplsts::compression::Pmc
+            .transform(s.test.target(), bounds[i])
+            .expect("compresses");
+        tes.push(evalimplsts::tsdata::metrics::nrmse(
+            s.test.target().values(),
+            d.values(),
+        ));
+        tfes.push(tfe(outcome.baseline.rmse, metrics.rmse));
+    }
+    // The curve is monotone-ish in TE; kneedle should find a point.
+    let k = kneedle(&tes, &tfes, Shape::ConvexIncreasing, 1.0);
+    assert!(k.is_some(), "no elbow on TE {tes:?} TFE {tfes:?}");
+}
+
+#[test]
+fn seed_averaging_changes_deep_but_not_simple_counts() {
+    let mut cfg = smoke_config();
+    cfg.models = vec![ModelKind::GBoost, ModelKind::DLinear];
+    cfg.seeds_deep = 2;
+    cfg.seeds_simple = 1;
+    assert_eq!(cfg.seeds_for(ModelKind::GBoost).len(), 1);
+    assert_eq!(cfg.seeds_for(ModelKind::DLinear).len(), 2);
+    let fore = run_forecast_grid(&cfg);
+    // GBoost: 1 seed x 7 records; DLinear: 2 seeds x 7 records.
+    assert_eq!(fore.len(), 7 + 14);
+}

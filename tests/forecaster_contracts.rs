@@ -1,0 +1,87 @@
+//! Contract tests every forecaster must satisfy: trainable on all
+//! datasets, horizon-length finite predictions, window validation, and the
+//! not-fitted error.
+
+use evalimplsts::forecast::model::{ForecastError, ALL_MODELS};
+use evalimplsts::forecast::{build_model, BuildOptions};
+use evalimplsts::tsdata::datasets::{generate, DatasetKind, GenOptions};
+use evalimplsts::tsdata::split::{split, SplitSpec};
+
+fn options() -> BuildOptions {
+    BuildOptions { input_len: 32, horizon: 8, season: Some(96), ..Default::default() }
+}
+
+#[test]
+fn all_models_fit_and_predict_on_a_common_dataset() {
+    let data = generate(DatasetKind::ETTm1, GenOptions::with_len(1_200));
+    let s = split(&data, SplitSpec::default()).expect("splits");
+    for kind in ALL_MODELS {
+        let mut model = build_model(kind, options());
+        model
+            .fit(&s.train, &s.val)
+            .unwrap_or_else(|e| panic!("{} failed to fit: {e}", kind.name()));
+        let window = s.test.target().values()[..32].to_vec();
+        let pred = model
+            .predict(&[window])
+            .unwrap_or_else(|e| panic!("{} failed to predict: {e}", kind.name()));
+        assert_eq!(pred.len(), 8, "{} horizon", kind.name());
+        assert!(
+            pred.iter().all(|v| v.is_finite()),
+            "{} produced non-finite forecast {pred:?}",
+            kind.name()
+        );
+        // Forecasts should stay within a generous multiple of the data
+        // range (no exploding recursions).
+        let stats = DatasetKind::ETTm1.paper_stats();
+        let span = stats.max - stats.min;
+        assert!(
+            pred.iter().all(|v| *v > stats.min - span && *v < stats.max + span),
+            "{} forecast out of range: {pred:?}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn predict_before_fit_is_an_error_for_every_model() {
+    for kind in ALL_MODELS {
+        let model = build_model(kind, options());
+        assert!(
+            matches!(model.predict(&[vec![0.0; 32]]), Err(ForecastError::NotFitted)),
+            "{} should report NotFitted",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn wrong_window_length_is_an_error_for_every_model() {
+    let data = generate(DatasetKind::ETTm2, GenOptions::with_len(1_000));
+    let s = split(&data, SplitSpec::default()).expect("splits");
+    for kind in ALL_MODELS {
+        let mut model = build_model(kind, options());
+        model.fit(&s.train, &s.val).expect("fits");
+        assert!(
+            matches!(
+                model.predict(&[vec![0.0; 5]]),
+                Err(ForecastError::BadWindow { .. })
+            ),
+            "{} should reject short windows",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn deterministic_predictions_given_seed() {
+    let data = generate(DatasetKind::Weather, GenOptions::with_len(1_000));
+    let s = split(&data, SplitSpec::default()).expect("splits");
+    for kind in ALL_MODELS {
+        let run = || {
+            let mut model = build_model(kind, options());
+            model.fit(&s.train, &s.val).expect("fits");
+            model.predict(&[s.test.target().values()[..32].to_vec()]).expect("predicts")
+        };
+        assert_eq!(run(), run(), "{} not deterministic", kind.name());
+    }
+}
