@@ -16,8 +16,7 @@ pub fn acf(x: &[f64], max_lag: usize) -> Vec<f64> {
             if k >= n || denom == 0.0 {
                 0.0
             } else {
-                let num: f64 =
-                    (0..n - k).map(|t| (x[t] - mean) * (x[t + k] - mean)).sum();
+                let num: f64 = (0..n - k).map(|t| (x[t] - mean) * (x[t + k] - mean)).sum();
                 num / denom
             }
         })
@@ -48,8 +47,7 @@ pub fn pacf(x: &[f64], max_lag: usize) -> Vec<f64> {
         let pk = if k == 1 {
             rk
         } else {
-            let num = rk
-                - (1..k).map(|j| phi_prev[j] * rho[k - 1 - j]).sum::<f64>();
+            let num = rk - (1..k).map(|j| phi_prev[j] * rho[k - 1 - j]).sum::<f64>();
             let den = 1.0 - (1..k).map(|j| phi_prev[j] * rho[j - 1]).sum::<f64>();
             if den.abs() < 1e-12 {
                 0.0

@@ -67,8 +67,7 @@ pub fn decompose(x: &[f64], period: Option<usize>) -> Decomposition {
     } else {
         vec![0.0; n]
     };
-    let remainder: Vec<f64> =
-        detrended.iter().zip(&seasonal).map(|(d, s)| d - s).collect();
+    let remainder: Vec<f64> = detrended.iter().zip(&seasonal).map(|(d, s)| d - s).collect();
     Decomposition { trend, seasonal, remainder, period }
 }
 
@@ -143,10 +142,7 @@ pub fn stl_features(d: &Decomposition) -> StlFeatures {
             s22 += d2 * d2;
             s2y += d2 * dy;
         }
-        (
-            if stt > 1e-12 { sty / stt } else { 0.0 },
-            if s22 > 1e-12 { s2y / s22 } else { 0.0 },
-        )
+        (if stt > 1e-12 { sty / stt } else { 0.0 }, if s22 > 1e-12 { s2y / s22 } else { 0.0 })
     };
 
     let e_acf1 = acf_at(&d.remainder, 1);
@@ -189,8 +185,7 @@ mod tests {
     fn seasonal_series(n: usize, period: usize, amp: f64, slope: f64) -> Vec<f64> {
         (0..n)
             .map(|i| {
-                slope * i as f64
-                    + amp * (i as f64 / period as f64 * std::f64::consts::TAU).sin()
+                slope * i as f64 + amp * (i as f64 / period as f64 * std::f64::consts::TAU).sin()
             })
             .collect()
     }
@@ -208,9 +203,9 @@ mod tests {
     fn decomposition_reconstructs() {
         let x = seasonal_series(500, 24, 3.0, 0.01);
         let d = decompose(&x, Some(24));
-        for i in 0..500 {
+        for (i, &xi) in x.iter().enumerate() {
             let rebuilt = d.trend[i] + d.seasonal[i] + d.remainder[i];
-            assert!((rebuilt - x[i]).abs() < 1e-9);
+            assert!((rebuilt - xi).abs() < 1e-9);
         }
     }
 

@@ -91,8 +91,8 @@ impl FeatureVector {
     /// §4.3.1 is the difference between decompressed and original).
     pub fn diff(&self, other: &FeatureVector) -> [f64; NUM_FEATURES] {
         let mut out = [0.0; NUM_FEATURES];
-        for i in 0..NUM_FEATURES {
-            out[i] = self.values[i] - other.values[i];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.values[i] - other.values[i];
         }
         out
     }
@@ -102,9 +102,9 @@ impl FeatureVector {
     /// large finite value when only the reference is 0).
     pub fn relative_diff_pct(&self, other: &FeatureVector) -> [f64; NUM_FEATURES] {
         let mut out = [0.0; NUM_FEATURES];
-        for i in 0..NUM_FEATURES {
+        for (i, o) in out.iter_mut().enumerate() {
             let (a, b) = (self.values[i], other.values[i]);
-            out[i] = if b.abs() > 1e-12 {
+            *o = if b.abs() > 1e-12 {
                 (a - b).abs() / b.abs() * 100.0
             } else if a.abs() > 1e-12 {
                 1e6
@@ -276,11 +276,7 @@ pub fn extract(series: &[f64], opts: FeatureOptions) -> FeatureVector {
         acf::sum_sq_pacf(x, 5),
         acf::sum_sq_pacf(&d1, 5),
         acf::sum_sq_pacf(&d2, 5),
-        if seas_lag > 1 {
-            acf::pacf(x, seas_lag).last().copied().unwrap_or(0.0)
-        } else {
-            0.0
-        },
+        if seas_lag > 1 { acf::pacf(x, seas_lag).last().copied().unwrap_or(0.0) } else { 0.0 },
         nonlinearity(x),
         arch_stat(x),
         holt.alpha,

@@ -64,10 +64,8 @@ pub fn kneedle(x: &[f64], y: &[f64], shape: Shape, sensitivity: f64) -> Option<u
         // Knee confirmed if d drops below the threshold before the next
         // local maximum (or the end of the curve).
         let next_max = maxima.iter().find(|&&j| j > i).copied().unwrap_or(n - 1);
-        for j in i + 1..=next_max {
-            if d[j] < threshold {
-                return Some(i);
-            }
+        if d[i + 1..=next_max].iter().any(|&v| v < threshold) {
+            return Some(i);
         }
         // Reaching the end of the curve without rising again also counts.
         if next_max == n - 1 && d[n - 1] < threshold {
@@ -75,9 +73,7 @@ pub fn kneedle(x: &[f64], y: &[f64], shape: Shape, sensitivity: f64) -> Option<u
         }
     }
     // Fall back to the global maximum of the difference curve.
-    maxima
-        .into_iter()
-        .max_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("finite distances"))
+    maxima.into_iter().max_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("finite distances"))
 }
 
 #[cfg(test)]

@@ -164,17 +164,14 @@ mod tests {
         let monitor = CharacteristicsMonitor::new(&x, config());
         // Crush the signal: zero-order hold every 32 points (a brutal
         // PMC-like transformation far past any sane error bound).
-        let crushed: Vec<f64> = x
-            .chunks(32)
-            .flat_map(|c| std::iter::repeat_n(c[0], c.len()))
-            .collect();
+        let crushed: Vec<f64> =
+            x.chunks(32).flat_map(|c| std::iter::repeat_n(c[0], c.len())).collect();
         let alerts = monitor.check(&crushed);
         assert!(!alerts.is_empty(), "crushed stream must alert");
         // Sorted most-severe first.
         for w in alerts.windows(2) {
             assert!(
-                w[0].deviation_pct / w[0].threshold_pct
-                    >= w[1].deviation_pct / w[1].threshold_pct
+                w[0].deviation_pct / w[0].threshold_pct >= w[1].deviation_pct / w[1].threshold_pct
             );
         }
     }
@@ -183,10 +180,8 @@ mod tests {
     fn severity_classes() {
         let x = seasonal(2000, 3);
         let monitor = CharacteristicsMonitor::new(&x, config());
-        let crushed: Vec<f64> = x
-            .chunks(64)
-            .flat_map(|c| std::iter::repeat_n(c[0], c.len()))
-            .collect();
+        let crushed: Vec<f64> =
+            x.chunks(64).flat_map(|c| std::iter::repeat_n(c[0], c.len())).collect();
         let alerts = monitor.check(&crushed);
         assert!(
             alerts.iter().any(|a| a.severity == Severity::Critical),

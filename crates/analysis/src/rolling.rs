@@ -63,8 +63,7 @@ pub fn max_kl_shift(x: &[f64], w: usize) -> Shift {
     if !(hi - lo).is_finite() || hi - lo < 1e-12 {
         return ZERO_SHIFT;
     }
-    let grid: Vec<f64> =
-        (0..GRID).map(|i| lo + (hi - lo) * i as f64 / (GRID - 1) as f64).collect();
+    let grid: Vec<f64> = (0..GRID).map(|i| lo + (hi - lo) * i as f64 / (GRID - 1) as f64).collect();
     // Per-window Silverman bandwidth, floored at the grid resolution. A
     // window flattened to a plateau (what PMC produces) gets a near-delta
     // density, which is exactly why the paper finds max_kl_shift so
@@ -75,12 +74,7 @@ pub fn max_kl_shift(x: &[f64], w: usize) -> Shift {
         let bw = (1.06 * sd * (window.len() as f64).powf(-0.2)).max(bw_floor);
         let mut d: Vec<f64> = grid
             .iter()
-            .map(|&g| {
-                window
-                    .iter()
-                    .map(|&v| (-0.5 * ((g - v) / bw).powi(2)).exp())
-                    .sum::<f64>()
-            })
+            .map(|&g| window.iter().map(|&v| (-0.5 * ((g - v) / bw).powi(2)).exp()).sum::<f64>())
             .collect();
         let total: f64 = d.iter().sum::<f64>().max(1e-300);
         for v in d.iter_mut() {
@@ -121,7 +115,7 @@ fn tiled(x: &[f64], w: usize, stat: impl Fn(&[f64]) -> f64) -> f64 {
     if w == 0 || x.len() < w {
         return 0.0;
     }
-    let stats: Vec<f64> = x.chunks_exact(w).map(|c| stat(c)).collect();
+    let stats: Vec<f64> = x.chunks_exact(w).map(stat).collect();
     variance(&stats)
 }
 

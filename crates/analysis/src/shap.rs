@@ -76,6 +76,7 @@ fn node_cover(nodes: &[Node], i: usize) -> f64 {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn recurse(
     nodes: &[Node],
     j: usize,
@@ -170,8 +171,7 @@ pub fn expected_value(tree: &RegressionTree, x: &[f64], subset: &[bool]) -> f64 
                 } else {
                     let cl = node_cover(nodes, *left);
                     let cr = node_cover(nodes, *right);
-                    (cl * rec(nodes, *left, x, subset) + cr * rec(nodes, *right, x, subset))
-                        / cover
+                    (cl * rec(nodes, *left, x, subset) + cr * rec(nodes, *right, x, subset)) / cover
                 }
             }
         }
@@ -231,7 +231,8 @@ mod tests {
         for _ in 0..n {
             let row: Vec<f64> = (0..nf).map(|_| rand() * 4.0).collect();
             // Target uses features 0 and 1 plus an interaction.
-            let t = 2.0 * row[0] + if row[1] > 0.0 { 3.0 } else { -1.0 }
+            let t = 2.0 * row[0]
+                + if row[1] > 0.0 { 3.0 } else { -1.0 }
                 + row[0] * row.get(2).copied().unwrap_or(0.0) * 0.5;
             x.extend_from_slice(&row);
             y.push(t);
@@ -296,21 +297,13 @@ mod tests {
     #[test]
     fn gbm_shap_local_accuracy() {
         let (x, y) = training_data(400, 4, 4);
-        let model = GbmRegressor::fit(
-            &x,
-            &y,
-            4,
-            GbmConfig { n_estimators: 30, ..Default::default() },
-        );
+        let model =
+            GbmRegressor::fit(&x, &y, 4, GbmConfig { n_estimators: 30, ..Default::default() });
         // E[f] = base + lr * sum of tree expectations over empty subset.
         let empty = [false; 4];
         let e_f: f64 = model.base()
             + model.learning_rate()
-                * model
-                    .trees()
-                    .iter()
-                    .map(|t| expected_value(t, &x[..4], &empty))
-                    .sum::<f64>();
+                * model.trees().iter().map(|t| expected_value(t, &x[..4], &empty)).sum::<f64>();
         let sample = &x[40..44];
         let phi_sum: f64 = gbm_shap(&model, sample).iter().sum();
         let fx = model.predict(sample);
@@ -320,12 +313,8 @@ mod tests {
     #[test]
     fn importance_ranks_signal_over_noise() {
         let (x, y) = training_data(500, 5, 5);
-        let model = GbmRegressor::fit(
-            &x,
-            &y,
-            5,
-            GbmConfig { n_estimators: 50, ..Default::default() },
-        );
+        let model =
+            GbmRegressor::fit(&x, &y, 5, GbmConfig { n_estimators: 50, ..Default::default() });
         let imp = mean_abs_shap(&model, &x, 500);
         // Features 0 and 1 drive the target; 3 and 4 are pure noise.
         assert!(imp[0] > imp[3] * 3.0, "{imp:?}");

@@ -17,7 +17,7 @@ pub fn fft(buf: &mut [(f64, f64)]) {
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        let j = i.reverse_bits() >> (usize::BITS - bits);
         if j > i {
             buf.swap(i, j);
         }
@@ -51,9 +51,8 @@ pub fn periodogram(x: &[f64]) -> Vec<f64> {
     }
     let m = mean(x);
     let n = x.len().next_power_of_two();
-    let mut buf: Vec<(f64, f64)> = (0..n)
-        .map(|i| if i < x.len() { (x[i] - m, 0.0) } else { (0.0, 0.0) })
-        .collect();
+    let mut buf: Vec<(f64, f64)> =
+        (0..n).map(|i| if i < x.len() { (x[i] - m, 0.0) } else { (0.0, 0.0) }).collect();
     fft(&mut buf);
     (1..n / 2).map(|k| buf[k].0 * buf[k].0 + buf[k].1 * buf[k].1).collect()
 }
@@ -115,15 +114,14 @@ mod tests {
         let mut buf: Vec<(f64, f64)> = x.iter().map(|&v| (v, 0.0)).collect();
         fft(&mut buf);
         let time_energy: f64 = x.iter().map(|v| v * v).sum();
-        let freq_energy: f64 =
-            buf.iter().map(|(r, i)| r * r + i * i).sum::<f64>() / 32.0;
+        let freq_energy: f64 = buf.iter().map(|(r, i)| r * r + i * i).sum::<f64>() / 32.0;
         assert!((time_energy - freq_energy).abs() < 1e-9);
     }
 
     #[test]
     #[should_panic(expected = "power of two")]
     fn fft_rejects_non_power_of_two() {
-        fft(&mut vec![(0.0, 0.0); 6]);
+        fft(&mut [(0.0, 0.0); 6]);
     }
 
     #[test]

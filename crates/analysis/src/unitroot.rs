@@ -6,9 +6,7 @@ use tsdata::stats::mean;
 
 fn bartlett_long_run_variance(e: &[f64], lags: usize) -> f64 {
     let n = e.len() as f64;
-    let gamma = |j: usize| -> f64 {
-        e.iter().skip(j).zip(e).map(|(a, b)| a * b).sum::<f64>() / n
-    };
+    let gamma = |j: usize| -> f64 { e.iter().skip(j).zip(e).map(|(a, b)| a * b).sum::<f64>() / n };
     let mut lrv = gamma(0);
     for j in 1..=lags.min(e.len().saturating_sub(1)) {
         let w = 1.0 - j as f64 / (lags + 1) as f64;

@@ -149,15 +149,8 @@ fn ablate_gboost_strategy(c: &mut Criterion) {
     let s = split(&data, SplitSpec::default()).expect("splits");
     let mut group = c.benchmark_group("ablate_gboost_strategy");
     group.sample_size(10);
-    for (name, strategy) in
-        [("direct", MultiStep::Direct), ("recursive", MultiStep::Recursive)]
-    {
-        let config = GBoostConfig {
-            input_len: 96,
-            horizon: 24,
-            strategy,
-            ..Default::default()
-        };
+    for (name, strategy) in [("direct", MultiStep::Direct), ("recursive", MultiStep::Recursive)] {
+        let config = GBoostConfig { input_len: 96, horizon: 24, strategy, ..Default::default() };
         let mut model = GBoost::new(config.clone());
         model.fit(&s.train, &s.val).expect("fits");
         let window = s.test.target().values()[..96].to_vec();

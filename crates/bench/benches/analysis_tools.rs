@@ -17,8 +17,7 @@ fn bench_features(c: &mut Criterion) {
     group.sample_size(10);
     for n in [2_000usize, 8_000] {
         let series = generate_univariate(DatasetKind::ETTm1, GenOptions::with_len(n));
-        let opts =
-            FeatureOptions { period: Some(96), shift_window: 48, cap: None };
+        let opts = FeatureOptions { period: Some(96), shift_window: 48, cap: None };
         group.bench_with_input(BenchmarkId::from_parameter(n), &series, |b, s| {
             b.iter(|| extract(black_box(s.values()), opts))
         });

@@ -28,13 +28,9 @@ fn bench_compress(c: &mut Criterion) {
     ];
     for (name, compressor) in &methods {
         for eps in [0.01, 0.1, 0.4] {
-            group.bench_with_input(
-                BenchmarkId::new(*name, eps),
-                &eps,
-                |b, &eps| {
-                    b.iter(|| compressor.compress(black_box(&s), eps).expect("compresses"))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(*name, eps), &eps, |b, &eps| {
+                b.iter(|| compressor.compress(black_box(&s), eps).expect("compresses"))
+            });
         }
     }
     group.finish();

@@ -6,8 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use evalcore::experiments::{
-    characteristics_exp, compression_exp, elbows_exp, fig1, forecasting_exp, retrain_exp,
-    table1,
+    characteristics_exp, compression_exp, elbows_exp, fig1, forecasting_exp, retrain_exp, table1,
 };
 use evalcore::grid::GridConfig;
 use forecast::model::ModelKind;
@@ -59,9 +58,7 @@ fn bench_tables_and_figures(c: &mut Criterion) {
     c.bench_function("fig6/tfe_per_model", |b| b.iter(|| forecast.render_fig6(&caps)));
     c.bench_function("table7/best_models", |b| b.iter(|| forecast.render_table7(&caps)));
     c.bench_function("fig7/retrain_on_decompressed", |b| {
-        b.iter(|| {
-            retrain_exp::run(black_box(&cfg), &[ModelKind::GBoost], &[0.1]).render()
-        })
+        b.iter(|| retrain_exp::run(black_box(&cfg), &[ModelKind::GBoost], &[0.1]).render())
     });
     c.bench_function("decomp/trend_remainder_impact", |b| {
         b.iter(|| retrain_exp::render_decomposition(black_box(&cfg)))

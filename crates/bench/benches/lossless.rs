@@ -12,10 +12,10 @@ use compression::huffman::CanonicalCode;
 fn float_payload(n: usize) -> Vec<u8> {
     (0..n)
         .flat_map(|i| {
-            let v = (13.0 + (i as f64 / 96.0 * std::f64::consts::TAU).sin() * 4.0
+            (13.0
+                + (i as f64 / 96.0 * std::f64::consts::TAU).sin() * 4.0
                 + ((i * 31) % 13) as f64 * 0.01)
-                .to_le_bytes();
-            v
+                .to_le_bytes()
         })
         .collect()
 }

@@ -39,7 +39,7 @@ fn bench_predict(c: &mut Criterion) {
         let mut model = build_model(kind, options());
         model.fit(&s.train, &s.val).expect("fits");
         group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
-            b.iter(|| model.predict(black_box(&[window.clone()])).expect("predicts"))
+            b.iter(|| model.predict(black_box(std::slice::from_ref(&window))).expect("predicts"))
         });
     }
     group.finish();

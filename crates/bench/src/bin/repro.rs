@@ -8,8 +8,7 @@
 
 use bench::{config_for, parse_args, Experiment, ALL_EXPERIMENTS};
 use evalcore::experiments::{
-    characteristics_exp, compression_exp, elbows_exp, fig1, forecasting_exp, retrain_exp,
-    table1,
+    characteristics_exp, compression_exp, elbows_exp, fig1, forecasting_exp, retrain_exp, table1,
 };
 use forecast::model::ModelKind;
 use tsdata::datasets::DatasetKind;
@@ -43,22 +42,21 @@ fn main() {
     let mut chars: Option<characteristics_exp::CharacteristicsExperiment> = None;
 
     let get_compression =
-        |cfg: &evalcore::GridConfig,
-         cache: &mut Option<compression_exp::CompressionExperiment>| {
+        |cfg: &evalcore::GridConfig, cache: &mut Option<compression_exp::CompressionExperiment>| {
             if cache.is_none() {
                 eprintln!("[repro] running compression grid...");
                 *cache = Some(compression_exp::run(cfg));
             }
             cache.clone().expect("just populated")
         };
-    let get_forecast = |cfg: &evalcore::GridConfig,
-                            cache: &mut Option<forecasting_exp::ForecastExperiment>| {
-        if cache.is_none() {
-            eprintln!("[repro] running forecasting grid (this is the long part)...");
-            *cache = Some(forecasting_exp::run(cfg));
-        }
-        cache.clone().expect("just populated")
-    };
+    let get_forecast =
+        |cfg: &evalcore::GridConfig, cache: &mut Option<forecasting_exp::ForecastExperiment>| {
+            if cache.is_none() {
+                eprintln!("[repro] running forecasting grid (this is the long part)...");
+                *cache = Some(forecasting_exp::run(cfg));
+            }
+            cache.clone().expect("just populated")
+        };
 
     for exp in experiments {
         let started = std::time::Instant::now();
@@ -109,18 +107,10 @@ fn main() {
             Experiment::Fig7 => {
                 let mut retrain_cfg = cfg.clone();
                 retrain_cfg.datasets = vec![DatasetKind::ETTm1, DatasetKind::ETTm2];
-                let bounds: Vec<f64> = cfg
-                    .error_bounds
-                    .iter()
-                    .copied()
-                    .filter(|&e| e <= 0.2 + 1e-9)
-                    .collect();
-                retrain_exp::run(
-                    &retrain_cfg,
-                    &[ModelKind::Arima, ModelKind::DLinear],
-                    &bounds,
-                )
-                .render()
+                let bounds: Vec<f64> =
+                    cfg.error_bounds.iter().copied().filter(|&e| e <= 0.2 + 1e-9).collect();
+                retrain_exp::run(&retrain_cfg, &[ModelKind::Arima, ModelKind::DLinear], &bounds)
+                    .render()
             }
             Experiment::Decomp => retrain_exp::render_decomposition(&cfg),
             Experiment::All => unreachable!("expanded above"),
@@ -136,31 +126,19 @@ fn main() {
             eprintln!("[repro] cannot create csv dir {}: {e}", dir.display());
             return;
         }
-        let write = |name: &str, contents: String| match std::fs::write(dir.join(name), contents)
-        {
+        let write = |name: &str, contents: String| match std::fs::write(dir.join(name), contents) {
             Ok(()) => eprintln!("[repro] wrote {}", dir.join(name).display()),
             Err(e) => eprintln!("[repro] failed writing {name}: {e}"),
         };
         if let Some(comp) = &compression {
-            write(
-                "compression.csv",
-                evalcore::results::compression_csv(&comp.records),
-            );
+            write("compression.csv", evalcore::results::compression_csv(&comp.records));
         }
         if let Some(fore) = &forecast {
             write("forecast.csv", evalcore::results::forecast_csv(&fore.forecast));
             // Figure-4 points: the TFE-vs-TE series per (dataset, method).
             let mut fig4 = String::from("dataset,method,epsilon,te,mean_tfe,ci95\n");
             for (d, m, e, te, tfe, ci) in fore.fig4_points() {
-                fig4.push_str(&format!(
-                    "{},{},{},{},{},{}\n",
-                    d.name(),
-                    m.name(),
-                    e,
-                    te,
-                    tfe,
-                    ci
-                ));
+                fig4.push_str(&format!("{},{},{},{},{},{}\n", d.name(), m.name(), e, te, tfe, ci));
             }
             write("fig4_points.csv", fig4);
         }

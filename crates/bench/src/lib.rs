@@ -94,8 +94,13 @@ impl Experiment {
     pub fn needs_forecast_grid(self) -> bool {
         !matches!(
             self,
-            Experiment::Table1 | Experiment::Fig1 | Experiment::Fig2 | Experiment::Fig3
-                | Experiment::Table3 | Experiment::Fig7 | Experiment::Decomp
+            Experiment::Table1
+                | Experiment::Fig1
+                | Experiment::Fig2
+                | Experiment::Fig3
+                | Experiment::Table3
+                | Experiment::Fig7
+                | Experiment::Decomp
         )
     }
 }

@@ -90,8 +90,11 @@ pub trait PeblcCompressor: Send + Sync {
 
     /// Compresses under relative bound `epsilon` (>= 0; 0 means lossless
     /// within float representation).
-    fn compress(&self, series: &RegularTimeSeries, epsilon: f64)
-        -> Result<CompressedSeries, CodecError>;
+    fn compress(
+        &self,
+        series: &RegularTimeSeries,
+        epsilon: f64,
+    ) -> Result<CompressedSeries, CodecError>;
 
     /// Decompresses a buffer produced by this compressor.
     fn decompress(&self, compressed: &CompressedSeries) -> Result<RegularTimeSeries, CodecError>;

@@ -63,19 +63,69 @@ const NUM_DIST: usize = 30;
 
 /// DEFLATE length codes: (symbol - 257) -> (base_length, extra_bits).
 const LEN_TABLE: [(u16, u8); 29] = [
-    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
-    (11, 1), (13, 1), (15, 1), (17, 1), (19, 2), (23, 2), (27, 2), (31, 2),
-    (35, 3), (43, 3), (51, 3), (59, 3), (67, 4), (83, 4), (99, 4), (115, 4),
-    (131, 5), (163, 5), (195, 5), (227, 5), (258, 0),
+    (3, 0),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 5),
+    (227, 5),
+    (258, 0),
 ];
 
 /// DEFLATE distance codes: symbol -> (base_distance, extra_bits).
 const DIST_TABLE: [(u16, u8); 30] = [
-    (1, 0), (2, 0), (3, 0), (4, 0), (5, 1), (7, 1), (9, 2), (13, 2),
-    (17, 3), (25, 3), (33, 4), (49, 4), (65, 5), (97, 5), (129, 6), (193, 6),
-    (257, 7), (385, 7), (513, 8), (769, 8), (1025, 9), (1537, 9),
-    (2049, 10), (3073, 10), (4097, 11), (6145, 11), (8193, 12), (12289, 12),
-    (16385, 13), (24577, 13),
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
 ];
 
 fn length_symbol(len: usize) -> (usize, u16, u8) {
@@ -244,8 +294,7 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DeflateError> {
         return Err(DeflateError::Truncated);
     }
     let mode = input[0];
-    let expected =
-        u32::from_le_bytes(input[1..5].try_into().expect("sliced 4 bytes")) as usize;
+    let expected = u32::from_le_bytes(input[1..5].try_into().expect("sliced 4 bytes")) as usize;
     let body = &input[5..];
     match mode {
         0 => {
@@ -421,9 +470,7 @@ mod tests {
         // The paper's PMC-vs-Swing CR argument: constant-value segment
         // streams gzip better than slope/intercept pair streams. Verify our
         // codec reproduces that.
-        let constants: Vec<u8> = (0..1000)
-            .flat_map(|_| 13.25f64.to_le_bytes())
-            .collect();
+        let constants: Vec<u8> = (0..1000).flat_map(|_| 13.25f64.to_le_bytes()).collect();
         let pairs: Vec<u8> = (0..500)
             .flat_map(|i| {
                 let slope = (i as f64) * 1e-4 + 0.123;

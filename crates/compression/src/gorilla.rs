@@ -40,8 +40,7 @@ pub fn compress_values(values: &[f64], w: &mut BitWriter) {
             w.write_bit(true);
             let leading = xor.leading_zeros().min(31);
             let trailing = xor.trailing_zeros();
-            if prev_leading != u32::MAX && leading >= prev_leading && trailing >= prev_trailing
-            {
+            if prev_leading != u32::MAX && leading >= prev_leading && trailing >= prev_trailing {
                 // Reuse the previous window.
                 w.write_bit(false);
                 let len = 64 - prev_leading - prev_trailing;
@@ -218,11 +217,8 @@ mod tests {
         let c = Gorilla.compress(&series(vec![1.0, 2.0, 3.0]), 0.0).unwrap();
         let inner = deflate::decompress(&c.bytes).unwrap();
         let cut = &inner[..inner.len() - 1];
-        let frame = CompressedSeries {
-            method: "GORILLA",
-            bytes: deflate::compress(cut),
-            num_segments: 1,
-        };
+        let frame =
+            CompressedSeries { method: "GORILLA", bytes: deflate::compress(cut), num_segments: 1 };
         assert!(Gorilla.decompress(&frame).is_err());
     }
 
@@ -230,6 +226,9 @@ mod tests {
     fn full_64bit_window() {
         // Adjacent values whose XOR has no leading/trailing zeros exercise
         // the len = 64 encoding path (stored as 63 in 6 bits).
-        roundtrip(vec![f64::from_bits(0x8000_0000_0000_0001), f64::from_bits(0x7FFF_FFFF_FFFF_FFFE)]);
+        roundtrip(vec![
+            f64::from_bits(0x8000_0000_0000_0001),
+            f64::from_bits(0x7FFF_FFFF_FFFF_FFFE),
+        ]);
     }
 }

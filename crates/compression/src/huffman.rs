@@ -66,10 +66,8 @@ pub fn build_code_lengths(freqs: &[u64]) -> Result<Vec<u8>, HuffmanError> {
         children: Option<(usize, usize)>, // indices into `nodes`
         symbol: usize,
     }
-    let mut nodes: Vec<Node> = active
-        .iter()
-        .map(|&s| Node { freq: freqs[s], children: None, symbol: s })
-        .collect();
+    let mut nodes: Vec<Node> =
+        active.iter().map(|&s| Node { freq: freqs[s], children: None, symbol: s }).collect();
     nodes.sort_by_key(|n| n.freq);
 
     let mut leaves: std::collections::VecDeque<usize> = (0..nodes.len()).collect();
@@ -94,7 +92,11 @@ pub fn build_code_lengths(freqs: &[u64]) -> Result<Vec<u8>, HuffmanError> {
     for _ in 0..total - 1 {
         let a = pop_min(&nodes, &mut leaves, &mut internals);
         let b = pop_min(&nodes, &mut leaves, &mut internals);
-        let parent = Node { freq: nodes[a].freq + nodes[b].freq, children: Some((a, b)), symbol: usize::MAX };
+        let parent = Node {
+            freq: nodes[a].freq + nodes[b].freq,
+            children: Some((a, b)),
+            symbol: usize::MAX,
+        };
         nodes.push(parent);
         internals.push_back(nodes.len() - 1);
     }
@@ -137,8 +139,7 @@ pub fn build_code_lengths(freqs: &[u64]) -> Result<Vec<u8>, HuffmanError> {
                     let better = match best {
                         None => true,
                         Some(b) => {
-                            (lengths[b], freqs[i]) > (l, freqs[b])
-                                && freqs[i] <= freqs[b]
+                            (lengths[b], freqs[i]) > (l, freqs[b]) && freqs[i] <= freqs[b]
                                 || lengths[b] < l
                         }
                     };
@@ -155,11 +156,11 @@ pub fn build_code_lengths(freqs: &[u64]) -> Result<Vec<u8>, HuffmanError> {
         // Underfull is fine for decodability, but tighten anyway by
         // shortening the longest codes where possible.
         'outer: while k < unit {
-            for i in 0..lengths.len() {
-                if lengths[i] > 1 {
-                    let gain = (unit >> (lengths[i] - 1)) - (unit >> lengths[i]);
+            for l in lengths.iter_mut() {
+                if *l > 1 {
+                    let gain = (unit >> (*l - 1)) - (unit >> *l);
                     if k + gain <= unit {
-                        lengths[i] -= 1;
+                        *l -= 1;
                         k += gain;
                         continue 'outer;
                     }
@@ -204,8 +205,7 @@ impl CanonicalCode {
         }
         // Kraft check (allow underfull — our builder tightens but tolerate).
         let unit = 1u64 << MAX_CODE_LEN;
-        let kraft: u64 =
-            lengths.iter().filter(|&&l| l > 0).map(|&l| unit >> l).sum();
+        let kraft: u64 = lengths.iter().filter(|&&l| l > 0).map(|&l| unit >> l).sum();
         if kraft > unit {
             return Err(HuffmanError::InvalidLengths);
         }
@@ -225,9 +225,8 @@ impl CanonicalCode {
             }
         }
         // Decoder index.
-        let mut sorted_symbols: Vec<u32> = (0..lengths.len() as u32)
-            .filter(|&s| lengths[s as usize] > 0)
-            .collect();
+        let mut sorted_symbols: Vec<u32> =
+            (0..lengths.len() as u32).filter(|&s| lengths[s as usize] > 0).collect();
         sorted_symbols.sort_by_key(|&s| (lengths[s as usize], s));
         let mut first_index = [0u32; MAX_CODE_LEN as usize + 1];
         let mut acc = 0u32;
@@ -312,8 +311,8 @@ mod tests {
     #[test]
     fn skewed_distribution_roundtrip() {
         let mut symbols = vec![0usize; 1000];
-        for i in 0..1000 {
-            symbols[i] = match i % 10 {
+        for (i, s) in symbols.iter_mut().enumerate() {
+            *s = match i % 10 {
                 0..=6 => 0,
                 7 | 8 => 1,
                 _ => 2 + (i % 5),

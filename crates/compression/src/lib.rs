@@ -42,8 +42,8 @@ pub mod sz;
 pub mod timestamps;
 
 pub use codec::{
-    check_epsilon, find_bound_violation, point_bound, raw_bytes, raw_compressed_size,
-    CodecError, CompressedSeries, PeblcCompressor, ERROR_BOUNDS,
+    check_epsilon, find_bound_violation, point_bound, raw_bytes, raw_compressed_size, CodecError,
+    CompressedSeries, PeblcCompressor, ERROR_BOUNDS,
 };
 pub use gorilla::Gorilla;
 pub use pmc::Pmc;

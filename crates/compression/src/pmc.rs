@@ -18,8 +18,7 @@
 use tsdata::series::RegularTimeSeries;
 
 use crate::codec::{
-    check_epsilon, point_bound, shortest_decimal_in, CodecError, CompressedSeries,
-    PeblcCompressor,
+    check_epsilon, point_bound, shortest_decimal_in, CodecError, CompressedSeries, PeblcCompressor,
 };
 use crate::deflate;
 use crate::timestamps;
@@ -51,11 +50,7 @@ pub enum Representative {
 }
 
 /// Runs the PMC windowing with an explicit representative policy.
-pub fn segment_values_repr(
-    values: &[f64],
-    epsilon: f64,
-    repr: Representative,
-) -> Vec<PmcSegment> {
+pub fn segment_values_repr(values: &[f64], epsilon: f64, repr: Representative) -> Vec<PmcSegment> {
     segment_values_impl(values, epsilon, repr)
 }
 
@@ -183,8 +178,7 @@ impl PeblcCompressor for Pmc {
             if rest.len() < off + 6 {
                 return Err(CodecError::Corrupt("segment record truncated".into()));
             }
-            let len =
-                u16::from_le_bytes(rest[off..off + 2].try_into().expect("2 bytes")) as usize;
+            let len = u16::from_le_bytes(rest[off..off + 2].try_into().expect("2 bytes")) as usize;
             let value =
                 f32::from_le_bytes(rest[off + 2..off + 6].try_into().expect("4 bytes")) as f64;
             values.extend(std::iter::repeat_n(value, len));
@@ -254,8 +248,9 @@ mod tests {
 
     #[test]
     fn roundtrip_respects_error_bound() {
-        let vals: Vec<f64> =
-            (0..2000).map(|i| 10.0 + (i as f64 * 0.05).sin() * 3.0 + (i % 7) as f64 * 0.1).collect();
+        let vals: Vec<f64> = (0..2000)
+            .map(|i| 10.0 + (i as f64 * 0.05).sin() * 3.0 + (i % 7) as f64 * 0.1)
+            .collect();
         for eps in [0.01, 0.1, 0.5] {
             let (d, c) = Pmc.transform(&series(vals.clone()), eps).unwrap();
             assert_eq!(d.len(), vals.len());
@@ -283,8 +278,7 @@ mod tests {
 
     #[test]
     fn compression_ratio_improves_with_epsilon() {
-        let vals: Vec<f64> =
-            (0..5000).map(|i| 100.0 + (i as f64 * 0.02).sin() * 10.0).collect();
+        let vals: Vec<f64> = (0..5000).map(|i| 100.0 + (i as f64 * 0.02).sin() * 10.0).collect();
         let s = series(vals);
         let raw = crate::codec::raw_compressed_size(&s);
         let small = Pmc.compress(&s, 0.01).unwrap().size_bytes();

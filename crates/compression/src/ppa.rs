@@ -96,10 +96,11 @@ fn fit_poly(values: &[f64], degree: usize) -> [f64; 3] {
                 if m[col][col].abs() < 1e-12 {
                     return [values.iter().sum::<f64>() / n as f64, 0.0, 0.0];
                 }
-                for r in col + 1..cols {
-                    let f = m[r][col] / m[col][col];
-                    for c in col..4 {
-                        m[r][c] -= f * m[col][c];
+                let prow = m[col];
+                for row in m.iter_mut().take(cols).skip(col + 1) {
+                    let f = row[col] / prow[col];
+                    for (v, &p) in row[col..4].iter_mut().zip(&prow[col..4]) {
+                        *v -= f * p;
                     }
                 }
             }
@@ -151,10 +152,7 @@ pub fn segment_values(values: &[f64], epsilon: f64, degree: usize) -> Vec<PpaSeg
                 _ => {
                     // The single point itself does not fit (e.g. a zero):
                     // store it verbatim as a constant segment.
-                    segments.push(PpaSegment {
-                        len: 1,
-                        coeffs: [values[start], 0.0, 0.0],
-                    });
+                    segments.push(PpaSegment { len: 1, coeffs: [values[start], 0.0, 0.0] });
                     start += 1;
                     i = i.max(start);
                 }
@@ -218,13 +216,11 @@ impl PeblcCompressor for Ppa {
             if rest.len() < off + rec {
                 return Err(CodecError::Corrupt("PPA segment truncated".into()));
             }
-            let len =
-                u16::from_le_bytes(rest[off..off + 2].try_into().expect("2 bytes")) as usize;
+            let len = u16::from_le_bytes(rest[off..off + 2].try_into().expect("2 bytes")) as usize;
             let mut coeffs = [0.0f64; 3];
             for (c, coeff) in coeffs.iter_mut().enumerate().take(degree + 1) {
                 let at = off + 2 + 4 * c;
-                *coeff =
-                    f32::from_le_bytes(rest[at..at + 4].try_into().expect("4 bytes")) as f64;
+                *coeff = f32::from_le_bytes(rest[at..at + 4].try_into().expect("4 bytes")) as f64;
             }
             values.extend(PpaSegment { len, coeffs }.values());
             off += rec;
@@ -287,8 +283,7 @@ mod tests {
     fn fewer_segments_than_swing_on_curved_data() {
         // A quadratic-degree model should need fewer segments than a
         // linear one on curvy data...
-        let vals: Vec<f64> =
-            (0..4000).map(|i| 50.0 + 20.0 * (i as f64 * 0.01).sin()).collect();
+        let vals: Vec<f64> = (0..4000).map(|i| 50.0 + 20.0 * (i as f64 * 0.01).sin()).collect();
         let ppa = segment_values(&vals, 0.05, 2).len();
         let swing = crate::swing::segment_values(&vals, 0.05).len();
         assert!(ppa < swing, "ppa {ppa} vs swing {swing}");
@@ -305,10 +300,7 @@ mod tests {
         );
         let pmc = crate::pmc::Pmc.compress(&s, 0.2).unwrap().size_bytes();
         let ppa = Ppa::default().compress(&s, 0.2).unwrap().size_bytes();
-        assert!(
-            pmc < ppa,
-            "PMC ({pmc} B) should store ETTm1 more compactly than PPA ({ppa} B)"
-        );
+        assert!(pmc < ppa, "PMC ({pmc} B) should store ETTm1 more compactly than PPA ({ppa} B)");
     }
 
     #[test]

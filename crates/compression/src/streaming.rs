@@ -228,8 +228,7 @@ mod tests {
 
     #[test]
     fn streaming_pmc_matches_batch() {
-        let series =
-            generate_univariate(DatasetKind::ETTm1, GenOptions::with_len(3_000));
+        let series = generate_univariate(DatasetKind::ETTm1, GenOptions::with_len(3_000));
         for eps in [0.01, 0.1, 0.4] {
             let streamed = drain_pmc(series.values(), eps);
             let batch = crate::pmc::segment_values(series.values(), eps);
@@ -239,8 +238,7 @@ mod tests {
 
     #[test]
     fn streaming_swing_matches_batch() {
-        let series =
-            generate_univariate(DatasetKind::Solar, GenOptions::with_len(3_000));
+        let series = generate_univariate(DatasetKind::Solar, GenOptions::with_len(3_000));
         for eps in [0.01, 0.1, 0.4] {
             let streamed = drain_swing(series.values(), eps);
             let batch = crate::swing::segment_values(series.values(), eps);
@@ -250,8 +248,7 @@ mod tests {
 
     #[test]
     fn segments_cover_the_stream() {
-        let series =
-            generate_univariate(DatasetKind::Wind, GenOptions::with_len(2_000));
+        let series = generate_univariate(DatasetKind::Wind, GenOptions::with_len(2_000));
         let segs = drain_pmc(series.values(), 0.1);
         let total: usize = segs.iter().map(|s| s.len).sum();
         assert_eq!(total, 2_000);

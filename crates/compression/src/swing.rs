@@ -19,9 +19,7 @@
 
 use tsdata::series::RegularTimeSeries;
 
-use crate::codec::{
-    check_epsilon, point_bound, CodecError, CompressedSeries, PeblcCompressor,
-};
+use crate::codec::{check_epsilon, point_bound, CodecError, CompressedSeries, PeblcCompressor};
 use crate::deflate;
 use crate::timestamps;
 
@@ -172,8 +170,7 @@ impl PeblcCompressor for Swing {
             if rest.len() < off + 10 {
                 return Err(CodecError::Corrupt("segment record truncated".into()));
             }
-            let len =
-                u16::from_le_bytes(rest[off..off + 2].try_into().expect("2 bytes")) as usize;
+            let len = u16::from_le_bytes(rest[off..off + 2].try_into().expect("2 bytes")) as usize;
             let intercept =
                 f32::from_le_bytes(rest[off + 2..off + 6].try_into().expect("4 bytes")) as f64;
             let slope =

@@ -132,6 +132,7 @@ fn fit_linear(block: &[f64]) -> (f64, f64) {
 }
 
 /// Chooses the cheapest predictor for a block (SZ's best-fit selection).
+#[allow(clippy::type_complexity)]
 fn select_predictor(
     block: &[f64],
     prev_recon: Option<f64>,
@@ -172,9 +173,7 @@ fn read_bitmap(buf: &[u8], n: usize) -> Result<(Vec<bool>, usize), CodecError> {
         return Err(CodecError::Corrupt("bitmap truncated".into()));
     }
     let mut r = BitReader::new(&buf[..bytes]);
-    let bits = (0..n)
-        .map(|_| r.read_bit().expect("sized above"))
-        .collect();
+    let bits = (0..n).map(|_| r.read_bit().expect("sized above")).collect();
     Ok((bits, bytes))
 }
 
@@ -212,8 +211,7 @@ impl PeblcCompressor for Sz {
         write_bitmap(&zero, &mut inner);
         write_bitmap(&sign, &mut inner);
 
-        let logs: Vec<f64> =
-            values.iter().filter(|&&v| v != 0.0).map(|&v| v.abs().ln()).collect();
+        let logs: Vec<f64> = values.iter().filter(|&&v| v != 0.0).map(|&v| v.abs().ln()).collect();
         let delta = (1.0 + epsilon).ln();
 
         // Encode blocks.
@@ -282,11 +280,7 @@ impl PeblcCompressor for Sz {
         let decompressed = reassemble(values.len(), &zero, &sign, &recon_logs);
         let num_segments = constant_runs(&decompressed);
 
-        Ok(CompressedSeries {
-            method: self.name(),
-            bytes: deflate::compress(&inner),
-            num_segments,
-        })
+        Ok(CompressedSeries { method: self.name(), bytes: deflate::compress(&inner), num_segments })
     }
 
     fn decompress(&self, compressed: &CompressedSeries) -> Result<RegularTimeSeries, CodecError> {
@@ -316,8 +310,7 @@ impl PeblcCompressor for Sz {
                 if rest.len() < off + 8 {
                     return Err(CodecError::Corrupt("epsilon truncated".into()));
                 }
-                let epsilon =
-                    f64::from_le_bytes(rest[off..off + 8].try_into().expect("8 bytes"));
+                let epsilon = f64::from_le_bytes(rest[off..off + 8].try_into().expect("8 bytes"));
                 off += 8;
                 let delta = (1.0 + epsilon).ln();
                 let (zero, used) = read_bitmap(&rest[off..], n)?;
@@ -345,9 +338,8 @@ impl PeblcCompressor for Sz {
                             if rest.len() < off + 8 {
                                 return Err(CodecError::Corrupt("mean coeff truncated".into()));
                             }
-                            let m = f64::from_le_bytes(
-                                rest[off..off + 8].try_into().expect("8 bytes"),
-                            );
+                            let m =
+                                f64::from_le_bytes(rest[off..off + 8].try_into().expect("8 bytes"));
                             off += 8;
                             Predictor::Mean(m)
                         }
@@ -355,9 +347,8 @@ impl PeblcCompressor for Sz {
                             if rest.len() < off + 16 {
                                 return Err(CodecError::Corrupt("linear coeffs truncated".into()));
                             }
-                            let a = f64::from_le_bytes(
-                                rest[off..off + 8].try_into().expect("8 bytes"),
-                            );
+                            let a =
+                                f64::from_le_bytes(rest[off..off + 8].try_into().expect("8 bytes"));
                             let b = f64::from_le_bytes(
                                 rest[off + 8..off + 16].try_into().expect("8 bytes"),
                             );
@@ -492,9 +483,7 @@ mod tests {
     }
 
     fn wavy(n: usize) -> Vec<f64> {
-        (0..n)
-            .map(|i| 20.0 + (i as f64 * 0.03).sin() * 8.0 + ((i * 7) % 5) as f64 * 0.05)
-            .collect()
+        (0..n).map(|i| 20.0 + (i as f64 * 0.03).sin() * 8.0 + ((i * 7) % 5) as f64 * 0.05).collect()
     }
 
     #[test]
@@ -608,11 +597,8 @@ mod tests {
         let inner = deflate::decompress(&c.bytes).unwrap();
         let mut bad = inner.clone();
         bad[10] = 9; // mode byte position: 6 header + 4 count
-        let frame = CompressedSeries {
-            method: "SZ",
-            bytes: deflate::compress(&bad),
-            num_segments: 0,
-        };
+        let frame =
+            CompressedSeries { method: "SZ", bytes: deflate::compress(&bad), num_segments: 0 };
         assert!(Sz.decompress(&frame).is_err());
     }
 

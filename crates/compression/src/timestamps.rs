@@ -43,8 +43,7 @@ pub fn encode_header(start: i64, interval: i64) -> Vec<u8> {
 
 /// Fallible header encoding.
 pub fn try_encode_header(start: i64, interval: i64) -> Result<Vec<u8>, TimestampError> {
-    let start32 =
-        i32::try_from(start).map_err(|_| TimestampError::StartOutOfRange(start))?;
+    let start32 = i32::try_from(start).map_err(|_| TimestampError::StartOutOfRange(start))?;
     let interval16 =
         u16::try_from(interval).map_err(|_| TimestampError::IntervalOutOfRange(interval))?;
     let mut out = Vec::with_capacity(HEADER_LEN);
@@ -92,14 +91,8 @@ mod tests {
             try_encode_header(i64::MAX, 900),
             Err(TimestampError::StartOutOfRange(_))
         ));
-        assert!(matches!(
-            try_encode_header(0, 70_000),
-            Err(TimestampError::IntervalOutOfRange(_))
-        ));
-        assert!(matches!(
-            try_encode_header(0, -1),
-            Err(TimestampError::IntervalOutOfRange(_))
-        ));
+        assert!(matches!(try_encode_header(0, 70_000), Err(TimestampError::IntervalOutOfRange(_))));
+        assert!(matches!(try_encode_header(0, -1), Err(TimestampError::IntervalOutOfRange(_))));
     }
 
     #[test]

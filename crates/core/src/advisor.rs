@@ -151,11 +151,7 @@ mod tests {
         cfg.models = vec![ModelKind::GBoost];
         let exp = forecasting_exp::run(&cfg);
         let chars = characteristics_exp::run(&exp);
-        let features = FeatureOptions {
-            period: Some(96),
-            shift_window: 48,
-            cap: Some(4_000),
-        };
+        let features = FeatureOptions { period: Some(96), shift_window: 48, cap: Some(4_000) };
         (CompressionAdvisor::train(&chars, features).expect("enough rows"), cfg)
     }
 
@@ -203,9 +199,7 @@ mod tests {
             DatasetKind::ETTm1,
             GenOptions { len: Some(1_600), channels: None, seed: 779 },
         );
-        let rec = advisor
-            .recommend(&probe, &cfg.methods, &cfg.error_bounds, -10.0)
-            .expect("runs");
+        let rec = advisor.recommend(&probe, &cfg.methods, &cfg.error_bounds, -10.0).expect("runs");
         assert!(rec.is_none(), "a negative TFE budget can never be met");
     }
 

@@ -121,11 +121,8 @@ pub fn run(exp: &ForecastExperiment) -> CharacteristicsExperiment {
         }
         let r2 = if sst < 1e-12 { 1.0 } else { (1.0 - sse / sst).max(0.0) };
         let importance = mean_abs_shap(&model, &x, n);
-        let ranked: Vec<(String, f64)> = FEATURE_NAMES
-            .iter()
-            .zip(importance)
-            .map(|(name, v)| (name.to_string(), v))
-            .collect();
+        let ranked: Vec<(String, f64)> =
+            FEATURE_NAMES.iter().zip(importance).map(|(name, v)| (name.to_string(), v)).collect();
         (ranked, r2)
     } else {
         (FEATURE_NAMES.iter().map(|n| (n.to_string(), 0.0)).collect(), 0.0)
@@ -162,6 +159,7 @@ impl CharacteristicsExperiment {
 
     /// Table 6: mean (sd) of relative differences (%) of the five key
     /// characteristics over rows with TFE ≤ 0.1, per (dataset, method).
+    #[allow(clippy::type_complexity)]
     pub fn table6(&self) -> Vec<(DatasetKind, Method, [(f64, f64); 5])> {
         let mut keys: Vec<(DatasetKind, Method)> = Vec::new();
         for r in &self.rows {
@@ -187,8 +185,7 @@ impl CharacteristicsExperiment {
                         .expect("table-6 names are canonical");
                     // Clamp the zero-reference sentinel so means stay
                     // readable.
-                    let vals: Vec<f64> =
-                        group.iter().map(|r| r.rel_diffs[idx].min(1e4)).collect();
+                    let vals: Vec<f64> = group.iter().map(|r| r.rel_diffs[idx].min(1e4)).collect();
                     let mu = mean(&vals);
                     let sd = (vals.iter().map(|v| (v - mu) * (v - mu)).sum::<f64>()
                         / vals.len() as f64)
@@ -224,8 +221,7 @@ impl CharacteristicsExperiment {
 
     /// Table 6 rendering.
     pub fn render_table6(&self) -> String {
-        let mut t =
-            TextTable::new(&["Dataset", "Method", "MKLS", "MLS", "SACF1", "MVS", "URPP"]);
+        let mut t = TextTable::new(&["Dataset", "Method", "MKLS", "MLS", "SACF1", "MVS", "URPP"]);
         for (d, m, stats) in self.table6() {
             let mut cells = vec![d.name().to_string(), m.name().to_string()];
             for (mu, sd) in stats {

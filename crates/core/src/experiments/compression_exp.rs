@@ -7,7 +7,8 @@ use compression::Method;
 use tsdata::datasets::DatasetKind;
 
 use super::fmt::{f, TextTable};
-use crate::grid::{gorilla_crs, run_compression_grid, GridConfig};
+use crate::cache::GridContext;
+use crate::grid::{gorilla_crs_ctx, run_compression_grid_ctx, GridConfig};
 use crate::results::CompressionRecord;
 
 /// The combined RQ1 experiment output.
@@ -21,17 +22,18 @@ pub struct CompressionExperiment {
     pub regressions: Vec<(DatasetKind, Method, LinFit)>,
 }
 
-/// Runs the compression grid and fits the Table-3 regressions.
+/// Runs the compression grid and fits the Table-3 regressions. Both the
+/// grid and the Gorilla baseline draw datasets from one shared
+/// [`GridContext`], so each dataset is generated exactly once.
 pub fn run(config: &GridConfig) -> CompressionExperiment {
-    let records = run_compression_grid(config);
-    let gorilla = gorilla_crs(config);
+    let ctx = GridContext::new(config.clone());
+    let records = run_compression_grid_ctx(&ctx);
+    let gorilla = gorilla_crs_ctx(&ctx);
     let mut regressions = Vec::new();
     for &dataset in &config.datasets {
         for &method in &config.methods {
-            let cells: Vec<&CompressionRecord> = records
-                .iter()
-                .filter(|r| r.dataset == dataset && r.method == method)
-                .collect();
+            let cells: Vec<&CompressionRecord> =
+                records.iter().filter(|r| r.dataset == dataset && r.method == method).collect();
             if cells.len() < 3 {
                 continue;
             }
@@ -82,8 +84,15 @@ impl CompressionExperiment {
 
     /// Table 3: CR = θ1·TE + θ0 coefficients and standard errors.
     pub fn render_table3(&self) -> String {
-        let mut t =
-            TextTable::new(&["Dataset", "Method", "theta1", "SE(theta1)", "theta0", "SE(theta0)", "R2"]);
+        let mut t = TextTable::new(&[
+            "Dataset",
+            "Method",
+            "theta1",
+            "SE(theta1)",
+            "theta0",
+            "SE(theta0)",
+            "R2",
+        ]);
         for (d, m, fit) in &self.regressions {
             t.row(vec![
                 d.name().to_string(),
@@ -155,7 +164,8 @@ mod tests {
                 .cr
         };
         assert!(
-            cr(DatasetKind::Weather, Method::Pmc, 0.2) > 4.0 * cr(DatasetKind::Solar, Method::Pmc, 0.2),
+            cr(DatasetKind::Weather, Method::Pmc, 0.2)
+                > 4.0 * cr(DatasetKind::Solar, Method::Pmc, 0.2),
             "weather {} vs solar {}",
             cr(DatasetKind::Weather, Method::Pmc, 0.2),
             cr(DatasetKind::Solar, Method::Pmc, 0.2)

@@ -107,8 +107,7 @@ impl Table5 {
         methods
             .into_iter()
             .map(|m| {
-                let group: Vec<&ElbowCell> =
-                    self.cells.iter().filter(|c| c.method == m).collect();
+                let group: Vec<&ElbowCell> = self.cells.iter().filter(|c| c.method == m).collect();
                 let n = group.len() as f64;
                 (
                     m,

@@ -34,16 +34,13 @@ pub fn run(dataset: DatasetKind, segment_len: usize, seed: u64) -> Fig1 {
         dataset,
         GenOptions { len: Some(segment_len.max(64) * 4), channels: None, seed },
     );
-    let segment = series
-        .segment(segment_len, 2 * segment_len)
-        .expect("generated series covers the segment");
+    let segment =
+        series.segment(segment_len, 2 * segment_len).expect("generated series covers the segment");
     let mut curves = Vec::new();
     for method in ALL_METHODS {
         for eps in [0.05, 0.1] {
-            let (d, _) = method
-                .compressor()
-                .transform(&segment, eps)
-                .expect("segment compresses cleanly");
+            let (d, _) =
+                method.compressor().transform(&segment, eps).expect("segment compresses cleanly");
             curves.push(Curve { method, epsilon: eps, values: d.into_values() });
         }
     }

@@ -8,8 +8,11 @@ use tsdata::datasets::DatasetKind;
 use tsdata::metrics::{tfe, MetricSet};
 
 use super::fmt::{f, TextTable};
-use crate::grid::{run_compression_grid, run_forecast_grid, GridConfig};
-use crate::results::{average_over_seeds, ci95_half_width, mean, CompressionRecord, ForecastRecord};
+use crate::cache::GridContext;
+use crate::grid::{run_compression_grid_ctx, run_forecast_grid_ctx, GridConfig};
+use crate::results::{
+    average_over_seeds, ci95_half_width, mean, CompressionRecord, ForecastRecord,
+};
 
 /// Combined forecasting-grid output.
 #[derive(Debug, Clone)]
@@ -22,10 +25,13 @@ pub struct ForecastExperiment {
     pub compression: Vec<CompressionRecord>,
 }
 
-/// Runs both grids and averages forecast metrics over seeds.
+/// Runs both grids against one shared [`GridContext`] (datasets are
+/// generated once, transforms memoized across tasks) and averages
+/// forecast metrics over seeds.
 pub fn run(config: &GridConfig) -> ForecastExperiment {
-    let forecast = average_over_seeds(&run_forecast_grid(config));
-    let compression = run_compression_grid(config);
+    let ctx = GridContext::new(config.clone());
+    let forecast = average_over_seeds(&run_forecast_grid_ctx(&ctx));
+    let compression = run_compression_grid_ctx(&ctx);
     ForecastExperiment { config: config.clone(), forecast, compression }
 }
 
@@ -61,9 +67,7 @@ impl ForecastExperiment {
         self.compression
             .iter()
             .find(|r| {
-                r.dataset == dataset
-                    && r.method == method
-                    && (r.epsilon - epsilon).abs() < 1e-9
+                r.dataset == dataset && r.method == method && (r.epsilon - epsilon).abs() < 1e-9
             })
             .map(|r| r.te_nrmse)
     }
@@ -73,23 +77,18 @@ impl ForecastExperiment {
         self.compression
             .iter()
             .find(|r| {
-                r.dataset == dataset
-                    && r.method == method
-                    && (r.epsilon - epsilon).abs() < 1e-9
+                r.dataset == dataset && r.method == method && (r.epsilon - epsilon).abs() < 1e-9
             })
             .map(|r| r.cr)
     }
 
     /// Table 2: baseline accuracy per model per dataset.
     pub fn render_table2(&self) -> String {
-        let mut t = TextTable::new(&["Model", "Metric", "ETTm1", "ETTm2", "Solar", "Weather", "ElecDem", "Wind"]);
+        let mut t = TextTable::new(&[
+            "Model", "Metric", "ETTm1", "ETTm2", "Solar", "Weather", "ElecDem", "Wind",
+        ]);
         for &model in &self.config.models {
-            for (name, pick) in [
-                ("R", 0usize),
-                ("RSE", 1),
-                ("RMSE", 2),
-                ("NRMSE", 3),
-            ] {
+            for (name, pick) in [("R", 0usize), ("RSE", 1), ("RMSE", 2), ("NRMSE", 3)] {
                 let mut cells = vec![model.name().to_string(), name.to_string()];
                 for &d in &[
                     DatasetKind::ETTm1,
@@ -163,11 +162,7 @@ impl ForecastExperiment {
     pub fn fig6_means(&self, caps: &[(DatasetKind, f64)]) -> Vec<(DatasetKind, ModelKind, f64)> {
         let mut out = Vec::new();
         for &d in &self.config.datasets {
-            let cap = caps
-                .iter()
-                .find(|(k, _)| *k == d)
-                .map(|(_, c)| *c)
-                .unwrap_or(0.2);
+            let cap = caps.iter().find(|(k, _)| *k == d).map(|(_, c)| *c).unwrap_or(0.2);
             for &model in &self.config.models {
                 let tfes: Vec<f64> = self
                     .config

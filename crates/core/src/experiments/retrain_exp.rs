@@ -2,17 +2,15 @@
 //! retrained on decompressed ETTm1/ETTm2 data, plus the trend/remainder
 //! RMSE comparison that explains DLinear's sensitivity.
 
-use compression::codec::PeblcCompressor;
 use forecast::dlinear::decompose;
 use forecast::model::ModelKind;
-use forecast::{build_model, BuildOptions};
 use tsdata::datasets::DatasetKind;
 use tsdata::metrics::{rmse, tfe};
 
 use super::fmt::{f, TextTable};
-use crate::grid::GridConfig;
+use crate::cache::GridContext;
+use crate::grid::{run_retrain_grid_ctx, GridConfig};
 use crate::results::mean;
-use crate::scenario::retrain_scenario;
 
 /// One Figure-7 point: TFE of a retrained model.
 #[derive(Debug, Clone, Copy)]
@@ -37,48 +35,36 @@ pub struct Fig7 {
 }
 
 /// Runs the retraining experiment. The paper uses Arima and DLinear on
-/// ETTm1 and ETTm2 with error bounds up to ~0.2.
+/// ETTm1 and ETTm2 with error bounds up to ~0.2. Internally this drives
+/// [`run_retrain_grid_ctx`], so train/val/test transforms are shared
+/// across models through the grid's [`GridContext`] cache (the figure
+/// uses a single fit per cell — seed 40).
 pub fn run(config: &GridConfig, models: &[ModelKind], error_bounds: &[f64]) -> Fig7 {
+    let mut cfg = config.clone();
+    cfg.models = models.to_vec();
+    cfg.error_bounds = error_bounds.to_vec();
+    cfg.seeds_deep = 1;
+    cfg.seeds_simple = 1;
+    let ctx = GridContext::new(cfg);
+    let records = run_retrain_grid_ctx(&ctx);
+
+    let baseline = |dataset: DatasetKind, model: ModelKind| {
+        records
+            .iter()
+            .find(|r| r.dataset == dataset && r.model == model && r.method.is_none())
+            .map(|r| r.metrics.rmse)
+    };
     let mut points = Vec::new();
-    for &dataset in &config.datasets {
-        let split = config.split(&config.dataset(dataset));
-        let season = dataset.samples_per_day() as usize;
-        for &model_kind in models {
-            let mut make = || {
-                build_model(
-                    model_kind,
-                    BuildOptions {
-                        input_len: config.input_len,
-                        horizon: config.horizon,
-                        season: (season >= 2).then_some(season),
-                        seed: 40,
-                        profile: config.profile,
-                    },
-                )
-            };
-            let compressors: Vec<Box<dyn PeblcCompressor>> =
-                config.methods.iter().map(|m| m.compressor()).collect();
-            let Ok(outcome) = retrain_scenario(
-                &mut make,
-                &split.train,
-                &split.val,
-                &split.test,
-                &compressors,
-                error_bounds,
-                config.eval_stride,
-            ) else {
-                continue;
-            };
-            for (method, epsilon, metrics) in outcome.transformed {
-                points.push(RetrainPoint {
-                    dataset,
-                    model: model_kind,
-                    method,
-                    epsilon,
-                    tfe: tfe(outcome.baseline.rmse, metrics.rmse),
-                });
-            }
-        }
+    for r in &records {
+        let Some(method) = r.method else { continue };
+        let Some(base) = baseline(r.dataset, r.model) else { continue };
+        points.push(RetrainPoint {
+            dataset: r.dataset,
+            model: r.model,
+            method: method.name(),
+            epsilon: r.epsilon,
+            tfe: tfe(base, r.metrics.rmse),
+        });
     }
     Fig7 { points }
 }
@@ -181,10 +167,7 @@ mod tests {
         let c = cfg();
         let (trend, remainder) = decomposition_impact(&c, DatasetKind::ETTm1, 0.2, 25);
         assert!(trend >= 0.0 && remainder >= 0.0);
-        assert!(
-            remainder > trend,
-            "remainder RMSE {remainder} should exceed trend RMSE {trend}"
-        );
+        assert!(remainder > trend, "remainder RMSE {remainder} should exceed trend RMSE {trend}");
         assert!(render_decomposition(&c).contains("remainder"));
     }
 }

@@ -30,10 +30,7 @@ pub fn run(len: Option<usize>, seed: u64) -> Table1 {
     let rows = ALL_DATASETS
         .iter()
         .map(|&dataset| {
-            let series = generate_univariate(
-                dataset,
-                GenOptions { len, channels: None, seed },
-            );
+            let series = generate_univariate(dataset, GenOptions { len, channels: None, seed });
             Table1Row { dataset, measured: summarize(series.values()) }
         })
         .collect();
@@ -44,8 +41,19 @@ impl Table1 {
     /// Renders measured-vs-paper statistics.
     pub fn render(&self) -> String {
         let mut t = TextTable::new(&[
-            "Dataset", "LEN", "FREQ", "MEAN", "MIN", "MAX", "Q1", "Q3", "rIQD",
-            "| paper: MEAN", "Q1", "Q3", "rIQD",
+            "Dataset",
+            "LEN",
+            "FREQ",
+            "MEAN",
+            "MIN",
+            "MAX",
+            "Q1",
+            "Q3",
+            "rIQD",
+            "| paper: MEAN",
+            "Q1",
+            "Q3",
+            "rIQD",
         ]);
         for row in &self.rows {
             let p = row.dataset.paper_stats();

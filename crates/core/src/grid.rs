@@ -1,21 +1,29 @@
 //! The evaluation grid: compressor × error bound × dataset on the
 //! compression side, and model × seed × compressor × error bound × dataset
 //! on the forecasting side, run on a crossbeam worker pool.
+//!
+//! Every runner has a `*_ctx` variant taking a [`GridContext`], whose
+//! caches share dataset generation and `(dataset, subset, method, ε)`
+//! transforms across tasks — and across grids, when several runners use
+//! the same context. The plain entry points build a fresh context.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use compression::codec::PeblcCompressor;
-use compression::{raw_compressed_size, Gorilla, Method, ALL_METHODS, ERROR_BOUNDS};
+use compression::{Gorilla, Method, ALL_METHODS, ERROR_BOUNDS};
 use forecast::model::{ModelKind, ALL_MODELS};
 use forecast::{build_model, BuildOptions, Profile};
-use parking_lot::Mutex;
 use tsdata::datasets::{DatasetKind, GenOptions, ALL_DATASETS};
 use tsdata::metrics::{compression_ratio, nrmse, rmse};
 use tsdata::series::MultiSeries;
 use tsdata::split::{split, Split, SplitSpec};
 
+use crate::cache::{GridContext, Subset};
 use crate::results::{CompressionRecord, ForecastRecord};
-use crate::scenario::{evaluate_scenario, ScenarioError};
+use crate::scenario::{
+    evaluate_scenario_with, retrain_scenario_with, ScenarioError, ScenarioOutcome,
+};
 
 /// Grid configuration. The defaults of [`GridConfig::default_repro`]
 /// complete on one laptop-class CPU; [`GridConfig::paper`] matches the
@@ -139,80 +147,119 @@ impl GridConfig {
         let n = if model.is_deep() { self.seeds_deep } else { self.seeds_simple };
         (0..n as u64).map(|s| 40 + s).collect()
     }
+
+    /// Task list for the forecast-style grids: `(dataset, model, seed)`.
+    fn forecast_tasks(&self) -> Vec<(DatasetKind, ModelKind, u64)> {
+        self.datasets
+            .iter()
+            .flat_map(|&d| {
+                self.models
+                    .iter()
+                    .flat_map(move |&m| self.seeds_for(m).into_iter().map(move |s| (d, m, s)))
+            })
+            .collect()
+    }
+
+    /// Model builder for one grid task.
+    fn build_task_model(
+        &self,
+        dataset: DatasetKind,
+        kind: ModelKind,
+        seed: u64,
+    ) -> Box<dyn forecast::model::Forecaster> {
+        let season = dataset.samples_per_day() as usize;
+        build_model(
+            kind,
+            BuildOptions {
+                input_len: self.input_len,
+                horizon: self.horizon,
+                season: (season >= 2).then_some(season),
+                seed,
+                profile: self.profile,
+            },
+        )
+    }
 }
 
 fn num_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(1, 16)
 }
 
-/// Runs `tasks.len()` closures on a worker pool, collecting outputs.
+/// Runs `tasks.len()` closures on a worker pool, collecting outputs in
+/// task order. Each worker accumulates into a private vector; the vectors
+/// are merged after the scope joins, so there is no shared collection
+/// lock on the task path.
 pub fn run_parallel<T, F>(num_tasks: usize, threads: usize, task: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(num_tasks));
     let next = AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.max(1).min(num_tasks.max(1)) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= num_tasks {
-                    break;
-                }
-                let out = task(i);
-                results.lock().push((i, out));
-            });
+    let workers = threads.max(1).min(num_tasks.max(1));
+    let mut indexed: Vec<(usize, T)> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= num_tasks {
+                            break;
+                        }
+                        local.push((i, task(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut merged = Vec::with_capacity(num_tasks);
+        for h in handles {
+            merged.extend(h.join().expect("worker threads do not panic"));
         }
+        merged
     })
     .expect("worker threads do not panic");
-    let mut v = results.into_inner();
-    v.sort_by_key(|(i, _)| *i);
-    v.into_iter().map(|(_, t)| t).collect()
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, t)| t).collect()
 }
 
 /// Measures TE, CR and segment counts for every `(dataset, method, ε)`
 /// cell (Figure 2, Figure 3, Table 3 inputs). Operates on the target
 /// channel, as the paper's TE analysis does.
 pub fn run_compression_grid(config: &GridConfig) -> Vec<CompressionRecord> {
+    run_compression_grid_ctx(&GridContext::new(config.clone()))
+}
+
+/// [`run_compression_grid`] against a shared [`GridContext`]: datasets and
+/// full-series transforms are pulled from (and left in) the context's
+/// caches.
+pub fn run_compression_grid_ctx(ctx: &GridContext) -> Vec<CompressionRecord> {
+    let config = &ctx.config;
     let cells: Vec<(DatasetKind, Method, f64)> = config
         .datasets
         .iter()
         .flat_map(|&d| {
-            config.methods.iter().flat_map(move |&m| {
-                config.error_bounds.iter().map(move |&e| (d, m, e))
-            })
-        })
-        .collect();
-    // Pre-generate per-dataset series and raw sizes once.
-    let data: Vec<(DatasetKind, MultiSeries, usize)> = config
-        .datasets
-        .iter()
-        .map(|&d| {
-            let series = config.dataset(d);
-            let raw = raw_compressed_size(series.target());
-            (d, series, raw)
+            config
+                .methods
+                .iter()
+                .flat_map(move |&m| config.error_bounds.iter().map(move |&e| (d, m, e)))
         })
         .collect();
     run_parallel(cells.len(), config.threads, |i| {
         let (dataset, method, epsilon) = cells[i];
-        let (_, series, raw) = data
-            .iter()
-            .find(|(d, _, _)| *d == dataset)
-            .expect("dataset generated above");
-        let target = series.target();
-        let compressor = method.compressor();
-        let (decompressed, frame) = compressor
-            .transform(target, epsilon)
+        let ds = ctx.dataset(dataset);
+        let t = ctx
+            .transform(dataset, Subset::Full, method, epsilon)
             .expect("generated data compresses cleanly");
+        let target = ds.series.target();
         CompressionRecord {
             dataset,
             method,
             epsilon,
-            te_nrmse: nrmse(target.values(), decompressed.values()),
-            te_rmse: rmse(target.values(), decompressed.values()),
-            cr: compression_ratio(*raw, frame.size_bytes()),
-            segments: frame.num_segments,
+            te_nrmse: nrmse(target.values(), t.series.target().values()),
+            te_rmse: rmse(target.values(), t.series.target().values()),
+            cr: compression_ratio(ds.raw_size, t.stats.size_bytes),
+            segments: t.stats.num_segments,
         }
     })
 }
@@ -225,12 +272,18 @@ pub fn run_compression_grid(config: &GridConfig) -> Vec<CompressionRecord> {
 /// gzip-relative; EXPERIMENTS.md discusses the one place the two
 /// conventions meet (the Figure-2 baseline line).
 pub fn gorilla_crs(config: &GridConfig) -> Vec<(DatasetKind, f64)> {
-    config
+    gorilla_crs_ctx(&GridContext::new(config.clone()))
+}
+
+/// [`gorilla_crs`] against a shared [`GridContext`] (reuses its cached
+/// datasets instead of regenerating them).
+pub fn gorilla_crs_ctx(ctx: &GridContext) -> Vec<(DatasetKind, f64)> {
+    ctx.config
         .datasets
         .iter()
         .map(|&d| {
-            let series = config.dataset(d);
-            let target = series.target();
+            let ds = ctx.dataset(d);
+            let target = ds.series.target();
             let raw = compression::raw_bytes(target).len();
             let frame = Gorilla.compress(target, 0.0).expect("gorilla is total");
             (d, compression_ratio(raw, frame.size_bytes()))
@@ -238,44 +291,69 @@ pub fn gorilla_crs(config: &GridConfig) -> Vec<(DatasetKind, f64)> {
         .collect()
 }
 
+/// Converts one scenario outcome into grid records (baseline first).
+fn outcome_to_records(
+    config: &GridConfig,
+    dataset: DatasetKind,
+    model: ModelKind,
+    seed: u64,
+    outcome: ScenarioOutcome,
+) -> Vec<ForecastRecord> {
+    let mut recs = vec![ForecastRecord {
+        dataset,
+        model,
+        method: None,
+        epsilon: 0.0,
+        seed,
+        metrics: outcome.baseline,
+    }];
+    for (name, eps, metrics) in outcome.transformed {
+        let method = config
+            .methods
+            .iter()
+            .copied()
+            .find(|m| m.name() == name)
+            .expect("method came from config");
+        recs.push(ForecastRecord {
+            dataset,
+            model,
+            method: Some(method),
+            epsilon: eps,
+            seed,
+            metrics,
+        });
+    }
+    recs
+}
+
 /// Runs Algorithm 1 for every `(dataset, model, seed)` and collects both
 /// baseline and transformed records.
 pub fn run_forecast_grid(config: &GridConfig) -> Vec<ForecastRecord> {
-    // Task list: (dataset, model, seed).
-    let tasks: Vec<(DatasetKind, ModelKind, u64)> = config
-        .datasets
-        .iter()
-        .flat_map(|&d| {
-            config.models.iter().flat_map(move |&m| {
-                config.seeds_for(m).into_iter().map(move |s| (d, m, s))
-            })
-        })
-        .collect();
-    // Generate data once per dataset (shared across tasks).
-    let data: Vec<(DatasetKind, Split)> = config
-        .datasets
-        .iter()
-        .map(|&d| (d, config.split(&config.dataset(d))))
-        .collect();
+    run_forecast_grid_ctx(&GridContext::new(config.clone()))
+}
+
+/// [`run_forecast_grid`] against a shared [`GridContext`]. Test-subset
+/// transforms are memoized in the context, so each `(dataset, method, ε)`
+/// cell is compressed and decompressed exactly once no matter how many
+/// `(model, seed)` tasks consume it.
+pub fn run_forecast_grid_ctx(ctx: &GridContext) -> Vec<ForecastRecord> {
+    let config = &ctx.config;
+    let tasks = config.forecast_tasks();
+    let method_by_name: HashMap<&'static str, Method> =
+        config.methods.iter().map(|&m| (m.name(), m)).collect();
 
     let records = run_parallel(tasks.len(), config.threads, |i| {
         let (dataset, model_kind, seed) = tasks[i];
-        let (_, split) =
-            data.iter().find(|(d, _)| *d == dataset).expect("dataset generated above");
-        let season = dataset.samples_per_day() as usize;
-        let mut model = build_model(
-            model_kind,
-            BuildOptions {
-                input_len: config.input_len,
-                horizon: config.horizon,
-                season: (season >= 2).then_some(season),
-                seed,
-                profile: config.profile,
-            },
-        );
+        let ds = ctx.dataset(dataset);
+        let split = &ds.split;
+        let mut model = config.build_task_model(dataset, model_kind, seed);
         let compressors: Vec<Box<dyn PeblcCompressor>> =
             config.methods.iter().map(|m| m.compressor()).collect();
-        match evaluate_scenario(
+        let mut provider = |subset: Subset, c: &dyn PeblcCompressor, eps: f64| {
+            let method = method_by_name[c.name()];
+            ctx.transform(dataset, subset, method, eps).map(|t| t.series.clone())
+        };
+        match evaluate_scenario_with(
             model.as_mut(),
             &split.train,
             &split.val,
@@ -283,37 +361,63 @@ pub fn run_forecast_grid(config: &GridConfig) -> Vec<ForecastRecord> {
             &compressors,
             &config.error_bounds,
             config.eval_stride,
+            &mut provider,
         ) {
-            Ok(outcome) => {
-                let mut recs = vec![ForecastRecord {
-                    dataset,
-                    model: model_kind,
-                    method: None,
-                    epsilon: 0.0,
-                    seed,
-                    metrics: outcome.baseline,
-                }];
-                for (name, eps, metrics) in outcome.transformed {
-                    let method = config
-                        .methods
-                        .iter()
-                        .copied()
-                        .find(|m| m.name() == name)
-                        .expect("method came from config");
-                    recs.push(ForecastRecord {
-                        dataset,
-                        model: model_kind,
-                        method: Some(method),
-                        epsilon: eps,
-                        seed,
-                        metrics,
-                    });
-                }
-                Ok(recs)
-            }
+            Ok(outcome) => Ok(outcome_to_records(config, dataset, model_kind, seed, outcome)),
             Err(e) => Err((dataset, model_kind, seed, e)),
         }
     });
+    collect_records(records)
+}
+
+/// Runs the §4.4.1 retraining scenario for every `(dataset, model, seed)`:
+/// models are retrained on decompressed train/val data and scored on the
+/// decompressed test subset against raw targets. Records carry the same
+/// shape as [`run_forecast_grid`]'s (baseline has `method: None`).
+pub fn run_retrain_grid(config: &GridConfig) -> Vec<ForecastRecord> {
+    run_retrain_grid_ctx(&GridContext::new(config.clone()))
+}
+
+/// [`run_retrain_grid`] against a shared [`GridContext`]. Train, val, and
+/// test transforms are all memoized, shared with any other grid using the
+/// same context.
+pub fn run_retrain_grid_ctx(ctx: &GridContext) -> Vec<ForecastRecord> {
+    let config = &ctx.config;
+    let tasks = config.forecast_tasks();
+    let method_by_name: HashMap<&'static str, Method> =
+        config.methods.iter().map(|&m| (m.name(), m)).collect();
+
+    let records = run_parallel(tasks.len(), config.threads, |i| {
+        let (dataset, model_kind, seed) = tasks[i];
+        let ds = ctx.dataset(dataset);
+        let split = &ds.split;
+        let mut make = || config.build_task_model(dataset, model_kind, seed);
+        let compressors: Vec<Box<dyn PeblcCompressor>> =
+            config.methods.iter().map(|m| m.compressor()).collect();
+        let mut provider = |subset: Subset, c: &dyn PeblcCompressor, eps: f64| {
+            let method = method_by_name[c.name()];
+            ctx.transform(dataset, subset, method, eps).map(|t| t.series.clone())
+        };
+        match retrain_scenario_with(
+            &mut make,
+            &split.train,
+            &split.val,
+            &split.test,
+            &compressors,
+            &config.error_bounds,
+            config.eval_stride,
+            &mut provider,
+        ) {
+            Ok(outcome) => Ok(outcome_to_records(config, dataset, model_kind, seed, outcome)),
+            Err(e) => Err((dataset, model_kind, seed, e)),
+        }
+    });
+    collect_records(records)
+}
+
+type TaskResult = Result<Vec<ForecastRecord>, (DatasetKind, ModelKind, u64, ScenarioError)>;
+
+fn collect_records(records: Vec<TaskResult>) -> Vec<ForecastRecord> {
     let mut out = Vec::new();
     for r in records {
         match r {
@@ -339,6 +443,13 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i * 2);
         }
+    }
+
+    #[test]
+    fn parallel_runner_handles_more_threads_than_tasks() {
+        let out = run_parallel(3, 16, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert!(run_parallel(0, 4, |i| i).is_empty());
     }
 
     #[test]
@@ -378,5 +489,58 @@ mod tests {
         for r in &recs {
             assert!(r.metrics.rmse.is_finite());
         }
+    }
+
+    #[test]
+    fn forecast_grid_transforms_each_cell_exactly_once() {
+        // The acceptance criterion of the shared cache: with several
+        // (model, seed) tasks over the same dataset, each
+        // (dataset, method, ε) test transform runs once; every further
+        // request is a cache hit.
+        let mut cfg = GridConfig::smoke();
+        cfg.error_bounds = vec![0.05, 0.2];
+        cfg.models = vec![ModelKind::GBoost, ModelKind::DLinear];
+        let ctx = GridContext::new(cfg);
+        let recs = run_forecast_grid_ctx(&ctx);
+        let cells = 3 * 2; // methods x eps
+        let tasks = 2; // 2 models x 1 seed
+        assert_eq!(recs.len(), tasks * (1 + cells));
+        assert_eq!(ctx.transforms.misses(), cells, "each cell transforms exactly once");
+        assert_eq!(ctx.transforms.hits(), (tasks - 1) * cells);
+        assert_eq!(ctx.transforms.len(), cells);
+        // The dataset itself was generated once and shared.
+        assert_eq!(ctx.datasets.misses(), 1);
+    }
+
+    #[test]
+    fn retrain_grid_smoke() {
+        let mut cfg = GridConfig::smoke();
+        cfg.error_bounds = vec![0.1];
+        cfg.models = vec![ModelKind::GBoost];
+        let ctx = GridContext::new(cfg);
+        let recs = run_retrain_grid_ctx(&ctx);
+        // 1 baseline + 3 methods x 1 eps
+        assert_eq!(recs.len(), 4);
+        assert!(recs.iter().any(|r| r.method.is_none()));
+        for r in &recs {
+            assert!(r.metrics.rmse.is_finite());
+        }
+        // Train, val, and test were each transformed once per cell.
+        assert_eq!(ctx.transforms.misses(), 3 * 3);
+    }
+
+    #[test]
+    fn shared_context_reuses_datasets_across_grids() {
+        let mut cfg = GridConfig::smoke();
+        cfg.len = Some(1200);
+        cfg.error_bounds = vec![0.1];
+        let ctx = GridContext::new(cfg);
+        let comp = run_compression_grid_ctx(&ctx);
+        let gorilla = gorilla_crs_ctx(&ctx);
+        assert_eq!(comp.len(), 3);
+        assert_eq!(gorilla.len(), 1);
+        // One generation serves both runners.
+        assert_eq!(ctx.datasets.misses(), 1);
+        assert!(ctx.datasets.hits() >= 3);
     }
 }

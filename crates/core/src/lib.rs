@@ -2,16 +2,19 @@
 //!
 //! Implements the paper's Algorithm 1 ([`scenario`]), the full evaluation
 //! grid over compressors × error bounds × models × datasets ([`grid`]),
-//! result bookkeeping ([`results`]) and the per-table/figure experiment
+//! the shared transform/dataset caches behind it ([`cache`]), result
+//! bookkeeping ([`results`]) and the per-table/figure experiment
 //! reproductions ([`experiments`]).
 
 pub mod advisor;
+pub mod cache;
 pub mod experiments;
 pub mod grid;
 pub mod results;
 pub mod scenario;
 
 pub use advisor::{CompressionAdvisor, Recommendation};
-pub use grid::{run_compression_grid, run_forecast_grid, GridConfig};
+pub use cache::{GridContext, Subset, TransformCache, TransformKey};
+pub use grid::{run_compression_grid, run_forecast_grid, run_retrain_grid, GridConfig};
 pub use results::{CompressionRecord, ForecastRecord};
 pub use scenario::{evaluate_scenario, retrain_scenario, transform_series, ScenarioOutcome};

@@ -9,12 +9,23 @@
 //! The alternative scenario of §4.4.1 — retraining on decompressed data —
 //! is implemented by [`retrain_scenario`].
 
+use std::sync::Arc;
+
 use compression::codec::PeblcCompressor;
 use forecast::model::{ForecastError, Forecaster};
 use tsdata::metrics::{metric_set, MetricSet};
 use tsdata::scaler::StandardScaler;
 use tsdata::series::{MultiSeries, SeriesError};
 use tsdata::split::{make_eval_windows, make_windows, Window};
+
+use crate::cache::Subset;
+
+/// Supplies the transformed version of one subset for a `(method, ε)`
+/// pair. The grid runners back this with the shared
+/// [`TransformCache`](crate::cache::TransformCache); the plain scenario
+/// entry points back it with a direct [`transform_series`] call.
+pub type TransformProvider<'a> =
+    dyn FnMut(Subset, &dyn PeblcCompressor, f64) -> Result<Arc<MultiSeries>, ScenarioError> + 'a;
 
 /// Errors from running the scenario.
 #[derive(Debug)]
@@ -126,6 +137,35 @@ pub fn evaluate_scenario(
     error_bounds: &[f64],
     eval_stride: usize,
 ) -> Result<ScenarioOutcome, ScenarioError> {
+    let mut direct =
+        |_: Subset, c: &dyn PeblcCompressor, eps: f64| transform_series(test, c, eps).map(Arc::new);
+    evaluate_scenario_with(
+        model,
+        train,
+        val,
+        test,
+        compressors,
+        error_bounds,
+        eval_stride,
+        &mut direct,
+    )
+}
+
+/// [`evaluate_scenario`] with the transform step delegated to `transform`
+/// (only [`Subset::Test`] is requested). Grid runners pass a provider
+/// backed by the shared cache so that each `(dataset, method, ε)`
+/// transform runs once across all `(model, seed)` tasks.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_scenario_with(
+    model: &mut dyn Forecaster,
+    train: &MultiSeries,
+    val: &MultiSeries,
+    test: &MultiSeries,
+    compressors: &[Box<dyn PeblcCompressor>],
+    error_bounds: &[f64],
+    eval_stride: usize,
+    transform: &mut TransformProvider<'_>,
+) -> Result<ScenarioOutcome, ScenarioError> {
     model.fit(train, val)?;
     let scaler = StandardScaler::fit_single(train.target().values());
     let input_len = model.input_len();
@@ -140,7 +180,7 @@ pub fn evaluate_scenario(
     let mut transformed = Vec::new();
     for compressor in compressors {
         for &eps in error_bounds {
-            let t_test = transform_series(test, compressor.as_ref(), eps)?;
+            let t_test = transform(Subset::Test, compressor.as_ref(), eps)?;
             let windows = make_eval_windows(test, &t_test, input_len, horizon, eval_stride)?;
             let metrics = score_windows(model, &windows, &scaler)?;
             transformed.push((compressor.name(), eps, metrics));
@@ -161,12 +201,45 @@ pub fn retrain_scenario(
     error_bounds: &[f64],
     eval_stride: usize,
 ) -> Result<ScenarioOutcome, ScenarioError> {
+    let mut direct = |subset: Subset, c: &dyn PeblcCompressor, eps: f64| {
+        let data = match subset {
+            Subset::Train => train,
+            Subset::Val => val,
+            _ => test,
+        };
+        transform_series(data, c, eps).map(Arc::new)
+    };
+    retrain_scenario_with(
+        make_model,
+        train,
+        val,
+        test,
+        compressors,
+        error_bounds,
+        eval_stride,
+        &mut direct,
+    )
+}
+
+/// [`retrain_scenario`] with the transform step delegated to `transform`
+/// (requested for [`Subset::Train`], [`Subset::Val`], and
+/// [`Subset::Test`]).
+#[allow(clippy::too_many_arguments)]
+pub fn retrain_scenario_with(
+    make_model: &mut dyn FnMut() -> Box<dyn Forecaster>,
+    train: &MultiSeries,
+    val: &MultiSeries,
+    test: &MultiSeries,
+    compressors: &[Box<dyn PeblcCompressor>],
+    error_bounds: &[f64],
+    eval_stride: usize,
+    transform: &mut TransformProvider<'_>,
+) -> Result<ScenarioOutcome, ScenarioError> {
     // Baseline: raw-trained model on raw test data.
     let mut base_model = make_model();
     base_model.fit(train, val)?;
     let scaler = StandardScaler::fit_single(train.target().values());
-    let raw_windows =
-        make_windows(test, base_model.input_len(), base_model.horizon(), eval_stride);
+    let raw_windows = make_windows(test, base_model.input_len(), base_model.horizon(), eval_stride);
     if raw_windows.is_empty() {
         return Err(ScenarioError::NoWindows);
     }
@@ -175,18 +248,13 @@ pub fn retrain_scenario(
     let mut transformed = Vec::new();
     for compressor in compressors {
         for &eps in error_bounds {
-            let t_train = transform_series(train, compressor.as_ref(), eps)?;
-            let t_val = transform_series(val, compressor.as_ref(), eps)?;
-            let t_test = transform_series(test, compressor.as_ref(), eps)?;
+            let t_train = transform(Subset::Train, compressor.as_ref(), eps)?;
+            let t_val = transform(Subset::Val, compressor.as_ref(), eps)?;
+            let t_test = transform(Subset::Test, compressor.as_ref(), eps)?;
             let mut model = make_model();
             model.fit(&t_train, &t_val)?;
-            let windows = make_eval_windows(
-                test,
-                &t_test,
-                model.input_len(),
-                model.horizon(),
-                eval_stride,
-            )?;
+            let windows =
+                make_eval_windows(test, &t_test, model.input_len(), model.horizon(), eval_stride)?;
             let metrics = score_windows(model.as_ref(), &windows, &scaler)?;
             transformed.push((compressor.name(), eps, metrics));
         }
@@ -204,8 +272,10 @@ mod tests {
 
     fn dataset(n: usize) -> MultiSeries {
         let vals: Vec<f64> = (0..n)
-            .map(|i| 10.0 + 3.0 * (i as f64 / 24.0 * std::f64::consts::TAU).sin()
-                + ((i * 13) % 7) as f64 * 0.05)
+            .map(|i| {
+                10.0 + 3.0 * (i as f64 / 24.0 * std::f64::consts::TAU).sin()
+                    + ((i * 13) % 7) as f64 * 0.05
+            })
             .collect();
         MultiSeries::univariate("y", RegularTimeSeries::new(0, 3600, vals).unwrap())
     }

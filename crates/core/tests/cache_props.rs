@@ -1,0 +1,54 @@
+//! Property tests for the transform cache: a cached transform must be
+//! bit-identical to calling `compressor.transform` directly, for any
+//! series, method, and error bound.
+
+use std::sync::Arc;
+
+use compression::ALL_METHODS;
+use evalcore::cache::{transform_with_stats, Subset, TransformCache, TransformKey};
+use evalcore::scenario::transform_series;
+use proptest::prelude::*;
+use tsdata::datasets::DatasetKind;
+use tsdata::series::{MultiSeries, RegularTimeSeries};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cached_transform_bit_identical_to_direct(
+        vals in prop::collection::vec(-50.0..50.0f64, 40..250),
+        eps in 0.0..0.6f64,
+        midx in 0usize..3,
+    ) {
+        let method = ALL_METHODS[midx];
+        let series = MultiSeries::univariate(
+            "y",
+            RegularTimeSeries::new(0, 60, vals).expect("non-empty values"),
+        );
+
+        let direct = transform_series(&series, method.compressor().as_ref(), eps)
+            .expect("lossy methods are total on finite data");
+
+        let cache = TransformCache::new();
+        let key = TransformKey::new(DatasetKind::ETTm1, Subset::Test, method, eps);
+        let cached = cache
+            .get_or_compute(key, || {
+                transform_with_stats(&series, method.compressor().as_ref(), eps)
+            })
+            .expect("same transform succeeds");
+
+        // Bit-identical series: the cache stores exactly what the codec
+        // produced, with no re-quantization on the way in or out.
+        prop_assert_eq!(cached.series.target().values(), direct.target().values());
+        prop_assert!(cached.stats.size_bytes > 0);
+        prop_assert!(cached.stats.num_segments > 0);
+
+        // A second lookup is a hit and returns the same allocation.
+        let again = cache
+            .get_or_compute(key, || panic!("cached key must not recompute"))
+            .expect("hit");
+        prop_assert!(Arc::ptr_eq(&again.series, &cached.series));
+        prop_assert_eq!(cache.misses(), 1);
+        prop_assert_eq!(cache.hits(), 1);
+    }
+}

@@ -123,8 +123,7 @@ impl Arima {
             }
         }
         let beta = lstsq(&x, y, n, cols).unwrap_or_else(|_| vec![0.0; cols]);
-        let fourier: Vec<(f64, f64)> =
-            (0..k).map(|h| (beta[1 + 2 * h], beta[2 + 2 * h])).collect();
+        let fourier: Vec<(f64, f64)> = (0..k).map(|h| (beta[1 + 2 * h], beta[2 + 2 * h])).collect();
         let deseason: Vec<f64> = (0..n)
             .map(|t| y[t] - beta[0] - Self::seasonal_at(&fourier, season, t as f64))
             .collect();
@@ -145,6 +144,7 @@ impl Arima {
 
     /// Hannan–Rissanen estimation of ARMA(p, q) on `w`.
     /// Returns `(phi, theta, intercept, sigma2, n_effective)`.
+    #[allow(clippy::type_complexity)]
     fn hannan_rissanen(
         w: &[f64],
         p: usize,
@@ -327,8 +327,7 @@ impl Forecaster for Arima {
                         .iter()
                         .enumerate()
                         .map(|(t, &v)| {
-                            let seas =
-                                Self::seasonal_at(&f.fourier, s, (offset + t) as f64);
+                            let seas = Self::seasonal_at(&f.fourier, s, (offset + t) as f64);
                             (v - seas) * (v - seas)
                         })
                         .sum();
@@ -464,16 +463,12 @@ mod tests {
         let window = test[..96].to_vec();
         let actual = &test[96..96 + horizon];
 
-        let mut seasonal = Arima::new(ArimaConfig {
-            season: Some(season),
-            fourier_k: 2,
-            ..Default::default()
-        });
+        let mut seasonal =
+            Arima::new(ArimaConfig { season: Some(season), fourier_k: 2, ..Default::default() });
         seasonal.fit(&uni(train.to_vec()), &uni(test.to_vec())).unwrap();
-        let pred_s = seasonal.predict(&[window.clone()]).unwrap();
+        let pred_s = seasonal.predict(std::slice::from_ref(&window)).unwrap();
 
-        let mut plain =
-            Arima::new(ArimaConfig { season: None, ..Default::default() });
+        let mut plain = Arima::new(ArimaConfig { season: None, ..Default::default() });
         plain.fit(&uni(train.to_vec()), &uni(test.to_vec())).unwrap();
         let pred_p = plain.predict(&[window]).unwrap();
 
@@ -490,14 +485,13 @@ mod tests {
 
     #[test]
     fn differencing_handles_trends() {
-        let data: Vec<f64> = (0..1500)
-            .map(|i| 5.0 + 0.01 * i as f64 + ((i * 7) % 5) as f64 * 0.05)
-            .collect();
+        let data: Vec<f64> =
+            (0..1500).map(|i| 5.0 + 0.01 * i as f64 + ((i * 7) % 5) as f64 * 0.05).collect();
         let (train, test) = data.split_at(1200);
         let mut model = Arima::new(ArimaConfig { season: None, ..Default::default() });
         model.fit(&uni(train.to_vec()), &uni(test.to_vec())).unwrap();
         let window = test[..96].to_vec();
-        let pred = model.predict(&[window.clone()]).unwrap();
+        let pred = model.predict(std::slice::from_ref(&window)).unwrap();
         // Trend should continue upward from the window's end.
         let last = window[95];
         let mean_pred = pred.iter().sum::<f64>() / pred.len() as f64;
@@ -525,10 +519,7 @@ mod tests {
     fn too_short_series_rejected() {
         let mut model = Arima::new(ArimaConfig::default());
         let short = uni(vec![1.0; 50]);
-        assert!(matches!(
-            model.fit(&short, &short).unwrap_err(),
-            ForecastError::TooShort { .. }
-        ));
+        assert!(matches!(model.fit(&short, &short).unwrap_err(), ForecastError::TooShort { .. }));
     }
 
     #[test]

@@ -57,12 +57,8 @@ pub fn make_batches(
             for (r, w) in chunk.iter().enumerate() {
                 let xi = scaler.transform(0, &w.inputs[0]);
                 let yi = scaler.transform(0, &w.target);
-                for (c, v) in xi.iter().enumerate() {
-                    x.set(r, c, *v);
-                }
-                for (c, v) in yi.iter().enumerate() {
-                    y.set(r, c, *v);
-                }
+                x.data_mut()[r * input_len..(r + 1) * input_len].copy_from_slice(&xi);
+                y.data_mut()[r * horizon..(r + 1) * horizon].copy_from_slice(&yi);
             }
             Batch { x, y }
         })
@@ -96,7 +92,7 @@ mod tests {
     #[test]
     fn batches_have_scaled_values() {
         let data = uni(200);
-        let scaler = prepare(&data, 24, 8, ).unwrap();
+        let scaler = prepare(&data, 24, 8).unwrap();
         let spec = BatchSpec { stride: 8, batch_size: 4, max_windows: 100 };
         let batches = make_batches(&data, &scaler, 24, 8, spec);
         assert!(!batches.is_empty());

@@ -67,6 +67,20 @@ pub fn decompose(window: &[f64], kernel: usize) -> (Vec<f64>, Vec<f64>) {
     (trend, remainder)
 }
 
+/// Row-wise [`decompose`] over a whole batch of windows.
+fn decompose_batch(x: &Tensor, kernel: usize) -> (Tensor, Tensor) {
+    let (n, k) = x.shape();
+    let mut trend = Tensor::zeros(n, k);
+    let mut rem = Tensor::zeros(n, k);
+    for r in 0..n {
+        let row = &x.data()[r * k..(r + 1) * k];
+        let (t, m) = decompose(row, kernel);
+        trend.data_mut()[r * k..(r + 1) * k].copy_from_slice(&t);
+        rem.data_mut()[r * k..(r + 1) * k].copy_from_slice(&m);
+    }
+    (trend, rem)
+}
+
 /// The DLinear forecaster.
 pub struct DLinear {
     config: DLinearConfig,
@@ -86,21 +100,6 @@ impl DLinear {
             remainder_layer: None,
             scaler: None,
         }
-    }
-
-    fn decompose_batch(&self, x: &Tensor) -> (Tensor, Tensor) {
-        let (n, k) = x.shape();
-        let mut trend = Tensor::zeros(n, k);
-        let mut rem = Tensor::zeros(n, k);
-        for r in 0..n {
-            let row: Vec<f64> = (0..k).map(|c| x.get(r, c)).collect();
-            let (t, m) = decompose(&row, self.config.kernel);
-            for c in 0..k {
-                trend.set(r, c, t[c]);
-                rem.set(r, c, m[c]);
-            }
-        }
-        (trend, rem)
     }
 }
 
@@ -163,20 +162,7 @@ impl Forecaster for DLinear {
             batches
                 .iter()
                 .map(|b| {
-                    let (t, m) = {
-                        let (n, k) = b.x.shape();
-                        let mut trend = Tensor::zeros(n, k);
-                        let mut rem = Tensor::zeros(n, k);
-                        for r in 0..n {
-                            let row: Vec<f64> = (0..k).map(|c| b.x.get(r, c)).collect();
-                            let (tv, mv) = decompose(&row, self.config.kernel);
-                            for c in 0..k {
-                                trend.set(r, c, tv[c]);
-                                rem.set(r, c, mv[c]);
-                            }
-                        }
-                        (trend, rem)
-                    };
+                    let (t, m) = decompose_batch(&b.x, self.config.kernel);
                     (t, m, b.y.clone())
                 })
                 .collect()
@@ -216,7 +202,7 @@ impl Forecaster for DLinear {
         validate_window(inputs, self.config.input_len)?;
         let x = scaler.transform(0, &inputs[0]);
         let xt = Tensor::row(&x);
-        let (trend, rem) = self.decompose_batch(&xt);
+        let (trend, rem) = decompose_batch(&xt, self.config.kernel);
         let mut g = neural::graph::Graph::new();
         let ti = g.input(trend);
         let mi = g.input(rem);
@@ -268,9 +254,8 @@ mod tests {
     #[test]
     fn learns_seasonal_series() {
         let n = 1200;
-        let data: Vec<f64> = (0..n)
-            .map(|i| 10.0 + 3.0 * (i as f64 / 24.0 * std::f64::consts::TAU).sin())
-            .collect();
+        let data: Vec<f64> =
+            (0..n).map(|i| 10.0 + 3.0 * (i as f64 / 24.0 * std::f64::consts::TAU).sin()).collect();
         let (tr, rest) = data.split_at(900);
         let (va, te) = rest.split_at(150);
         let mut model = DLinear::new(DLinearConfig {

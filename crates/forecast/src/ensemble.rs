@@ -131,8 +131,10 @@ mod tests {
 
     fn dataset(n: usize) -> MultiSeries {
         let vals: Vec<f64> = (0..n)
-            .map(|i| 10.0 + 3.0 * (i as f64 / 24.0 * std::f64::consts::TAU).sin()
-                + ((i * 13) % 7) as f64 * 0.03)
+            .map(|i| {
+                10.0 + 3.0 * (i as f64 / 24.0 * std::f64::consts::TAU).sin()
+                    + ((i * 13) % 7) as f64 * 0.03
+            })
             .collect();
         MultiSeries::univariate("y", RegularTimeSeries::new(0, 3600, vals).unwrap())
     }
@@ -155,14 +157,14 @@ mod tests {
         ens.fit(&s.train, &s.val).unwrap();
         assert_eq!(ens.weights(), &[0.5, 0.5]);
         let window = s.test.target().values()[..48].to_vec();
-        let pred = ens.predict(&[window.clone()]).unwrap();
+        let pred = ens.predict(std::slice::from_ref(&window)).unwrap();
         assert_eq!(pred.len(), 12);
         // Combined forecast lies between (or at) the members' envelope.
         let mut a = build_model(ModelKind::Arima, options());
         a.fit(&s.train, &s.val).unwrap();
         let mut g = build_model(ModelKind::GBoost, options());
         g.fit(&s.train, &s.val).unwrap();
-        let pa = a.predict(&[window.clone()]).unwrap();
+        let pa = a.predict(std::slice::from_ref(&window)).unwrap();
         let pg = g.predict(&[window]).unwrap();
         for i in 0..12 {
             let lo = pa[i].min(pg[i]) - 1e-9;
@@ -221,10 +223,7 @@ mod tests {
         let ens_rmse = rmse(&truth, &preds);
         let best = member_rmse.iter().cloned().fold(f64::INFINITY, f64::min);
         let worst = member_rmse.iter().cloned().fold(0.0f64, f64::max);
-        assert!(
-            ens_rmse < worst,
-            "ensemble {ens_rmse} should beat the worst member {worst}"
-        );
+        assert!(ens_rmse < worst, "ensemble {ens_rmse} should beat the worst member {worst}");
         // Weighted averaging cannot be guaranteed to match the best member
         // (validation error is only a proxy for test error), but it must
         // stay the same order of magnitude.
@@ -244,10 +243,7 @@ mod tests {
     #[should_panic(expected = "horizon mismatch")]
     fn mismatched_members_rejected() {
         let a = build_model(ModelKind::GBoost, options());
-        let b = build_model(
-            ModelKind::GBoost,
-            BuildOptions { horizon: 6, ..options() },
-        );
+        let b = build_model(ModelKind::GBoost, BuildOptions { horizon: 6, ..options() });
         Ensemble::new(vec![a, b], Combine::Mean);
     }
 }

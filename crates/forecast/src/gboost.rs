@@ -73,8 +73,7 @@ impl GbmRegressor {
         let binned = config.bins.map(|b| BinnedFeatures::build(features, n, num_features, b));
         for _ in 0..config.n_estimators {
             // Negative gradient of squared loss = residual.
-            let residuals: Vec<f64> =
-                targets.iter().zip(&pred).map(|(t, p)| t - p).collect();
+            let residuals: Vec<f64> = targets.iter().zip(&pred).map(|(t, p)| t - p).collect();
             let chosen: &[usize] = if sub_n < n {
                 indices.shuffle(&mut rng);
                 &indices[..sub_n]
@@ -82,19 +81,14 @@ impl GbmRegressor {
                 &indices
             };
             let tree = match &binned {
-                Some(binned) => RegressionTree::fit_binned(
-                    binned,
-                    &residuals,
-                    chosen.to_vec(),
-                    config.tree,
-                ),
+                Some(binned) => {
+                    RegressionTree::fit_binned(binned, &residuals, chosen.to_vec(), config.tree)
+                }
                 None => {
                     let mut xf = Vec::with_capacity(chosen.len() * num_features);
                     let mut rf = Vec::with_capacity(chosen.len());
                     for &i in chosen {
-                        xf.extend_from_slice(
-                            &features[i * num_features..(i + 1) * num_features],
-                        );
+                        xf.extend_from_slice(&features[i * num_features..(i + 1) * num_features]);
                         rf.push(residuals[i]);
                     }
                     RegressionTree::fit(&xf, &rf, num_features, config.tree)
@@ -112,8 +106,7 @@ impl GbmRegressor {
     /// Predicts one sample.
     pub fn predict(&self, x: &[f64]) -> f64 {
         debug_assert_eq!(x.len(), self.num_features);
-        self.base
-            + self.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
     }
 
     /// The fitted trees (for TreeSHAP).
@@ -218,7 +211,8 @@ impl Forecaster for GBoost {
         let y = scaler.transform(0, raw);
         // Lag-feature windows, sliding with stride; the targets cover the
         // full horizon so both strategies share the feature matrix.
-        let mut starts: Vec<usize> = (0..y.len() - k - (h - 1)).step_by(self.config.stride).collect();
+        let mut starts: Vec<usize> =
+            (0..y.len() - k - (h - 1)).step_by(self.config.stride).collect();
         if starts.len() > self.config.max_windows {
             starts = starts[starts.len() - self.config.max_windows..].to_vec();
         }
@@ -233,8 +227,7 @@ impl Forecaster for GBoost {
             }
             MultiStep::Direct => (0..h)
                 .map(|step| {
-                    let targets: Vec<f64> =
-                        starts.iter().map(|&s| y[s + k + step]).collect();
+                    let targets: Vec<f64> = starts.iter().map(|&s| y[s + k + step]).collect();
                     let cfg = GbmConfig {
                         seed: self.config.gbm.seed.wrapping_add(step as u64),
                         ..self.config.gbm
@@ -368,15 +361,11 @@ mod tests {
     #[test]
     fn forecaster_learns_seasonal_pattern() {
         let n = 2000;
-        let data: Vec<f64> = (0..n)
-            .map(|i| 10.0 + 3.0 * (i as f64 / 24.0 * std::f64::consts::TAU).sin())
-            .collect();
+        let data: Vec<f64> =
+            (0..n).map(|i| 10.0 + 3.0 * (i as f64 / 24.0 * std::f64::consts::TAU).sin()).collect();
         let (train, test) = data.split_at(1600);
-        let mut model = GBoost::new(GBoostConfig {
-            input_len: 48,
-            horizon: 12,
-            ..Default::default()
-        });
+        let mut model =
+            GBoost::new(GBoostConfig { input_len: 48, horizon: 12, ..Default::default() });
         model.fit(&uni(train.to_vec()), &uni(test.to_vec())).unwrap();
         let window = test[..48].to_vec();
         let actual = &test[48..60];
@@ -396,9 +385,6 @@ mod tests {
         let data: Vec<f64> = (0..800).map(|i| (i as f64 * 0.1).sin()).collect();
         let mut m = GBoost::new(GBoostConfig { input_len: 48, horizon: 8, ..Default::default() });
         m.fit(&uni(data.clone()), &uni(data)).unwrap();
-        assert!(matches!(
-            m.predict(&[vec![0.0; 3]]).unwrap_err(),
-            ForecastError::BadWindow { .. }
-        ));
+        assert!(matches!(m.predict(&[vec![0.0; 3]]).unwrap_err(), ForecastError::BadWindow { .. }));
     }
 }

@@ -82,16 +82,17 @@ impl Gru {
     ) -> NodeId {
         let (n, k) = x.shape();
         let dropout = Dropout::new(self.config.dropout);
-        // Encoder: one scalar feature per step.
+        // One tiled transpose up front makes every timestep's column a
+        // contiguous row instead of k strided gathers.
+        let x_t = x.transpose(); // [k, n]
+                                 // Encoder: one scalar feature per step.
         let mut h = g.input(Tensor::zeros(n, self.config.hidden));
         for t in 0..k {
-            let col: Vec<f64> = (0..n).map(|r| x.get(r, t)).collect();
-            let xt = g.input(Tensor::col(&col));
+            let xt = g.input(Tensor::col(&x_t.data()[t * n..(t + 1) * n]));
             h = net.encoder.step(g, store, xt, h);
         }
         // Decoder: autoregressive unroll from the last observed value.
-        let last: Vec<f64> = (0..n).map(|r| x.get(r, k - 1)).collect();
-        let mut prev = g.input(Tensor::col(&last));
+        let mut prev = g.input(Tensor::col(&x_t.data()[(k - 1) * n..k * n]));
         let mut outputs: Option<NodeId> = None;
         for _ in 0..self.config.horizon {
             h = net.decoder.step(g, store, prev, h);
@@ -185,8 +186,7 @@ impl Forecaster for Gru {
         let x = scaler.transform(0, &inputs[0]);
         let mut g = Graph::new();
         let mut rng = StdRng::seed_from_u64(0);
-        let pred =
-            self.forward(&mut g, &self.store, net, &Tensor::row(&x), false, &mut rng);
+        let pred = self.forward(&mut g, &self.store, net, &Tensor::row(&x), false, &mut rng);
         Ok(scaler.inverse(0, g.value(pred).data()))
     }
 }
@@ -214,9 +214,8 @@ mod tests {
     #[test]
     fn learns_seasonal_series() {
         let n = 1000;
-        let data: Vec<f64> = (0..n)
-            .map(|i| 3.0 + (i as f64 / 12.0 * std::f64::consts::TAU).sin())
-            .collect();
+        let data: Vec<f64> =
+            (0..n).map(|i| 3.0 + (i as f64 / 12.0 * std::f64::consts::TAU).sin()).collect();
         let (tr, rest) = data.split_at(750);
         let (va, te) = rest.split_at(125);
         let mut model = Gru::new(small_config());

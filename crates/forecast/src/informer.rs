@@ -25,9 +25,6 @@ mod tests {
     fn name_and_sparse_attention() {
         let m = default_informer();
         assert_eq!(m.name(), "Informer");
-        assert!(matches!(
-            m.config().encoder_attention,
-            AttentionKind::ProbSparse { factor: 5 }
-        ));
+        assert!(matches!(m.config().encoder_attention, AttentionKind::ProbSparse { factor: 5 }));
     }
 }

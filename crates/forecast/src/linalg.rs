@@ -78,8 +78,7 @@ pub fn lstsq(x: &[f64], y: &[f64], rows: usize, cols: usize) -> Result<Vec<f64>,
         }
     }
     // Mirror the upper triangle and regularize.
-    let lambda = 1e-12
-        * (0..cols).map(|i| xtx[i * cols + i]).fold(0.0f64, f64::max).max(1.0);
+    let lambda = 1e-12 * (0..cols).map(|i| xtx[i * cols + i]).fold(0.0f64, f64::max).max(1.0);
     for i in 0..cols {
         for j in 0..i {
             xtx[i * cols + j] = xtx[j * cols + i];

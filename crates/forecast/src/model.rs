@@ -61,10 +61,7 @@ pub trait Forecaster: Send {
 }
 
 /// Checks the standard window invariants shared by all implementations.
-pub fn validate_window(
-    inputs: &[Vec<f64>],
-    input_len: usize,
-) -> Result<(), ForecastError> {
+pub fn validate_window(inputs: &[Vec<f64>], input_len: usize) -> Result<(), ForecastError> {
     if inputs.is_empty() {
         return Err(ForecastError::BadWindow { expected: input_len, got: 0 });
     }

@@ -246,9 +246,8 @@ mod tests {
     #[test]
     fn learns_seasonal_series() {
         let n = 1200;
-        let data: Vec<f64> = (0..n)
-            .map(|i| 5.0 + 2.0 * (i as f64 / 16.0 * std::f64::consts::TAU).sin())
-            .collect();
+        let data: Vec<f64> =
+            (0..n).map(|i| 5.0 + 2.0 * (i as f64 / 16.0 * std::f64::consts::TAU).sin()).collect();
         let (tr, rest) = data.split_at(900);
         let (va, te) = rest.split_at(150);
         let mut model = NBeats::new(small_config());
@@ -288,7 +287,7 @@ mod tests {
         });
         m.fit(&uni(data[..450].to_vec()), &uni(data[450..550].to_vec())).unwrap();
         let w = data[550..582].to_vec();
-        let p1 = m.predict(&[w.clone()]).unwrap();
+        let p1 = m.predict(std::slice::from_ref(&w)).unwrap();
         let p2 = m.predict(&[w]).unwrap();
         assert_eq!(p1.len(), 8);
         assert_eq!(p1, p2, "inference must be deterministic (no dropout)");

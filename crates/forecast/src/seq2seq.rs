@@ -114,6 +114,7 @@ struct Net {
     proj: Dense,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn ffn_block(
     g: &mut Graph,
     store: &ParamStore,
@@ -154,26 +155,71 @@ impl Seq2Seq {
     fn build_net(&self, store: &mut ParamStore, rng: &mut StdRng) -> Net {
         let c = &self.config;
         let embed = Dense::new(store, "embed", 1, c.d_model, Activation::Identity, rng);
-        let dec_embed =
-            Dense::new(store, "dec_embed", 1, c.d_model, Activation::Identity, rng);
+        let dec_embed = Dense::new(store, "dec_embed", 1, c.d_model, Activation::Identity, rng);
         let encoder = (0..c.enc_layers)
             .map(|l| EncoderLayer {
-                attn: MultiHeadAttention::new(store, &format!("enc{l}.attn"), c.d_model, c.heads, rng),
+                attn: MultiHeadAttention::new(
+                    store,
+                    &format!("enc{l}.attn"),
+                    c.d_model,
+                    c.heads,
+                    rng,
+                ),
                 ln1: LayerNorm::new(store, &format!("enc{l}.ln1"), c.d_model),
                 ln2: LayerNorm::new(store, &format!("enc{l}.ln2"), c.d_model),
-                ff1: Dense::new(store, &format!("enc{l}.ff1"), c.d_model, c.ffn, Activation::Relu, rng),
-                ff2: Dense::new(store, &format!("enc{l}.ff2"), c.ffn, c.d_model, Activation::Identity, rng),
+                ff1: Dense::new(
+                    store,
+                    &format!("enc{l}.ff1"),
+                    c.d_model,
+                    c.ffn,
+                    Activation::Relu,
+                    rng,
+                ),
+                ff2: Dense::new(
+                    store,
+                    &format!("enc{l}.ff2"),
+                    c.ffn,
+                    c.d_model,
+                    Activation::Identity,
+                    rng,
+                ),
             })
             .collect();
         let decoder = (0..c.dec_layers)
             .map(|l| DecoderLayer {
-                self_attn: MultiHeadAttention::new(store, &format!("dec{l}.self"), c.d_model, c.heads, rng),
-                cross_attn: MultiHeadAttention::new(store, &format!("dec{l}.cross"), c.d_model, c.heads, rng),
+                self_attn: MultiHeadAttention::new(
+                    store,
+                    &format!("dec{l}.self"),
+                    c.d_model,
+                    c.heads,
+                    rng,
+                ),
+                cross_attn: MultiHeadAttention::new(
+                    store,
+                    &format!("dec{l}.cross"),
+                    c.d_model,
+                    c.heads,
+                    rng,
+                ),
                 ln1: LayerNorm::new(store, &format!("dec{l}.ln1"), c.d_model),
                 ln2: LayerNorm::new(store, &format!("dec{l}.ln2"), c.d_model),
                 ln3: LayerNorm::new(store, &format!("dec{l}.ln3"), c.d_model),
-                ff1: Dense::new(store, &format!("dec{l}.ff1"), c.d_model, c.ffn, Activation::Relu, rng),
-                ff2: Dense::new(store, &format!("dec{l}.ff2"), c.ffn, c.d_model, Activation::Identity, rng),
+                ff1: Dense::new(
+                    store,
+                    &format!("dec{l}.ff1"),
+                    c.d_model,
+                    c.ffn,
+                    Activation::Relu,
+                    rng,
+                ),
+                ff2: Dense::new(
+                    store,
+                    &format!("dec{l}.ff2"),
+                    c.ffn,
+                    c.d_model,
+                    Activation::Identity,
+                    rng,
+                ),
             })
             .collect();
         let proj = Dense::new(store, "proj", c.d_model, 1, Activation::Identity, rng);
@@ -223,8 +269,7 @@ impl Seq2Seq {
             let ca = dropout.forward(g, ca, training, rng);
             let sum2 = g.add(normed, ca);
             let normed2 = layer.ln2.forward(g, store, sum2);
-            let ff =
-                ffn_block(g, store, &layer.ff1, &layer.ff2, normed2, &dropout, training, rng);
+            let ff = ffn_block(g, store, &layer.ff1, &layer.ff2, normed2, &dropout, training, rng);
             let sum3 = g.add(normed2, ff);
             dec = layer.ln3.forward(g, store, sum3);
         }
@@ -246,8 +291,8 @@ impl Seq2Seq {
         let (n, k) = batch.x.shape();
         let mut preds: Option<NodeId> = None;
         for r in 0..n {
-            let window: Vec<f64> = (0..k).map(|c| batch.x.get(r, c)).collect();
-            let p = self.forward_sample(g, store, net, &window, training, rng);
+            let window = &batch.x.data()[r * k..(r + 1) * k];
+            let p = self.forward_sample(g, store, net, window, training, rng);
             preds = Some(match preds {
                 None => p,
                 Some(acc) => g.vstack(acc, p),

@@ -119,12 +119,7 @@ impl RegressionTree {
     /// # Panics
     /// Panics if `targets.len() * num_features != features.len()` or the
     /// input is empty.
-    pub fn fit(
-        features: &[f64],
-        targets: &[f64],
-        num_features: usize,
-        config: TreeConfig,
-    ) -> Self {
+    pub fn fit(features: &[f64], targets: &[f64], num_features: usize, config: TreeConfig) -> Self {
         let n = targets.len();
         assert!(n > 0, "empty training set");
         assert_eq!(features.len(), n * num_features, "feature matrix shape");
@@ -237,7 +232,7 @@ impl RegressionTree {
         // Gain = SSE(parent) - SSE(children); the squared-target terms
         // cancel, so only the per-side sums and counts are needed.
         let mut best: Option<(f64, usize, u16)> = None; // (gain, feature, bin)
-        // Histogram scratch reused per feature.
+                                                        // Histogram scratch reused per feature.
         let max_bins = binned.thresholds.iter().map(|t| t.len() + 1).max().unwrap_or(1);
         let mut bin_sum = vec![0.0f64; max_bins];
         let mut bin_cnt = vec![0usize; max_bins];
@@ -277,9 +272,8 @@ impl RegressionTree {
             return self.nodes.len() - 1;
         };
         let threshold = binned.thresholds[feature][bin as usize];
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-            .into_iter()
-            .partition(|&i| binned.codes[i * binned.f + feature] <= bin);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.into_iter().partition(|&i| binned.codes[i * binned.f + feature] <= bin);
         let slot = self.nodes.len();
         self.nodes.push(Node::Leaf { value: mean, cover: n as f64 }); // placeholder
         let left = self.grow_binned(binned, targets, left_idx, depth + 1, config);
@@ -395,8 +389,7 @@ mod tests {
             (0..256).map(|i| (vec![i as f64], (i % 16) as f64)).collect();
         let refs: Vec<(&[f64], f64)> = rows.iter().map(|(f, t)| (f.as_slice(), *t)).collect();
         let (x, y, nf) = xy(&refs);
-        let t =
-            RegressionTree::fit(&x, &y, nf, TreeConfig { max_depth: 4, min_samples_leaf: 1 });
+        let t = RegressionTree::fit(&x, &y, nf, TreeConfig { max_depth: 4, min_samples_leaf: 1 });
         assert!(t.depth() <= 4);
     }
 
@@ -405,8 +398,7 @@ mod tests {
         let rows: Vec<(Vec<f64>, f64)> = (0..20).map(|i| (vec![i as f64], i as f64)).collect();
         let refs: Vec<(&[f64], f64)> = rows.iter().map(|(f, t)| (f.as_slice(), *t)).collect();
         let (x, y, nf) = xy(&refs);
-        let t =
-            RegressionTree::fit(&x, &y, nf, TreeConfig { max_depth: 10, min_samples_leaf: 5 });
+        let t = RegressionTree::fit(&x, &y, nf, TreeConfig { max_depth: 10, min_samples_leaf: 5 });
         for node in t.nodes() {
             if let Node::Leaf { cover, .. } = node {
                 assert!(*cover >= 5.0, "leaf cover {cover}");

@@ -47,7 +47,10 @@ impl MultiHeadAttention {
         heads: usize,
         rng: &mut StdRng,
     ) -> Self {
-        assert!(heads > 0 && d_model % heads == 0, "d_model {d_model} not divisible by {heads}");
+        assert!(
+            heads > 0 && d_model.is_multiple_of(heads),
+            "d_model {d_model} not divisible by {heads}"
+        );
         let wq = store.add(&format!("{name}.wq"), glorot(d_model, d_model, rng));
         let wk = store.add(&format!("{name}.wk"), glorot(d_model, d_model, rng));
         let wv = store.add(&format!("{name}.wv"), glorot(d_model, d_model, rng));
@@ -64,6 +67,7 @@ impl MultiHeadAttention {
     ///
     /// `q_in: [Lq, d_model]`, `k_in`/`v_in`: `[Lk, d_model]`.
     /// `causal` masks future key positions (decoder self-attention).
+    #[allow(clippy::too_many_arguments)]
     pub fn forward(
         &self,
         g: &mut Graph,
@@ -110,11 +114,8 @@ impl MultiHeadAttention {
                 // label + horizon): align the causal frontier to the right.
                 let offset = lk - lq.min(lk);
                 for r in 0..lq {
-                    for c in 0..lk {
-                        if c > r + offset {
-                            m.set(r, c, -1e9);
-                        }
-                    }
+                    let masked_from = (r + offset + 1).min(lk);
+                    m.data_mut()[r * lk + masked_from..(r + 1) * lk].fill(-1e9);
                 }
                 let mask_node = g.input(m);
                 scores = g.add(scores, mask_node);
@@ -138,7 +139,7 @@ fn sparse_query_mask(scores: &Tensor, u: usize) -> Tensor {
     let (lq, lk) = scores.shape();
     let mut measures: Vec<(usize, f64)> = (0..lq)
         .map(|r| {
-            let row: Vec<f64> = (0..lk).map(|c| scores.get(r, c)).collect();
+            let row = &scores.data()[r * lk..(r + 1) * lk];
             let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let mean = row.iter().sum::<f64>() / lk as f64;
             (r, max - mean)
@@ -147,9 +148,7 @@ fn sparse_query_mask(scores: &Tensor, u: usize) -> Tensor {
     measures.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
     let mut mask = Tensor::zeros(lq, lk);
     for &(r, _) in measures.iter().take(u) {
-        for c in 0..lk {
-            mask.set(r, c, 1.0);
-        }
+        mask.data_mut()[r * lk..(r + 1) * lk].fill(1.0);
     }
     mask
 }
@@ -245,15 +244,8 @@ mod tests {
         let mut g = Graph::new();
         let x = g.input(Tensor::new(32, 4, data));
         let full = mha.forward(&mut g, &store, x, x, x, AttentionKind::Full, false);
-        let sparse = mha.forward(
-            &mut g,
-            &store,
-            x,
-            x,
-            x,
-            AttentionKind::ProbSparse { factor: 1 },
-            false,
-        );
+        let sparse =
+            mha.forward(&mut g, &store, x, x, x, AttentionKind::ProbSparse { factor: 1 }, false);
         assert_eq!(g.value(full).shape(), g.value(sparse).shape());
         let diff: f64 = g
             .value(full)

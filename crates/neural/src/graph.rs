@@ -136,7 +136,13 @@ enum Op {
     Dropout(NodeId, Tensor),
     /// Row-wise layer normalization with `gamma`/`beta` `[1,c]` params;
     /// caches `(x_hat, inv_std)` for the backward pass.
-    LayerNorm { x: NodeId, gamma: NodeId, beta: NodeId, x_hat: Tensor, inv_std: Vec<f64> },
+    LayerNorm {
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        x_hat: Tensor,
+        inv_std: Vec<f64>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -204,11 +210,9 @@ impl Graph {
         let (n, c) = self.value(a).shape();
         assert_eq!(self.value(bias).shape(), (1, c), "bias must be 1x{c}");
         let mut v = self.value(a).clone();
+        let brow = self.value(bias).data().to_vec();
         for r in 0..n {
-            for j in 0..c {
-                let b = self.value(bias).get(0, j);
-                v.set(r, j, v.get(r, j) + b);
-            }
+            crate::kernels::axpy(1.0, &brow, &mut v.data_mut()[r * c..(r + 1) * c]);
         }
         self.push(v, Op::AddRow(a, bias))
     }
@@ -267,12 +271,17 @@ impl Graph {
         let (n, c) = x.shape();
         let mut v = Tensor::zeros(n, c);
         for r in 0..n {
-            let row: Vec<f64> = (0..c).map(|j| x.get(r, j)).collect();
+            let row = &x.data()[r * c..(r + 1) * c];
+            let out = &mut v.data_mut()[r * c..(r + 1) * c];
             let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            let exps: Vec<f64> = row.iter().map(|&x| (x - m).exp()).collect();
-            let s: f64 = exps.iter().sum();
-            for j in 0..c {
-                v.set(r, j, exps[j] / s);
+            let mut s = 0.0;
+            for (o, &xj) in out.iter_mut().zip(row) {
+                *o = (xj - m).exp();
+                s += *o;
+            }
+            let inv = 1.0 / s;
+            for o in out.iter_mut() {
+                *o *= inv;
             }
         }
         self.push(v, Op::SoftmaxRows(a))
@@ -343,16 +352,20 @@ impl Graph {
         let mut x_hat = Tensor::zeros(n, c);
         let mut inv_std = Vec::with_capacity(n);
         let mut out = Tensor::zeros(n, c);
+        let grow = self.value(gamma).data().to_vec();
+        let brow = self.value(beta).data().to_vec();
         for r in 0..n {
-            let mean: f64 = (0..c).map(|j| xv.get(r, j)).sum::<f64>() / c as f64;
-            let var: f64 =
-                (0..c).map(|j| (xv.get(r, j) - mean).powi(2)).sum::<f64>() / c as f64;
+            let xrow = &xv.data()[r * c..(r + 1) * c];
+            let mean: f64 = xrow.iter().sum::<f64>() / c as f64;
+            let var: f64 = xrow.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / c as f64;
             let istd = 1.0 / (var + EPS).sqrt();
             inv_std.push(istd);
+            let hrow = &mut x_hat.data_mut()[r * c..(r + 1) * c];
+            let orow = &mut out.data_mut()[r * c..(r + 1) * c];
             for j in 0..c {
-                let xh = (xv.get(r, j) - mean) * istd;
-                x_hat.set(r, j, xh);
-                out.set(r, j, xh * self.value(gamma).get(0, j) + self.value(beta).get(0, j));
+                let xh = (xrow[j] - mean) * istd;
+                hrow[j] = xh;
+                orow[j] = xh * grow[j] + brow[j];
             }
         }
         self.push(out, Op::LayerNorm { x, gamma, beta, x_hat, inv_std })
@@ -370,18 +383,21 @@ impl Graph {
 
         for i in (0..self.nodes.len()).rev() {
             let Some(grad) = adjoints[i].take() else { continue };
-            let accum = |adjoints: &mut Vec<Option<Tensor>>, id: NodeId, g: Tensor| {
-                match &mut adjoints[id.0] {
+            let accum =
+                |adjoints: &mut Vec<Option<Tensor>>, id: NodeId, g: Tensor| match &mut adjoints
+                    [id.0]
+                {
                     Some(existing) => existing.add_assign(&g),
                     slot @ None => *slot = Some(g),
-                }
-            };
+                };
             match &self.nodes[i].op {
                 Op::Input => {}
                 Op::Param(pid) => store.accumulate(*pid, &grad),
                 Op::MatMul(a, b) => {
-                    let ga = grad.matmul(&self.value(*b).transpose());
-                    let gb = self.value(*a).transpose().matmul(&grad);
+                    // grad·Bᵀ and Aᵀ·grad via the layout-aware kernels:
+                    // neither transpose is materialized.
+                    let ga = grad.matmul_nt(self.value(*b));
+                    let gb = self.value(*a).matmul_tn(&grad);
                     accum(&mut adjoints, *a, ga);
                     accum(&mut adjoints, *b, gb);
                 }
@@ -393,9 +409,8 @@ impl Graph {
                     let (n, c) = grad.shape();
                     let mut gb = Tensor::zeros(1, c);
                     for r in 0..n {
-                        for j in 0..c {
-                            gb.set(0, j, gb.get(0, j) + grad.get(r, j));
-                        }
+                        let grow = &grad.data()[r * c..(r + 1) * c];
+                        crate::kernels::axpy(1.0, grow, gb.data_mut());
                     }
                     accum(&mut adjoints, *a, grad);
                     accum(&mut adjoints, *bias, gb);
@@ -429,9 +444,12 @@ impl Graph {
                     let (n, c) = y.shape();
                     let mut g = Tensor::zeros(n, c);
                     for r in 0..n {
-                        let dot: f64 = (0..c).map(|j| grad.get(r, j) * y.get(r, j)).sum();
+                        let yrow = &y.data()[r * c..(r + 1) * c];
+                        let grow = &grad.data()[r * c..(r + 1) * c];
+                        let dot = crate::kernels::dot(grow, yrow);
+                        let orow = &mut g.data_mut()[r * c..(r + 1) * c];
                         for j in 0..c {
-                            g.set(r, j, y.get(r, j) * (grad.get(r, j) - dot));
+                            orow[j] = yrow[j] * (grow[j] - dot);
                         }
                     }
                     accum(&mut adjoints, *a, g);
@@ -449,22 +467,18 @@ impl Graph {
                 }
                 Op::SliceCols(a, start, end) => {
                     let (n, c) = self.value(*a).shape();
+                    let w = end - start;
                     let mut g = Tensor::zeros(n, c);
                     for r in 0..n {
-                        for j in *start..*end {
-                            g.set(r, j, grad.get(r, j - start));
-                        }
+                        let grow = &grad.data()[r * w..(r + 1) * w];
+                        g.data_mut()[r * c + start..r * c + end].copy_from_slice(grow);
                     }
                     accum(&mut adjoints, *a, g);
                 }
                 Op::SliceRows(a, start, end) => {
                     let (n, c) = self.value(*a).shape();
                     let mut g = Tensor::zeros(n, c);
-                    for r in *start..*end {
-                        for j in 0..c {
-                            g.set(r, j, grad.get(r - start, j));
-                        }
-                    }
+                    g.data_mut()[start * c..end * c].copy_from_slice(grad.data());
                     accum(&mut adjoints, *a, g);
                 }
                 Op::MeanAll(a) => {
@@ -483,29 +497,28 @@ impl Graph {
                 }
                 Op::LayerNorm { x, gamma, beta, x_hat, inv_std } => {
                     let (n, c) = grad.shape();
-                    let gv = self.value(*gamma);
+                    let gv = self.value(*gamma).data();
                     let mut g_gamma = Tensor::zeros(1, c);
                     let mut g_beta = Tensor::zeros(1, c);
                     let mut g_x = Tensor::zeros(n, c);
-                    for r in 0..n {
+                    let mut dxhat = vec![0.0; c];
+                    for (r, &istd) in inv_std.iter().enumerate().take(n) {
+                        let grow = &grad.data()[r * c..(r + 1) * c];
+                        let hrow = &x_hat.data()[r * c..(r + 1) * c];
                         // dL/dx_hat = grad * gamma
-                        let dxhat: Vec<f64> =
-                            (0..c).map(|j| grad.get(r, j) * gv.get(0, j)).collect();
-                        let mean_dxhat: f64 = dxhat.iter().sum::<f64>() / c as f64;
-                        let mean_dxhat_xhat: f64 = (0..c)
-                            .map(|j| dxhat[j] * x_hat.get(r, j))
-                            .sum::<f64>()
-                            / c as f64;
                         for j in 0..c {
-                            g_gamma.set(
-                                0,
-                                j,
-                                g_gamma.get(0, j) + grad.get(r, j) * x_hat.get(r, j),
-                            );
-                            g_beta.set(0, j, g_beta.get(0, j) + grad.get(r, j));
-                            let gx = inv_std[r]
-                                * (dxhat[j] - mean_dxhat - x_hat.get(r, j) * mean_dxhat_xhat);
-                            g_x.set(r, j, gx);
+                            dxhat[j] = grow[j] * gv[j];
+                        }
+                        let mean_dxhat: f64 = dxhat.iter().sum::<f64>() / c as f64;
+                        let mean_dxhat_xhat = crate::kernels::dot(&dxhat, hrow) / c as f64;
+                        let ggrow = g_gamma.data_mut();
+                        for j in 0..c {
+                            ggrow[j] += grow[j] * hrow[j];
+                        }
+                        crate::kernels::axpy(1.0, grow, g_beta.data_mut());
+                        let gxrow = &mut g_x.data_mut()[r * c..(r + 1) * c];
+                        for j in 0..c {
+                            gxrow[j] = istd * (dxhat[j] - mean_dxhat - hrow[j] * mean_dxhat_xhat);
                         }
                     }
                     accum(&mut adjoints, *x, g_x);

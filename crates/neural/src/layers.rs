@@ -105,9 +105,7 @@ impl Dropout {
         let mask = Tensor::new(
             r,
             c,
-            (0..r * c)
-                .map(|_| if rng.random::<f64>() < keep { 1.0 / keep } else { 0.0 })
-                .collect(),
+            (0..r * c).map(|_| if rng.random::<f64>() < keep { 1.0 / keep } else { 0.0 }).collect(),
         );
         g.dropout(x, mask)
     }

@@ -4,6 +4,8 @@
 //! (GRU, NBeats, DLinear, Transformer, Informer):
 //!
 //! * [`tensor`] — dense row-major 2-D `f64` matrices.
+//! * [`kernels`] — cache-blocked, unroll-vectorized matrix kernels
+//!   (`A·B`, `A·Bᵀ`, `Aᵀ·B`, tiled transpose) behind the tensor ops.
 //! * [`graph`] — define-by-run reverse-mode autodiff on a flat tape, with
 //!   a [`graph::ParamStore`] holding parameters and gradients.
 //! * [`layers`] — dense, dropout, layer norm, Glorot initialization.
@@ -39,6 +41,7 @@
 
 pub mod attention;
 pub mod graph;
+pub mod kernels;
 pub mod layers;
 pub mod optim;
 pub mod rnn;

@@ -89,8 +89,7 @@ impl Adam {
                 .map(|(&g, &w)| g + c.weight_decay * w)
                 .collect();
             let value = store.value_mut(id);
-            for k in 0..grad.len() {
-                let g = grad[k];
+            for (k, &g) in grad.iter().enumerate() {
                 let m = &mut self.m[i].data_mut()[k];
                 *m = c.beta1 * *m + (1.0 - c.beta1) * g;
                 let v = &mut self.v[i].data_mut()[k];
@@ -114,10 +113,8 @@ mod tests {
         let mut store = ParamStore::new();
         let target = Tensor::row(&[3.0, -2.0, 0.5]);
         let w = store.add("w", Tensor::zeros(1, 3));
-        let mut adam = Adam::new(
-            &store,
-            AdamConfig { lr: 0.05, weight_decay: 0.0, ..Default::default() },
-        );
+        let mut adam =
+            Adam::new(&store, AdamConfig { lr: 0.05, weight_decay: 0.0, ..Default::default() });
         for _ in 0..500 {
             store.zero_grads();
             let mut g = Graph::new();

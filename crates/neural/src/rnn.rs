@@ -173,8 +173,7 @@ mod tests {
         let mut g = Graph::new();
         let loss = build(&mut g, &store);
         g.backward(loss, &mut store);
-        let auto: Vec<f64> =
-            store.ids().flat_map(|id| store.grad(id).data().to_vec()).collect();
+        let auto: Vec<f64> = store.ids().flat_map(|id| store.grad(id).data().to_vec()).collect();
 
         let h = 1e-6;
         let mut k_global = 0;
@@ -216,10 +215,8 @@ mod tests {
             crate::layers::Activation::Identity,
             &mut r,
         );
-        let mut adam = Adam::new(
-            &store,
-            AdamConfig { lr: 0.02, weight_decay: 0.0, ..Default::default() },
-        );
+        let mut adam =
+            Adam::new(&store, AdamConfig { lr: 0.02, weight_decay: 0.0, ..Default::default() });
         use rand::RngExt;
         let mut last_loss = f64::INFINITY;
         for epoch in 0..300 {

@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use crate::kernels;
+
 /// A row-major 2-D matrix of `f64`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
@@ -99,13 +101,104 @@ impl Tensor {
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Allocation-free matrix product: `out = self · other`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch or if `out` is not
+    /// `self.rows × other.cols`.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(out.shape(), (self.rows, other.cols), "matmul_into output shape");
+        kernels::matmul(&self.data, &other.data, &mut out.data, self.rows, self.cols, other.cols);
+    }
+
+    /// Fused multiply-accumulate: `out += self · other`.
+    pub fn matmul_acc_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(out.shape(), (self.rows, other.cols), "matmul_acc_into output shape");
+        kernels::matmul_acc(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
+    }
+
+    /// `self · otherᵀ` without materializing the transpose.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// Allocation-free `out = self · otherᵀ`.
+    pub fn matmul_nt_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(out.shape(), (self.rows, other.rows), "matmul_nt_into output shape");
+        kernels::matmul_nt(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.rows,
+        );
+    }
+
+    /// `selfᵀ · other` without materializing the transpose.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        self.matmul_tn_into(other, &mut out);
+        out
+    }
+
+    /// Allocation-free `out = selfᵀ · other`.
+    pub fn matmul_tn_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(out.shape(), (self.cols, other.cols), "matmul_tn_into output shape");
+        kernels::matmul_tn(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.cols,
+            self.rows,
+            other.cols,
+        );
+    }
+
+    /// The pre-optimization scalar matmul (ikj order with a zero-skip
+    /// branch). Kept as the correctness oracle for property tests and as
+    /// the baseline the kernel benchmarks compare against.
+    pub fn reference_matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.rows,
             "matmul {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Tensor::zeros(self.rows, other.cols);
-        // ikj loop order: streams over `other`'s rows for cache locality.
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
@@ -125,21 +218,25 @@ impl Tensor {
     /// Transposed copy.
     pub fn transpose(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
-        }
+        self.transpose_into(&mut out);
         out
+    }
+
+    /// Allocation-free transpose: `out = selfᵀ`.
+    pub fn transpose_into(&self, out: &mut Tensor) {
+        assert_eq!(out.shape(), (self.cols, self.rows), "transpose_into output shape");
+        kernels::transpose(&self.data, &mut out.data, self.rows, self.cols);
+    }
+
+    /// In-place `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f64, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        kernels::axpy(alpha, &other.data, &mut self.data);
     }
 
     /// Elementwise map into a new tensor.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Elementwise combination with an equal-shaped tensor.
@@ -308,6 +405,54 @@ mod tests {
         assert_eq!(h.shape(), (3, 3));
         assert_eq!(h.get(0, 2), 9.0);
         assert_eq!(h.get(2, 0), 5.0);
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let a = Tensor::new(3, 4, (0..12).map(|v| v as f64 * 0.25 - 1.0).collect());
+        let b = Tensor::new(4, 5, (0..20).map(|v| 2.0 - v as f64 * 0.17).collect());
+        let fast = a.matmul(&b);
+        let slow = a.reference_matmul(&b);
+        assert_eq!(fast.shape(), slow.shape());
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn layout_aware_variants_match_explicit_transpose() {
+        // Different kernels sum in different orders, so compare with a
+        // tolerance rather than bitwise.
+        fn assert_close(a: &Tensor, b: &Tensor) {
+            assert_eq!(a.shape(), b.shape());
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+            }
+        }
+        let a = Tensor::new(3, 4, (0..12).map(|v| (v as f64).sin()).collect());
+        let b = Tensor::new(5, 4, (0..20).map(|v| (v as f64).cos()).collect());
+        assert_close(&a.matmul_nt(&b), &a.matmul(&b.transpose()));
+        let c = Tensor::new(3, 5, (0..15).map(|v| v as f64 - 7.0).collect());
+        assert_close(&a.matmul_tn(&c), &a.transpose().matmul(&c));
+    }
+
+    #[test]
+    fn into_variants_and_axpy() {
+        let a = Tensor::new(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::new(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let mut out = Tensor::zeros(2, 2);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data(), &[58.0, 64.0, 139.0, 154.0]);
+        a.matmul_acc_into(&b, &mut out);
+        assert_eq!(out.data(), &[116.0, 128.0, 278.0, 308.0]);
+
+        let mut t = Tensor::zeros(3, 2);
+        a.transpose_into(&mut t);
+        assert_eq!(t, a.transpose());
+
+        let mut y = Tensor::new(1, 3, vec![1.0, 1.0, 1.0]);
+        y.axpy(2.0, &Tensor::new(1, 3, vec![1.0, 2.0, 3.0]));
+        assert_eq!(y.data(), &[3.0, 5.0, 7.0]);
     }
 
     #[test]

@@ -128,13 +128,15 @@ mod tests {
     use crate::layers::{Activation, Dense};
 
     /// y = sin(x) regression with a 2-layer MLP.
+    #[allow(clippy::type_complexity)]
     fn make_problem() -> (Vec<(Tensor, Tensor)>, Vec<(Tensor, Tensor)>) {
         let batch = |lo: f64, hi: f64, n: usize| {
             let xs: Vec<f64> = (0..n).map(|i| lo + (hi - lo) * i as f64 / n as f64).collect();
             let ys: Vec<f64> = xs.iter().map(|x| x.sin()).collect();
             (Tensor::col(&xs), Tensor::col(&ys))
         };
-        let train: Vec<_> = (0..8).map(|b| batch(-3.0 + b as f64 * 0.7, -2.4 + b as f64 * 0.7, 16)).collect();
+        let train: Vec<_> =
+            (0..8).map(|b| batch(-3.0 + b as f64 * 0.7, -2.4 + b as f64 * 0.7, 16)).collect();
         let val = vec![batch(-1.0, 1.0, 32)];
         (train, val)
     }
@@ -183,7 +185,12 @@ mod tests {
             TrainConfig {
                 max_epochs: 20,
                 patience: 2,
-                adam: AdamConfig { lr: 0.5, weight_decay: 0.0, clip_norm: None, ..Default::default() },
+                adam: AdamConfig {
+                    lr: 0.5,
+                    weight_decay: 0.0,
+                    clip_norm: None,
+                    ..Default::default()
+                },
                 seed: 0,
             },
             1,

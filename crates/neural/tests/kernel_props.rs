@@ -1,0 +1,113 @@
+//! Property tests for the blocked matmul kernels: on random shapes and
+//! data, every kernel variant must agree with a naive triple-loop
+//! reference to floating-point accumulation tolerance.
+
+use neural::kernels;
+use neural::tensor::Tensor;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random fill so shapes and data derive from a
+/// single proptest-provided seed.
+fn fill(len: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            // xorshift64*, mapped into [-1, 1).
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let mantissa = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64;
+            mantissa / (1u64 << 52) as f64 * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Naive i-j-k reference matmul.
+fn naive(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Accumulation-order changes bound the divergence by ~k·ulp per output;
+/// scale the 1e-12 budget with the reduction length.
+fn tol(k: usize) -> f64 {
+    1e-12 * (k as f64).max(1.0)
+}
+
+fn assert_close(got: &[f64], want: &[f64], k: usize, label: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        prop_assert!(
+            (g - w).abs() <= tol(k),
+            "{} diverges at {}: {} vs {} (tol {})",
+            label,
+            i,
+            g,
+            w,
+            tol(k)
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocked_matmul_matches_naive(
+        m in 1usize..24,
+        k in 1usize..400,
+        n in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let a = fill(m * k, seed);
+        let b = fill(k * n, seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut out = vec![0.0; m * n];
+        kernels::matmul(&a, &b, &mut out, m, k, n);
+        assert_close(&out, &naive(&a, &b, m, k, n), k, "matmul")?;
+    }
+
+    #[test]
+    fn tensor_matmul_into_matches_naive(
+        m in 1usize..16,
+        k in 1usize..200,
+        n in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let a = Tensor::new(m, k, fill(m * k, seed));
+        let b = Tensor::new(k, n, fill(k * n, seed ^ 0xABCD_EF01_2345_6789));
+        let want = naive(a.data(), b.data(), m, k, n);
+        // The allocating and the in-place paths must agree with the
+        // reference (and with each other).
+        assert_close(a.matmul(&b).data(), &want, k, "matmul")?;
+        let mut out = Tensor::zeros(m, n);
+        a.matmul_into(&b, &mut out);
+        assert_close(out.data(), &want, k, "matmul_into")?;
+    }
+
+    #[test]
+    fn layout_aware_variants_match_naive(
+        m in 1usize..12,
+        k in 1usize..120,
+        n in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let a = Tensor::new(m, k, fill(m * k, seed));
+        let b = Tensor::new(k, n, fill(k * n, seed ^ 0x1234_5678_9ABC_DEF0));
+        let want = naive(a.data(), b.data(), m, k, n);
+        // a · b via the transposed-operand kernels.
+        let bt = b.transpose();
+        assert_close(a.matmul_nt(&bt).data(), &want, k, "matmul_nt")?;
+        let at = a.transpose();
+        assert_close(at.matmul_tn(&b).data(), &want, k, "matmul_tn")?;
+    }
+}

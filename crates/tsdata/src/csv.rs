@@ -75,9 +75,7 @@ pub fn parse_timestamp(s: &str) -> Option<i64> {
     if bytes.len() < 16 {
         return None;
     }
-    let num = |range: std::ops::Range<usize>| -> Option<i64> {
-        s.get(range)?.parse::<i64>().ok()
-    };
+    let num = |range: std::ops::Range<usize>| -> Option<i64> { s.get(range)?.parse::<i64>().ok() };
     let year = num(0..4)?;
     let month = num(5..7)?;
     let day = num(8..10)?;
@@ -119,19 +117,20 @@ pub fn parse_multiseries(text: &str, target: Option<&str>) -> Result<MultiSeries
             continue;
         }
         let mut fields = line.split(',');
-        let ts_field = fields.next().ok_or_else(|| {
-            CsvError::BadRow(idx + 1, "missing timestamp field".into())
-        })?;
+        let ts_field = fields
+            .next()
+            .ok_or_else(|| CsvError::BadRow(idx + 1, "missing timestamp field".into()))?;
         let ts = parse_timestamp(ts_field)
             .ok_or_else(|| CsvError::BadTimestamp(idx + 1, ts_field.to_string()))?;
         timestamps.push(ts);
         for (c, col) in columns.iter_mut().enumerate() {
-            let field = fields.next().ok_or_else(|| {
-                CsvError::BadRow(idx + 1, format!("missing column {}", names[c]))
-            })?;
-            let v: f64 = field.trim().parse().map_err(|_| {
-                CsvError::BadRow(idx + 1, format!("bad number '{}'", field.trim()))
-            })?;
+            let field = fields
+                .next()
+                .ok_or_else(|| CsvError::BadRow(idx + 1, format!("missing column {}", names[c])))?;
+            let v: f64 = field
+                .trim()
+                .parse()
+                .map_err(|_| CsvError::BadRow(idx + 1, format!("bad number '{}'", field.trim())))?;
             col.push(v);
         }
     }
@@ -246,10 +245,7 @@ date,HUFL,OT
         assert!(matches!(parse_multiseries(bad_ts, None), Err(CsvError::BadTimestamp(2, _))));
         let irregular = "date,v\n0,1.0\n60,2.0\n180,3.0\n";
         assert!(matches!(parse_multiseries(irregular, None), Err(CsvError::Irregular(_))));
-        assert!(matches!(
-            parse_multiseries(SAMPLE, Some("nope")),
-            Err(CsvError::MissingColumn(_))
-        ));
+        assert!(matches!(parse_multiseries(SAMPLE, Some("nope")), Err(CsvError::MissingColumn(_))));
     }
 
     #[test]

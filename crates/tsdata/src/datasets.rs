@@ -373,16 +373,16 @@ fn generate_target_raw(kind: DatasetKind, n: usize, r: &mut rand::rngs::StdRng) 
                 .with(Component::RandomWalk { sigma: 0.01, revert: 0.02 })
                 .generate(n, r);
             let mut v = Vec::with_capacity(n);
-            for i in 0..n {
+            for (i, &c) in cloud.iter().enumerate() {
                 let phase = (i as f64 % day) / day; // 0..1 through the day
-                // Daylight from 0.25 to 0.75 of the day; sin bell over it.
+                                                    // Daylight from 0.25 to 0.75 of the day; sin bell over it.
                 let bell = if (0.25..0.75).contains(&phase) {
                     ((phase - 0.25) / 0.5 * std::f64::consts::PI).sin()
                 } else {
                     0.0
                 };
                 let noise = 1.0 + 0.12 * crate::generators::gaussian(r);
-                let x = (bell * cloud[i].clamp(0.05, 1.5) * noise).max(0.0);
+                let x = (bell * c.clamp(0.05, 1.5) * noise).max(0.0);
                 v.push(x);
             }
             // Multiplicative calibration to hit Q3 while keeping zeros.
@@ -555,9 +555,8 @@ mod tests {
     fn riqd_ordering_matches_paper() {
         // Paper: Solar (200%) > Wind (121%) > ETTm1 (82%) > ETTm2 (75%)
         //        > ElecDem (28%) > Weather (5%)
-        let riqd = |k| {
-            summarize(generate_univariate(k, GenOptions::with_len(TEST_LEN)).values()).riqd
-        };
+        let riqd =
+            |k| summarize(generate_univariate(k, GenOptions::with_len(TEST_LEN)).values()).riqd;
         let solar = riqd(DatasetKind::Solar);
         let wind = riqd(DatasetKind::Wind);
         let ettm1 = riqd(DatasetKind::ETTm1);

@@ -231,9 +231,8 @@ mod tests {
 
     #[test]
     fn constant_and_trend() {
-        let spec = SignalSpec::new()
-            .with(Component::Constant(5.0))
-            .with(Component::Trend { slope: 1.0 });
+        let spec =
+            SignalSpec::new().with(Component::Constant(5.0)).with(Component::Trend { slope: 1.0 });
         let v = spec.generate(3, &mut rng(0));
         assert_eq!(v, vec![5.0, 6.0, 7.0]);
     }

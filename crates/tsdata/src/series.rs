@@ -100,11 +100,7 @@ impl TimeSeries {
         }
         if self.points.len() == 1 {
             // A single point is trivially regular; pick interval 1.
-            return RegularTimeSeries::new(
-                self.points[0].timestamp,
-                1,
-                vec![self.points[0].value],
-            );
+            return RegularTimeSeries::new(self.points[0].timestamp, 1, vec![self.points[0].value]);
         }
         let interval = self.points[1].timestamp - self.points[0].timestamp;
         if interval <= 0 {
@@ -209,7 +205,10 @@ impl RegularTimeSeries {
     /// This is the transformation `T` of Definition 5 applied pointwise.
     pub fn with_values(&self, values: Vec<f64>) -> Result<RegularTimeSeries, SeriesError> {
         if values.len() != self.values.len() {
-            return Err(SeriesError::LengthMismatch { left: self.values.len(), right: values.len() });
+            return Err(SeriesError::LengthMismatch {
+                left: self.values.len(),
+                right: values.len(),
+            });
         }
         RegularTimeSeries::new(self.start, self.interval, values)
     }
@@ -250,7 +249,11 @@ impl MultiSeries {
             return Err(SeriesError::LengthMismatch { left: names.len(), right: channels.len() });
         }
         if target >= channels.len() {
-            return Err(SeriesError::BadRange { start: target, end: target + 1, len: channels.len() });
+            return Err(SeriesError::BadRange {
+                start: target,
+                end: target + 1,
+                len: channels.len(),
+            });
         }
         Ok(MultiSeries { names, channels, target })
     }
@@ -297,21 +300,18 @@ impl MultiSeries {
 
     /// Applies a per-channel transformation (e.g. compress + decompress),
     /// keeping names and target.
-    pub fn map_channels<F>(&self, mut f: F) -> Result<MultiSeries, SeriesError>
+    pub fn map_channels<F>(&self, f: F) -> Result<MultiSeries, SeriesError>
     where
         F: FnMut(&RegularTimeSeries) -> RegularTimeSeries,
     {
-        let channels: Vec<_> = self.channels.iter().map(|c| f(c)).collect();
+        let channels: Vec<_> = self.channels.iter().map(f).collect();
         MultiSeries::new(self.names.clone(), channels, self.target)
     }
 
     /// A row-slice over all channels: indices `start..end`.
     pub fn slice(&self, start: usize, end: usize) -> Result<MultiSeries, SeriesError> {
-        let channels = self
-            .channels
-            .iter()
-            .map(|c| c.segment(start, end))
-            .collect::<Result<Vec<_>, _>>()?;
+        let channels =
+            self.channels.iter().map(|c| c.segment(start, end)).collect::<Result<Vec<_>, _>>()?;
         MultiSeries::new(self.names.clone(), channels, self.target)
     }
 }

@@ -82,11 +82,8 @@ pub fn make_windows(
     let mut windows = Vec::new();
     let mut s = 0;
     while s + input_len + horizon <= n {
-        let inputs = data
-            .channels()
-            .iter()
-            .map(|c| c.values()[s..s + input_len].to_vec())
-            .collect();
+        let inputs =
+            data.channels().iter().map(|c| c.values()[s..s + input_len].to_vec()).collect();
         let t = target[s + input_len..s + input_len + horizon].to_vec();
         windows.push(Window { inputs, target: t, start: s });
         s += stride;
@@ -111,8 +108,7 @@ pub fn make_eval_windows(
     let mut windows = make_windows(transformed, input_len, horizon, stride);
     let raw_target = raw.target().values();
     for w in &mut windows {
-        w.target
-            .copy_from_slice(&raw_target[w.start + input_len..w.start + input_len + horizon]);
+        w.target.copy_from_slice(&raw_target[w.start + input_len..w.start + input_len + horizon]);
     }
     Ok(windows)
 }

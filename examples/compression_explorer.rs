@@ -30,10 +30,7 @@ fn main() {
             raw as f64 / raw_gz as f64,
             compression_ratio(raw, gorilla.size_bytes()),
         );
-        println!(
-            "{:<6} {:>5} {:>9} {:>11} {:>9}",
-            "method", "eps", "CR", "TE(NRMSE)", "segments"
-        );
+        println!("{:<6} {:>5} {:>9} {:>11} {:>9}", "method", "eps", "CR", "TE(NRMSE)", "segments");
         for method in ALL_METHODS {
             let compressor = method.compressor();
             let mut tes = Vec::new();

@@ -61,15 +61,11 @@ fn main() {
     // 2. CharacteristicsMonitor: §4.3.3 thresholds on a live stream.
     // ------------------------------------------------------------------
     println!("\n== 2. Characteristics monitor (paper §4.3.3 guidance) ==");
-    let monitor = CharacteristicsMonitor::new(
-        new_series.values(),
-        MonitorConfig::paper_defaults(features),
-    );
+    let monitor =
+        CharacteristicsMonitor::new(new_series.values(), MonitorConfig::paper_defaults(features));
     for (label, eps) in [("mild", 0.05), ("aggressive", 0.8)] {
-        let (decompressed, _) = Method::Pmc
-            .compressor()
-            .transform(&new_series, eps)
-            .expect("compresses");
+        let (decompressed, _) =
+            Method::Pmc.compressor().transform(&new_series, eps).expect("compresses");
         let alerts = monitor.check(decompressed.values());
         println!("  PMC @ {eps} ({label}): {} alert(s)", alerts.len());
         for a in alerts.iter().take(3) {

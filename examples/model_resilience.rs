@@ -28,11 +28,7 @@ fn main() {
     let season = dataset.samples_per_day() as usize;
 
     // Characteristics of the decompressed test data (PMC), per error bound.
-    let opts = FeatureOptions {
-        period: Some(season),
-        shift_window: 48,
-        cap: Some(4_000),
-    };
+    let opts = FeatureOptions { period: Some(season), shift_window: 48, cap: Some(4_000) };
     let original = extract(s.test.target().values(), opts);
 
     println!("dataset: {} | models: Arima vs NBeats | methods averaged\n", dataset.name());
@@ -43,10 +39,8 @@ fn main() {
 
     let mut results: Vec<(ModelKind, Vec<f64>)> = Vec::new();
     for kind in [ModelKind::Arima, ModelKind::NBeats] {
-        let mut model = build_model(
-            kind,
-            BuildOptions { season: Some(season), ..Default::default() },
-        );
+        let mut model =
+            build_model(kind, BuildOptions { season: Some(season), ..Default::default() });
         let outcome = evaluate_scenario(
             model.as_mut(),
             &s.train,
@@ -88,10 +82,8 @@ fn main() {
         );
     }
 
-    let arima_mean: f64 =
-        results[0].1.iter().sum::<f64>() / results[0].1.len() as f64;
-    let nbeats_mean: f64 =
-        results[1].1.iter().sum::<f64>() / results[1].1.len() as f64;
+    let arima_mean: f64 = results[0].1.iter().sum::<f64>() / results[0].1.len() as f64;
+    let nbeats_mean: f64 = results[1].1.iter().sum::<f64>() / results[1].1.len() as f64;
     println!(
         "\nmean TFE — Arima: {:+.2}%, NBeats: {:+.2}%",
         100.0 * arima_mean,

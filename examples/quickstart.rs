@@ -24,12 +24,10 @@ fn main() {
     let raw = raw_compressed_size(target);
     println!("\nlossy compression at relative error bound {epsilon}:");
     for compressor in all_lossy() {
-        let (decompressed, frame) = compressor
-            .transform(target, epsilon)
-            .expect("generated data compresses cleanly");
+        let (decompressed, frame) =
+            compressor.transform(target, epsilon).expect("generated data compresses cleanly");
         assert!(
-            find_bound_violation(target.values(), decompressed.values(), epsilon, 1e-9)
-                .is_none(),
+            find_bound_violation(target.values(), decompressed.values(), epsilon, 1e-9).is_none(),
             "PEBLC guarantee must hold"
         );
         println!(
@@ -46,16 +44,9 @@ fn main() {
     let s = split(&data, SplitSpec::default()).expect("dataset splits 70/10/20");
     let mut model = build_model(ModelKind::GBoost, BuildOptions::default());
     println!("\ntraining {} (input 96 -> horizon 24)...", model.name());
-    let outcome = evaluate_scenario(
-        model.as_mut(),
-        &s.train,
-        &s.val,
-        &s.test,
-        &all_lossy(),
-        &[0.05, 0.2],
-        8,
-    )
-    .expect("scenario runs");
+    let outcome =
+        evaluate_scenario(model.as_mut(), &s.train, &s.val, &s.test, &all_lossy(), &[0.05, 0.2], 8)
+            .expect("scenario runs");
     println!("baseline RMSE (scaled): {:.4}", outcome.baseline.rmse);
     println!("\nimpact of lossy compression on forecasting (TFE, Eq. 2):");
     for (method, eps, metrics) in &outcome.transformed {
@@ -70,8 +61,8 @@ fn main() {
 
     // 4. The transformation itself is reusable: here is the decompressed
     //    test subset a downstream system would see.
-    let transformed = transform_series(&s.test, all_lossy()[0].as_ref(), 0.2)
-        .expect("transformation succeeds");
+    let transformed =
+        transform_series(&s.test, all_lossy()[0].as_ref(), 0.2).expect("transformation succeeds");
     println!(
         "\nfirst 5 raw vs decompressed test values (PMC @ 0.2):\n  raw: {:?}\n  dec: {:?}",
         &s.test.target().values()[..5],

@@ -53,16 +53,12 @@ fn main() {
     .expect("scenario runs");
     println!("forecaster: {} | baseline RMSE {:.4}\n", model.name(), outcome.baseline.rmse);
 
-    println!(
-        "{:<6} {:>5} {:>9} {:>11} {:>9}",
-        "method", "eps", "CR", "TE(NRMSE)", "TFE"
-    );
+    println!("{:<6} {:>5} {:>9} {:>11} {:>9}", "method", "eps", "CR", "TE(NRMSE)", "TFE");
     for compressor in all_lossy() {
         let mut tes = Vec::new();
         let mut tfes = Vec::new();
         for &eps in &error_bounds {
-            let (d, frame) =
-                compressor.transform(target, eps).expect("turbine data compresses");
+            let (d, frame) = compressor.transform(target, eps).expect("turbine data compresses");
             let te = nrmse(target.values(), d.values());
             let metrics = outcome
                 .transformed

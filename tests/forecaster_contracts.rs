@@ -62,10 +62,7 @@ fn wrong_window_length_is_an_error_for_every_model() {
         let mut model = build_model(kind, options());
         model.fit(&s.train, &s.val).expect("fits");
         assert!(
-            matches!(
-                model.predict(&[vec![0.0; 5]]),
-                Err(ForecastError::BadWindow { .. })
-            ),
+            matches!(model.predict(&[vec![0.0; 5]]), Err(ForecastError::BadWindow { .. })),
             "{} should reject short windows",
             kind.name()
         );

@@ -2,9 +2,9 @@
 //! Huffman must round-trip arbitrary byte streams, and compression must
 //! actually compress the workloads this repo produces.
 
+use evalimplsts::compression::bitstream::{BitReader, BitWriter};
 use evalimplsts::compression::deflate::{compress, compressed_size, decompress};
 use evalimplsts::compression::huffman::CanonicalCode;
-use evalimplsts::compression::bitstream::{BitReader, BitWriter};
 use proptest::prelude::*;
 
 proptest! {
@@ -84,8 +84,7 @@ fn corrupted_streams_never_panic() {
 #[test]
 fn compresses_the_actual_workloads() {
     // PMC-style constant stream.
-    let constants: Vec<u8> =
-        (0..2000).flat_map(|_| 13.5f32.to_le_bytes()).collect();
+    let constants: Vec<u8> = (0..2000).flat_map(|_| 13.5f32.to_le_bytes()).collect();
     assert!(compressed_size(&constants) < constants.len() / 20);
     // Quantized sensor stream.
     let sensor: Vec<u8> = (0..2000)

@@ -15,9 +15,8 @@ fn every_method_respects_bounds_on_every_dataset() {
         let series = generate_univariate(dataset, GenOptions::with_len(2_500));
         for compressor in all_lossy() {
             for &eps in &[ERROR_BOUNDS[0], 0.1, ERROR_BOUNDS[12]] {
-                let (decompressed, frame) = compressor
-                    .transform(&series, eps)
-                    .unwrap_or_else(|e| {
+                let (decompressed, frame) =
+                    compressor.transform(&series, eps).unwrap_or_else(|e| {
                         panic!("{} on {} @ {eps}: {e}", compressor.name(), dataset.name())
                     });
                 assert_eq!(decompressed.len(), series.len());

@@ -1,0 +1,374 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the benchmark-harness API surface this workspace uses
+//! (`criterion_group!` / `criterion_main!`, groups, `Bencher::iter`,
+//! throughput annotation, `black_box`) over a simple wall-clock
+//! measurement loop: each benchmark is warmed up, calibrated to a batch
+//! size large enough to dwarf timer overhead, then sampled repeatedly.
+//! Results are printed as a table and can be exported as JSON via
+//! [`Criterion::save_json`] for committing summaries alongside the code.
+
+use std::fmt::Write as _;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units-of-work annotation attached to measurements so rates can be
+/// reported alongside raw times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// One completed measurement.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Group name, empty for ungrouped benchmarks.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Mean wall-clock time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest observed sample mean, nanoseconds.
+    pub min_ns: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+    /// Optional units-of-work annotation.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchRecord {
+    fn label(&self) -> String {
+        if self.group.is_empty() {
+            self.id.clone()
+        } else {
+            format!("{}/{}", self.group, self.id)
+        }
+    }
+
+    fn rate(&self) -> Option<String> {
+        let per_iter = match self.throughput? {
+            Throughput::Bytes(b) => {
+                return Some(format!(
+                    "{:.1} MiB/s",
+                    b as f64 / self.mean_ns * 1e9 / (1024.0 * 1024.0)
+                ))
+            }
+            Throughput::Elements(e) => e as f64,
+        };
+        Some(format!("{:.3} Melem/s", per_iter / self.mean_ns * 1e9 / 1e6))
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Measurement state handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<(f64, f64, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration statistics. The routine's
+    /// return value is passed through [`black_box`] so its computation
+    /// cannot be optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: time single calls until we know roughly
+        // how expensive one iteration is.
+        let calib_start = Instant::now();
+        black_box(routine());
+        let mut one = calib_start.elapsed();
+        if one < Duration::from_micros(1) {
+            // Too fast to time alone; batch 1000 calls for the estimate.
+            let start = Instant::now();
+            for _ in 0..1000 {
+                black_box(routine());
+            }
+            one = start.elapsed() / 1000;
+        }
+        let one_ns = one.as_nanos().max(1) as u64;
+
+        // Batch size targeting ~2 ms per sample, samples capped so a
+        // single benchmark stays near ~200 ms total wall clock.
+        let batch = (2_000_000 / one_ns).clamp(1, 1_000_000);
+        let budget_ns: u64 = 200_000_000;
+        let est_sample_ns = batch * one_ns;
+        let max_samples = (budget_ns / est_sample_ns.max(1)).clamp(3, 50) as usize;
+        let samples = self.sample_size.clamp(3, max_samples);
+
+        let mut total_ns = 0u64;
+        let mut min_sample = f64::INFINITY;
+        let mut iters = 0u64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as u64;
+            total_ns += elapsed;
+            iters += batch;
+            let per_iter = elapsed as f64 / batch as f64;
+            if per_iter < min_sample {
+                min_sample = per_iter;
+            }
+        }
+        self.result = Some((total_ns as f64 / iters as f64, min_sample, iters));
+    }
+}
+
+/// Top-level benchmark harness; collects every measurement it runs.
+pub struct Criterion {
+    sample_size: usize,
+    records: Vec<BenchRecord>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, records: Vec::new() }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 3, "sample_size must be at least 3");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a standalone (ungrouped) benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(String::new(), id.to_string(), None, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None, throughput: None }
+    }
+
+    /// All measurements recorded so far.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Serializes every recorded measurement as a JSON array.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let sep = if i + 1 == self.records.len() { "" } else { "," };
+            let (tp_kind, tp_value) = match r.throughput {
+                Some(Throughput::Bytes(b)) => ("\"bytes\"", b as i64),
+                Some(Throughput::Elements(e)) => ("\"elements\"", e as i64),
+                None => ("null", -1),
+            };
+            let _ = writeln!(
+                out,
+                "  {{\"group\": \"{}\", \"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
+                 \"iters\": {}, \"throughput_kind\": {}, \"throughput_per_iter\": {}}}{}",
+                escape(&r.group),
+                escape(&r.id),
+                r.mean_ns,
+                r.min_ns,
+                r.iters,
+                tp_kind,
+                tp_value,
+                sep,
+            );
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// Writes [`Criterion::to_json`] to `path`.
+    pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        group: String,
+        id: String,
+        sample_size: Option<usize>,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        let mut bencher =
+            Bencher { sample_size: sample_size.unwrap_or(self.sample_size), result: None };
+        f(&mut bencher);
+        let (mean_ns, min_ns, iters) =
+            bencher.result.expect("benchmark closure must call Bencher::iter");
+        let record = BenchRecord { group, id, mean_ns, min_ns, iters, throughput };
+        let rate = record.rate().map(|r| format!("  ({r})")).unwrap_or_default();
+        println!(
+            "bench {:<48} {:>12}/iter  (min {:>12}, {} iters){}",
+            record.label(),
+            fmt_ns(record.mean_ns),
+            fmt_ns(record.min_ns),
+            record.iters,
+            rate,
+        );
+        self.records.push(record);
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A named set of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 3, "sample_size must be at least 3");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with units of work per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.criterion.run_one(self.name.clone(), id.id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input handed to the closure.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API parity; groups have no teardown).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group runner: a function invoking each target
+/// with a shared [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_and_json() {
+        let mut c = Criterion::default().sample_size(3);
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(3).throughput(Throughput::Elements(64));
+            g.bench_function(BenchmarkId::from_parameter(64), |b| {
+                b.iter(|| (0..64u64).map(black_box).sum::<u64>())
+            });
+            g.finish();
+        }
+        c.bench_function("plain", |b| b.iter(|| black_box(2u64).pow(10)));
+        assert_eq!(c.records().len(), 2);
+        assert!(c.records()[0].mean_ns > 0.0);
+        assert!(c.records()[0].iters > 0);
+        let json = c.to_json();
+        assert!(json.contains("\"group\": \"demo\""));
+        assert!(json.contains("\"id\": \"plain\""));
+        assert!(json.contains("\"throughput_per_iter\": 64"));
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("matmul", 128).id, "matmul/128");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

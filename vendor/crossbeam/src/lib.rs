@@ -1,0 +1,101 @@
+//! Offline stand-in for `crossbeam`'s scoped threads.
+//!
+//! Implements `crossbeam::scope` on top of `std::thread::scope` (stable
+//! since Rust 1.63). The shim preserves crossbeam's two API differences
+//! from std: spawn closures receive the scope as an argument (so nested
+//! spawns are possible), and `scope` returns a `Result` that captures
+//! worker panics instead of propagating them.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+
+/// A scope handle passed to [`scope`]'s closure and to every spawned
+/// worker.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result (`Err` holds
+    /// the panic payload if the worker panicked).
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a worker inside the scope. The closure receives the scope,
+    /// mirroring crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+    }
+}
+
+/// Creates a scope in which threads can borrow from the enclosing stack
+/// frame. All spawned threads are joined before `scope` returns. Returns
+/// `Err` with the first panic payload if the closure or any
+/// not-explicitly-joined worker panicked.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| thread::scope(|s| f(&Scope { inner: s }))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_borrow_stack_data() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .expect("no panics");
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn join_returns_worker_value() {
+        let out = scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().expect("worker ok")
+        })
+        .expect("no panics");
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .expect("no panics");
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let res = scope(|s| {
+            s.spawn(|_| panic!("worker down"));
+        });
+        assert!(res.is_err());
+    }
+}
