@@ -40,6 +40,7 @@ fn main() {
     let mut forecast: Option<forecasting_exp::ForecastExperiment> = None;
     let mut elbows: Option<elbows_exp::Table5> = None;
     let mut chars: Option<characteristics_exp::CharacteristicsExperiment> = None;
+    let mut retrain: Option<retrain_exp::RetrainGrid> = None;
 
     let get_compression =
         |cfg: &evalcore::GridConfig, cache: &mut Option<compression_exp::CompressionExperiment>| {
@@ -113,6 +114,23 @@ fn main() {
                     .render()
             }
             Experiment::Decomp => retrain_exp::render_decomposition(&cfg),
+            Experiment::Retrain => {
+                eprintln!("[repro] running retrain grid (each cell retrains its model)...");
+                let ctx = evalcore::GridContext::new(cfg.clone());
+                let engine = evalcore::Engine::new(&ctx).on_task_done(|ev| {
+                    eprintln!(
+                        "[repro] retrain {}/{} {:?}: {}",
+                        ev.index + 1,
+                        ev.total,
+                        ev.status,
+                        ev.coord
+                    );
+                });
+                let grid = retrain_exp::run_grid_with(&engine);
+                let rendered = grid.render();
+                retrain = Some(grid);
+                rendered
+            }
             Experiment::All => unreachable!("expanded above"),
         };
         println!("{output}");
@@ -141,6 +159,9 @@ fn main() {
                 fig4.push_str(&format!("{},{},{},{},{},{}\n", d.name(), m.name(), e, te, tfe, ci));
             }
             write("fig4_points.csv", fig4);
+        }
+        if let Some(grid) = &retrain {
+            write("retrain.csv", evalcore::results::forecast_csv(&grid.records));
         }
     }
 }

@@ -43,11 +43,15 @@ pub enum Experiment {
     Fig7,
     /// §4.4.1 trend/remainder decomposition impact.
     Decomp,
+    /// The full §4.4.1 retrain grid (every configured cell retrains its
+    /// model on decompressed data). Opt-in: expensive, so `all` skips it.
+    Retrain,
     /// Everything, sharing one grid evaluation.
     All,
 }
 
-/// All individual experiments (excludes `All`).
+/// All individual experiments (excludes `All`, and `Retrain`, which is
+/// opt-in because every one of its grid cells retrains a model).
 pub const ALL_EXPERIMENTS: [Experiment; 15] = [
     Experiment::Table1,
     Experiment::Fig1,
@@ -85,6 +89,7 @@ impl Experiment {
             "table7" => Experiment::Table7,
             "fig7" => Experiment::Fig7,
             "decomp" => Experiment::Decomp,
+            "retrain" => Experiment::Retrain,
             "all" => Experiment::All,
             _ => return None,
         })
@@ -101,6 +106,7 @@ impl Experiment {
                 | Experiment::Table3
                 | Experiment::Fig7
                 | Experiment::Decomp
+                | Experiment::Retrain
         )
     }
 }
@@ -134,7 +140,7 @@ pub struct Cli {
 /// Parses `repro` arguments. Returns `Err` with a usage string on bad
 /// input.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
-    let usage = "usage: repro [all|table1|table2|...|fig7|decomp]... \
+    let usage = "usage: repro [all|table1|table2|...|fig7|decomp|retrain]... \
                  [--quick|--paper] [--len N] [--seed S] [--csv DIR]";
     let mut experiments = Vec::new();
     let mut scale = Scale::Default;
@@ -236,6 +242,15 @@ mod tests {
             assert_eq!(Experiment::parse(&name), Some(e), "{name}");
         }
         assert_eq!(Experiment::parse("all"), Some(Experiment::All));
+        assert_eq!(Experiment::parse("retrain"), Some(Experiment::Retrain));
+    }
+
+    #[test]
+    fn retrain_is_opt_in() {
+        // `all` must not pull in the full retrain grid.
+        assert!(!ALL_EXPERIMENTS.contains(&Experiment::Retrain));
+        let cli = parse("retrain --quick").unwrap();
+        assert_eq!(cli.experiments, vec![Experiment::Retrain]);
     }
 
     #[test]
@@ -245,6 +260,7 @@ mod tests {
         assert!(Experiment::Table2.needs_forecast_grid());
         assert!(Experiment::Table5.needs_forecast_grid());
         assert!(!Experiment::Fig7.needs_forecast_grid());
+        assert!(!Experiment::Retrain.needs_forecast_grid());
     }
 
     #[test]

@@ -229,21 +229,26 @@ impl DatasetCache {
     }
 
     /// Returns the cached dataset, generating it via `generate` on first
-    /// request.
-    pub fn get_or_generate<F>(&self, kind: DatasetKind, generate: F) -> Arc<CachedDataset>
+    /// request. Failed generations are not cached: the error propagates to
+    /// the requesting task and a later request retries.
+    pub fn get_or_try_generate<F>(
+        &self,
+        kind: DatasetKind,
+        generate: F,
+    ) -> Result<Arc<CachedDataset>, ScenarioError>
     where
-        F: FnOnce() -> CachedDataset,
+        F: FnOnce() -> Result<CachedDataset, ScenarioError>,
     {
         let slot = slot_for(&self.slots, kind);
         let mut guard = slot.lock();
         if let Some(cached) = guard.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return cached.clone();
+            return Ok(cached.clone());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let cached = Arc::new(generate());
+        let cached = Arc::new(generate()?);
         *guard = Some(cached.clone());
-        cached
+        Ok(cached)
     }
 
     /// Number of requests served from the cache.
@@ -277,14 +282,24 @@ impl GridContext {
         GridContext { config, datasets: DatasetCache::new(), transforms: TransformCache::new() }
     }
 
-    /// The dataset for `kind`, generated (and split) at most once.
-    pub fn dataset(&self, kind: DatasetKind) -> Arc<CachedDataset> {
-        self.datasets.get_or_generate(kind, || {
+    /// The dataset for `kind`, generated (and split) at most once. A split
+    /// failure (series too short for the 70/10/20 proportions) surfaces as
+    /// a [`ScenarioError`] so engine tasks can record it as a per-task
+    /// failure instead of aborting the grid.
+    pub fn try_dataset(&self, kind: DatasetKind) -> Result<Arc<CachedDataset>, ScenarioError> {
+        self.datasets.get_or_try_generate(kind, || {
             let series = self.config.dataset(kind);
             let raw_size = compression::raw_compressed_size(series.target());
-            let split = self.config.split(&series);
-            CachedDataset { series, split, raw_size }
+            let split = self.config.split(&series)?;
+            Ok(CachedDataset { series, split, raw_size })
         })
+    }
+
+    /// Panicking convenience wrapper around [`GridContext::try_dataset`]
+    /// for callers outside the engine (benches, tests) that run on
+    /// configurations known to split cleanly.
+    pub fn dataset(&self, kind: DatasetKind) -> Arc<CachedDataset> {
+        self.try_dataset(kind).expect("dataset generates and splits cleanly")
     }
 
     /// The transform `T(subset | method, ε)` for a dataset, computed at
@@ -298,7 +313,7 @@ impl GridContext {
         method: Method,
         epsilon: f64,
     ) -> Result<Arc<CachedTransform>, ScenarioError> {
-        let ds = self.dataset(dataset);
+        let ds = self.try_dataset(dataset)?;
         let key = TransformKey::new(dataset, subset, method, epsilon);
         self.transforms.get_or_compute(key, || {
             let compressor = method.compressor();

@@ -1,0 +1,816 @@
+//! The task engine: typed task descriptors, a fault-isolated scheduler,
+//! and structured per-task outcomes for the evaluation grid.
+//!
+//! The paper's evaluation is a cross-product (compressor × ε × dataset ×
+//! model × seed, §3). Older revisions executed it as flat index loops
+//! where one panicking task aborted the whole grid; the engine instead
+//! wraps every task in [`std::panic::catch_unwind`] and reports a
+//! [`TaskOutcome`] per task — `Ok(record)`, `Failed(ScenarioError)`, or
+//! `Panicked(message)` — so a partial grid still produces a report.
+//!
+//! Three properties the scheduler guarantees:
+//!
+//! * **Fault isolation** — a panic or error in one task never takes down
+//!   a worker or another task; the worker traps it and moves on.
+//! * **Deterministic assembly** — outcomes are returned in task order
+//!   regardless of thread count or completion order, so results are
+//!   byte-identical across `threads = 1` and `threads = N`.
+//! * **Cooperative cancellation** — a shared [`CancelFlag`] makes every
+//!   not-yet-started task resolve to `Failed(ScenarioError::Cancelled)`;
+//!   running tasks finish normally. A per-task completion callback
+//!   ([`Engine::on_task_done`]) is the hook observability layers (and the
+//!   `repro` progress display) plug into.
+//!
+//! Tasks address the grid through the shared [`GridContext`], so the
+//! exactly-once dataset/transform caching of [`crate::cache`] is
+//! preserved: the engine schedules, the context shares.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use compression::codec::PeblcCompressor;
+use compression::{Gorilla, Method};
+use forecast::model::ModelKind;
+use tsdata::datasets::DatasetKind;
+use tsdata::metrics::{compression_ratio, nrmse, rmse};
+
+use crate::cache::{GridContext, Subset};
+use crate::grid::GridConfig;
+use crate::results::{CompressionRecord, ForecastRecord, TaskFailure};
+use crate::scenario::{
+    evaluate_scenario_with, retrain_scenario_with, ScenarioError, ScenarioOutcome,
+};
+
+/// Grid coordinates identifying one task. Fields that do not apply to a
+/// task family are `None` (e.g. a [`CompressionTask`] has no model/seed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskCoord {
+    /// Dataset the task operates on.
+    pub dataset: DatasetKind,
+    /// Lossy method (`None` for per-dataset tasks like the Gorilla
+    /// baseline and the forecast tasks, which span all methods).
+    pub method: Option<Method>,
+    /// Error bound.
+    pub epsilon: Option<f64>,
+    /// Forecasting model.
+    pub model: Option<ModelKind>,
+    /// Random seed.
+    pub seed: Option<u64>,
+}
+
+impl TaskCoord {
+    /// A coordinate carrying only a dataset.
+    pub fn dataset(dataset: DatasetKind) -> Self {
+        TaskCoord { dataset, method: None, epsilon: None, model: None, seed: None }
+    }
+}
+
+impl std::fmt::Display for TaskCoord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.dataset.name())?;
+        if let Some(m) = self.method {
+            write!(f, "/{}", m.name())?;
+        }
+        if let Some(e) = self.epsilon {
+            write!(f, "@{e}")?;
+        }
+        if let Some(m) = self.model {
+            write!(f, " model={}", m.name())?;
+        }
+        if let Some(s) = self.seed {
+            write!(f, " seed={s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The structured result of one task.
+#[derive(Debug)]
+pub enum TaskOutcome<R> {
+    /// The task produced its record(s).
+    Ok(R),
+    /// The task returned an error (bad split, codec failure, ...).
+    Failed(ScenarioError),
+    /// The task panicked; the message is the panic payload.
+    Panicked(String),
+}
+
+impl<R> TaskOutcome<R> {
+    /// The completion status (outcome without the payload).
+    pub fn status(&self) -> TaskStatus {
+        match self {
+            TaskOutcome::Ok(_) => TaskStatus::Ok,
+            TaskOutcome::Failed(_) => TaskStatus::Failed,
+            TaskOutcome::Panicked(_) => TaskStatus::Panicked,
+        }
+    }
+
+    /// The record, if the task succeeded.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            TaskOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether the task succeeded.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, TaskOutcome::Ok(_))
+    }
+}
+
+/// Completion status of a task, without its payload ([`TaskEvent`]s carry
+/// this to keep the progress callback cheap and `Copy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// Completed with a record.
+    Ok,
+    /// Completed with an error.
+    Failed,
+    /// Panicked.
+    Panicked,
+}
+
+/// One per-task completion notification delivered to
+/// [`Engine::on_task_done`].
+#[derive(Debug, Clone, Copy)]
+pub struct TaskEvent {
+    /// Index of the completed task in the submitted task list.
+    pub index: usize,
+    /// Total number of tasks in the run.
+    pub total: usize,
+    /// The task's grid coordinates.
+    pub coord: TaskCoord,
+    /// How the task completed.
+    pub status: TaskStatus,
+}
+
+/// Shared cooperative-cancellation flag. Clone it, hand one copy to the
+/// engine, and call [`CancelFlag::cancel`] from anywhere (another thread,
+/// a signal handler, a progress callback); tasks that have not started
+/// when the flag is observed resolve to `Failed(ScenarioError::Cancelled)`.
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// Creates an unset flag.
+    pub fn new() -> Self {
+        CancelFlag::default()
+    }
+
+    /// Requests cancellation of all not-yet-started tasks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A typed, schedulable unit of grid work. Implementations carry their
+/// own coordinates and run against the shared [`GridContext`]; the
+/// engine supplies scheduling, panic isolation, and outcome collection.
+pub trait GridTask: Sync {
+    /// What a successful run produces.
+    type Output: Send;
+
+    /// The task's grid coordinates (used in failure reports and events).
+    fn coord(&self) -> TaskCoord;
+
+    /// Executes the task. Errors become [`TaskOutcome::Failed`]; panics
+    /// are trapped by the engine and become [`TaskOutcome::Panicked`].
+    fn run(&self, ctx: &GridContext) -> Result<Self::Output, ScenarioError>;
+}
+
+/// One compression-grid cell: measure TE, CR and segment count for
+/// `(dataset, method, ε)` (Figure 2, Figure 3, Table 3 inputs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionTask {
+    /// Dataset.
+    pub dataset: DatasetKind,
+    /// Lossy method.
+    pub method: Method,
+    /// Error bound.
+    pub epsilon: f64,
+}
+
+impl CompressionTask {
+    /// Enumerates the full `dataset × method × ε` cross-product of a
+    /// configuration, in deterministic configuration order.
+    pub fn enumerate(config: &GridConfig) -> Vec<CompressionTask> {
+        config
+            .datasets
+            .iter()
+            .flat_map(|&dataset| {
+                config.methods.iter().flat_map(move |&method| {
+                    config.error_bounds.iter().map(move |&epsilon| CompressionTask {
+                        dataset,
+                        method,
+                        epsilon,
+                    })
+                })
+            })
+            .collect()
+    }
+}
+
+impl GridTask for CompressionTask {
+    type Output = CompressionRecord;
+
+    fn coord(&self) -> TaskCoord {
+        TaskCoord {
+            method: Some(self.method),
+            epsilon: Some(self.epsilon),
+            ..TaskCoord::dataset(self.dataset)
+        }
+    }
+
+    fn run(&self, ctx: &GridContext) -> Result<CompressionRecord, ScenarioError> {
+        let ds = ctx.try_dataset(self.dataset)?;
+        let t = ctx.transform(self.dataset, Subset::Full, self.method, self.epsilon)?;
+        let target = ds.series.target();
+        Ok(CompressionRecord {
+            dataset: self.dataset,
+            method: self.method,
+            epsilon: self.epsilon,
+            te_nrmse: nrmse(target.values(), t.series.target().values()),
+            te_rmse: rmse(target.values(), t.series.target().values()),
+            cr: compression_ratio(ds.raw_size, t.stats.size_bytes),
+            segments: t.stats.num_segments,
+        })
+    }
+}
+
+/// One Gorilla-baseline measurement: the lossless CR of a dataset's
+/// target channel (the Figure-2 baseline line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GorillaTask {
+    /// Dataset.
+    pub dataset: DatasetKind,
+}
+
+impl GorillaTask {
+    /// One task per configured dataset.
+    pub fn enumerate(config: &GridConfig) -> Vec<GorillaTask> {
+        config.datasets.iter().map(|&dataset| GorillaTask { dataset }).collect()
+    }
+}
+
+impl GridTask for GorillaTask {
+    type Output = (DatasetKind, f64);
+
+    fn coord(&self) -> TaskCoord {
+        TaskCoord::dataset(self.dataset)
+    }
+
+    fn run(&self, ctx: &GridContext) -> Result<(DatasetKind, f64), ScenarioError> {
+        let ds = ctx.try_dataset(self.dataset)?;
+        let target = ds.series.target();
+        let raw = compression::raw_bytes(target).len();
+        let frame = Gorilla.compress(target, 0.0)?;
+        Ok((self.dataset, compression_ratio(raw, frame.size_bytes())))
+    }
+}
+
+/// One Algorithm-1 task: train a `(dataset, model, seed)` configuration
+/// on raw data and score it on every `(method, ε)` transformed test
+/// subset. Produces the baseline record plus one record per combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForecastTask {
+    /// Dataset.
+    pub dataset: DatasetKind,
+    /// Forecasting model.
+    pub model: ModelKind,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl ForecastTask {
+    /// Enumerates `dataset × model × seed` in configuration order, with
+    /// per-model seed counts from [`GridConfig::seeds_for`].
+    pub fn enumerate(config: &GridConfig) -> Vec<ForecastTask> {
+        config
+            .datasets
+            .iter()
+            .flat_map(|&dataset| {
+                config.models.iter().flat_map(move |&model| {
+                    config.seeds_for(model).into_iter().map(move |seed| ForecastTask {
+                        dataset,
+                        model,
+                        seed,
+                    })
+                })
+            })
+            .collect()
+    }
+}
+
+impl GridTask for ForecastTask {
+    type Output = Vec<ForecastRecord>;
+
+    fn coord(&self) -> TaskCoord {
+        TaskCoord {
+            model: Some(self.model),
+            seed: Some(self.seed),
+            ..TaskCoord::dataset(self.dataset)
+        }
+    }
+
+    fn run(&self, ctx: &GridContext) -> Result<Vec<ForecastRecord>, ScenarioError> {
+        let config = &ctx.config;
+        let ds = ctx.try_dataset(self.dataset)?;
+        let split = &ds.split;
+        let mut model = config.build_task_model(self.dataset, self.model, self.seed);
+        let compressors: Vec<Box<dyn PeblcCompressor>> =
+            config.methods.iter().map(|m| m.compressor()).collect();
+        let mut provider = |subset: Subset, c: &dyn PeblcCompressor, eps: f64| {
+            let method = method_for(config, c.name())?;
+            ctx.transform(self.dataset, subset, method, eps).map(|t| t.series.clone())
+        };
+        let outcome = evaluate_scenario_with(
+            model.as_mut(),
+            &split.train,
+            &split.val,
+            &split.test,
+            &compressors,
+            &config.error_bounds,
+            config.eval_stride,
+            &mut provider,
+        )?;
+        outcome_to_records(config, self.dataset, self.model, self.seed, outcome)
+    }
+}
+
+/// The §4.4.1 variant of [`ForecastTask`]: models are retrained on
+/// decompressed train/val data and scored on the decompressed test
+/// subset against raw targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetrainTask {
+    /// Dataset.
+    pub dataset: DatasetKind,
+    /// Forecasting model.
+    pub model: ModelKind,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl RetrainTask {
+    /// Enumerates `dataset × model × seed` in configuration order.
+    pub fn enumerate(config: &GridConfig) -> Vec<RetrainTask> {
+        ForecastTask::enumerate(config)
+            .into_iter()
+            .map(|t| RetrainTask { dataset: t.dataset, model: t.model, seed: t.seed })
+            .collect()
+    }
+}
+
+impl GridTask for RetrainTask {
+    type Output = Vec<ForecastRecord>;
+
+    fn coord(&self) -> TaskCoord {
+        TaskCoord {
+            model: Some(self.model),
+            seed: Some(self.seed),
+            ..TaskCoord::dataset(self.dataset)
+        }
+    }
+
+    fn run(&self, ctx: &GridContext) -> Result<Vec<ForecastRecord>, ScenarioError> {
+        let config = &ctx.config;
+        let ds = ctx.try_dataset(self.dataset)?;
+        let split = &ds.split;
+        let mut make = || config.build_task_model(self.dataset, self.model, self.seed);
+        let compressors: Vec<Box<dyn PeblcCompressor>> =
+            config.methods.iter().map(|m| m.compressor()).collect();
+        let mut provider = |subset: Subset, c: &dyn PeblcCompressor, eps: f64| {
+            let method = method_for(config, c.name())?;
+            ctx.transform(self.dataset, subset, method, eps).map(|t| t.series.clone())
+        };
+        let outcome = retrain_scenario_with(
+            &mut make,
+            &split.train,
+            &split.val,
+            &split.test,
+            &compressors,
+            &config.error_bounds,
+            config.eval_stride,
+            &mut provider,
+        )?;
+        outcome_to_records(config, self.dataset, self.model, self.seed, outcome)
+    }
+}
+
+/// Resolves a method name back to the configured [`Method`].
+fn method_for(config: &GridConfig, name: &'static str) -> Result<Method, ScenarioError> {
+    config
+        .methods
+        .iter()
+        .copied()
+        .find(|m| m.name() == name)
+        .ok_or(ScenarioError::UnknownMethod(name))
+}
+
+/// Converts one scenario outcome into grid records (baseline first).
+fn outcome_to_records(
+    config: &GridConfig,
+    dataset: DatasetKind,
+    model: ModelKind,
+    seed: u64,
+    outcome: ScenarioOutcome,
+) -> Result<Vec<ForecastRecord>, ScenarioError> {
+    let mut recs = vec![ForecastRecord {
+        dataset,
+        model,
+        method: None,
+        epsilon: 0.0,
+        seed,
+        metrics: outcome.baseline,
+    }];
+    for (name, eps, metrics) in outcome.transformed {
+        let method = method_for(config, name)?;
+        recs.push(ForecastRecord {
+            dataset,
+            model,
+            method: Some(method),
+            epsilon: eps,
+            seed,
+            metrics,
+        });
+    }
+    Ok(recs)
+}
+
+/// Successful records plus structured failures from one engine run, in
+/// task order. A partial grid still renders: consumers read `records`
+/// and surface `failures` via [`crate::results::failure_summary`].
+#[derive(Debug)]
+pub struct GridReport<R> {
+    /// Outputs of successful tasks, in task order.
+    pub records: Vec<R>,
+    /// One entry per failed or panicked task, in task order.
+    pub failures: Vec<TaskFailure>,
+}
+
+impl<R> GridReport<R> {
+    /// Logs a failure summary to stderr (no-op when everything
+    /// succeeded) and returns the successful records.
+    pub fn into_records_logged(self, label: &str) -> Vec<R> {
+        if let Some(summary) = crate::results::failure_summary(&self.failures) {
+            eprintln!("[{label}] {summary}");
+        }
+        self.records
+    }
+}
+
+type ProgressFn<'a> = Box<dyn Fn(TaskEvent) + Sync + 'a>;
+
+/// The scheduler: runs typed tasks over a crossbeam worker pool with
+/// per-task panic isolation and deterministic outcome assembly.
+pub struct Engine<'c> {
+    ctx: &'c GridContext,
+    threads: usize,
+    cancel: CancelFlag,
+    on_done: Option<ProgressFn<'c>>,
+}
+
+impl<'c> Engine<'c> {
+    /// Creates an engine over a shared context, using the configuration's
+    /// thread count.
+    pub fn new(ctx: &'c GridContext) -> Self {
+        Engine { ctx, threads: ctx.config.threads, cancel: CancelFlag::new(), on_done: None }
+    }
+
+    /// Overrides the worker-thread count (the outcome *order* is
+    /// identical for any value; this only affects wall-clock).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Installs a shared cancellation flag.
+    pub fn cancel_flag(mut self, flag: CancelFlag) -> Self {
+        self.cancel = flag;
+        self
+    }
+
+    /// Installs a per-task completion callback, invoked from worker
+    /// threads as each task finishes (in completion order, not task
+    /// order). The callback must not panic.
+    pub fn on_task_done<F>(mut self, callback: F) -> Self
+    where
+        F: Fn(TaskEvent) + Sync + 'c,
+    {
+        self.on_done = Some(Box::new(callback));
+        self
+    }
+
+    /// The context this engine schedules against.
+    pub fn context(&self) -> &GridContext {
+        self.ctx
+    }
+
+    /// Runs every task, returning one [`TaskOutcome`] per task **in task
+    /// order**, independent of thread count and completion order. A
+    /// panicking task is trapped by the worker (`catch_unwind`) and
+    /// yields `Panicked`; tasks observed after cancellation yield
+    /// `Failed(ScenarioError::Cancelled)` without running.
+    pub fn run<T: GridTask>(&self, tasks: &[T]) -> Vec<TaskOutcome<T::Output>> {
+        let n = tasks.len();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.max(1).min(n.max(1));
+        let mut indexed: Vec<(usize, TaskOutcome<T::Output>)> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|_| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let outcome = self.run_one(&tasks[i]);
+                            if let Some(cb) = &self.on_done {
+                                cb(TaskEvent {
+                                    index: i,
+                                    total: n,
+                                    coord: tasks[i].coord(),
+                                    status: outcome.status(),
+                                });
+                            }
+                            local.push((i, outcome));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut merged = Vec::with_capacity(n);
+            for h in handles {
+                merged.extend(h.join().expect("engine workers trap task panics"));
+            }
+            merged
+        })
+        .expect("engine workers trap task panics");
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, o)| o).collect()
+    }
+
+    fn run_one<T: GridTask>(&self, task: &T) -> TaskOutcome<T::Output> {
+        if self.cancel.is_cancelled() {
+            return TaskOutcome::Failed(ScenarioError::Cancelled);
+        }
+        match catch_unwind(AssertUnwindSafe(|| task.run(self.ctx))) {
+            Ok(Ok(r)) => TaskOutcome::Ok(r),
+            Ok(Err(e)) => TaskOutcome::Failed(e),
+            Err(payload) => TaskOutcome::Panicked(panic_message(payload.as_ref())),
+        }
+    }
+
+    /// Runs every task and splits the outcomes into successful records
+    /// and structured [`TaskFailure`]s, both in task order.
+    pub fn run_report<T: GridTask>(&self, tasks: &[T]) -> GridReport<T::Output> {
+        let outcomes = self.run(tasks);
+        let mut records = Vec::with_capacity(tasks.len());
+        let mut failures = Vec::new();
+        for (task, outcome) in tasks.iter().zip(outcomes) {
+            match outcome {
+                TaskOutcome::Ok(r) => records.push(r),
+                TaskOutcome::Failed(e) => failures.push(TaskFailure {
+                    coord: task.coord(),
+                    error: e.to_string(),
+                    panicked: false,
+                }),
+                TaskOutcome::Panicked(msg) => {
+                    failures.push(TaskFailure { coord: task.coord(), error: msg, panicked: true })
+                }
+            }
+        }
+        GridReport { records, failures }
+    }
+
+    /// The compression grid (`dataset × method × ε` TE/CR cells) as a
+    /// structured report.
+    pub fn compression_report(&self) -> GridReport<CompressionRecord> {
+        self.run_report(&CompressionTask::enumerate(&self.ctx.config))
+    }
+
+    /// The Gorilla lossless baseline per dataset as a structured report.
+    pub fn gorilla_report(&self) -> GridReport<(DatasetKind, f64)> {
+        self.run_report(&GorillaTask::enumerate(&self.ctx.config))
+    }
+
+    /// The forecast grid (Algorithm 1 per `dataset × model × seed`) as a
+    /// structured report, records flattened in task order.
+    pub fn forecast_report(&self) -> GridReport<ForecastRecord> {
+        flatten(self.run_report(&ForecastTask::enumerate(&self.ctx.config)))
+    }
+
+    /// The §4.4.1 retraining grid as a structured report, records
+    /// flattened in task order.
+    pub fn retrain_report(&self) -> GridReport<ForecastRecord> {
+        flatten(self.run_report(&RetrainTask::enumerate(&self.ctx.config)))
+    }
+}
+
+/// Flattens a report of per-task record batches into a flat record list.
+fn flatten<R>(report: GridReport<Vec<R>>) -> GridReport<R> {
+    GridReport {
+        records: report.records.into_iter().flatten().collect(),
+        failures: report.failures,
+    }
+}
+
+/// Extracts a readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// A test task that succeeds, fails, or panics by index.
+    struct ScriptedTask {
+        index: usize,
+        mode: Mode,
+    }
+
+    enum Mode {
+        Ok,
+        Fail,
+        Panic,
+    }
+
+    impl GridTask for ScriptedTask {
+        type Output = usize;
+
+        fn coord(&self) -> TaskCoord {
+            TaskCoord { seed: Some(self.index as u64), ..TaskCoord::dataset(DatasetKind::ETTm1) }
+        }
+
+        fn run(&self, _ctx: &GridContext) -> Result<usize, ScenarioError> {
+            match self.mode {
+                Mode::Ok => Ok(self.index * 10),
+                Mode::Fail => Err(ScenarioError::NoWindows),
+                Mode::Panic => panic!("scripted panic at {}", self.index),
+            }
+        }
+    }
+
+    fn scripted(n: usize, fail: &[usize], panic: &[usize]) -> Vec<ScriptedTask> {
+        (0..n)
+            .map(|index| ScriptedTask {
+                index,
+                mode: if panic.contains(&index) {
+                    Mode::Panic
+                } else if fail.contains(&index) {
+                    Mode::Fail
+                } else {
+                    Mode::Ok
+                },
+            })
+            .collect()
+    }
+
+    fn test_ctx() -> GridContext {
+        GridContext::new(GridConfig::smoke())
+    }
+
+    #[test]
+    fn panicking_task_is_isolated() {
+        let ctx = test_ctx();
+        let tasks = scripted(12, &[3], &[7]);
+        let outcomes = Engine::new(&ctx).threads(4).run(&tasks);
+        assert_eq!(outcomes.len(), 12);
+        for (i, o) in outcomes.iter().enumerate() {
+            match i {
+                3 => assert!(matches!(o, TaskOutcome::Failed(ScenarioError::NoWindows))),
+                7 => match o {
+                    TaskOutcome::Panicked(msg) => {
+                        assert!(msg.contains("scripted panic at 7"), "{msg}")
+                    }
+                    other => panic!("expected Panicked, got {other:?}"),
+                },
+                _ => assert!(matches!(o, TaskOutcome::Ok(v) if *v == i * 10)),
+            }
+        }
+    }
+
+    #[test]
+    fn outcomes_are_deterministic_across_thread_counts() {
+        let ctx = test_ctx();
+        let tasks = scripted(40, &[5, 11], &[17]);
+        let one: Vec<String> =
+            Engine::new(&ctx).threads(1).run(&tasks).iter().map(|o| format!("{o:?}")).collect();
+        let four: Vec<String> =
+            Engine::new(&ctx).threads(4).run(&tasks).iter().map(|o| format!("{o:?}")).collect();
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn report_splits_records_and_failures_in_task_order() {
+        let ctx = test_ctx();
+        let tasks = scripted(6, &[1], &[4]);
+        let report = Engine::new(&ctx).threads(3).run_report(&tasks);
+        assert_eq!(report.records, vec![0, 20, 30, 50]);
+        assert_eq!(report.failures.len(), 2);
+        assert!(!report.failures[0].panicked);
+        assert_eq!(report.failures[0].coord.seed, Some(1));
+        assert!(report.failures[1].panicked);
+        assert_eq!(report.failures[1].coord.seed, Some(4));
+        assert!(report.failures[1].error.contains("scripted panic"));
+    }
+
+    #[test]
+    fn cancel_flag_skips_not_yet_started_tasks() {
+        let ctx = test_ctx();
+        let tasks = scripted(20, &[], &[]);
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let outcomes = Engine::new(&ctx).threads(2).cancel_flag(flag).run(&tasks);
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, TaskOutcome::Failed(ScenarioError::Cancelled))));
+    }
+
+    #[test]
+    fn cancel_mid_run_stops_remaining_tasks() {
+        let ctx = test_ctx();
+        let tasks = scripted(50, &[], &[]);
+        let flag = CancelFlag::new();
+        let trigger = flag.clone();
+        let outcomes = Engine::new(&ctx)
+            .threads(1)
+            .cancel_flag(flag)
+            .on_task_done(move |e| {
+                if e.index == 9 {
+                    trigger.cancel();
+                }
+            })
+            .run(&tasks);
+        let completed = outcomes.iter().filter(|o| o.is_ok()).count();
+        let cancelled = outcomes
+            .iter()
+            .filter(|o| matches!(o, TaskOutcome::Failed(ScenarioError::Cancelled)))
+            .count();
+        assert_eq!(completed, 10, "tasks 0..=9 ran before the flag was set");
+        assert_eq!(cancelled, 40);
+    }
+
+    #[test]
+    fn progress_events_cover_every_task() {
+        let ctx = test_ctx();
+        let tasks = scripted(15, &[2], &[9]);
+        let events: Mutex<Vec<TaskEvent>> = Mutex::new(Vec::new());
+        Engine::new(&ctx).threads(4).on_task_done(|e| events.lock().unwrap().push(e)).run(&tasks);
+        let mut events = events.into_inner().unwrap();
+        events.sort_by_key(|e| e.index);
+        assert_eq!(events.len(), 15);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.index, i);
+            assert_eq!(e.total, 15);
+            let expected = match i {
+                2 => TaskStatus::Failed,
+                9 => TaskStatus::Panicked,
+                _ => TaskStatus::Ok,
+            };
+            assert_eq!(e.status, expected, "task {i}");
+        }
+    }
+
+    #[test]
+    fn enumeration_orders_match_configuration() {
+        let mut cfg = GridConfig::smoke();
+        cfg.error_bounds = vec![0.1, 0.2];
+        let comp = CompressionTask::enumerate(&cfg);
+        assert_eq!(comp.len(), 3 * 2); // methods x eps
+        assert_eq!(comp[0].epsilon, 0.1);
+        assert_eq!(comp[1].epsilon, 0.2);
+        let fore = ForecastTask::enumerate(&cfg);
+        assert_eq!(fore.len(), 2); // 2 models x 1 seed
+        let retrain = RetrainTask::enumerate(&cfg);
+        assert_eq!(retrain.len(), fore.len());
+        assert_eq!(GorillaTask::enumerate(&cfg).len(), 1);
+    }
+
+    #[test]
+    fn coord_display_is_readable() {
+        let c = TaskCoord {
+            method: Some(Method::Pmc),
+            epsilon: Some(0.1),
+            ..TaskCoord::dataset(DatasetKind::ETTm1)
+        };
+        assert_eq!(c.to_string(), "ETTm1/PMC@0.1");
+        let f = ForecastTask { dataset: DatasetKind::Solar, model: ModelKind::GBoost, seed: 41 };
+        assert_eq!(f.coord().to_string(), "Solar model=GBoost seed=41");
+    }
+}

@@ -10,7 +10,7 @@
 //!   TFE ≤ 0.1.
 
 use analysis::correlation::spearman;
-use analysis::features::{extract, FeatureOptions, FEATURE_NAMES, NUM_FEATURES};
+use analysis::features::{extract, FeatureOptions, FeatureVector, FEATURE_NAMES, NUM_FEATURES};
 use analysis::shap::mean_abs_shap;
 use compression::Method;
 use forecast::gboost::{GbmConfig, GbmRegressor};
@@ -18,7 +18,10 @@ use tsdata::datasets::DatasetKind;
 
 use super::fmt::{f, TextTable};
 use super::forecasting_exp::ForecastExperiment;
+use crate::cache::{GridContext, Subset};
+use crate::engine::{Engine, GridTask, TaskCoord};
 use crate::results::mean;
+use crate::scenario::ScenarioError;
 
 /// The five characteristics of Table 6.
 pub const TABLE6_FEATURES: [&str; 5] =
@@ -54,47 +57,91 @@ pub struct CharacteristicsExperiment {
     pub r2: f64,
 }
 
+/// A per-(dataset, method, ε) cell scheduled on the task engine: the
+/// decompressed series comes from the shared [`GridContext`] transform
+/// cache and its characteristics are diffed against the pre-extracted
+/// original feature vector.
+struct CellTask<'a> {
+    dataset: DatasetKind,
+    method: Method,
+    epsilon: f64,
+    original: &'a FeatureVector,
+    opts: FeatureOptions,
+    tfe: f64,
+}
+
+impl GridTask for CellTask<'_> {
+    type Output = CharRow;
+
+    fn coord(&self) -> TaskCoord {
+        TaskCoord {
+            method: Some(self.method),
+            epsilon: Some(self.epsilon),
+            ..TaskCoord::dataset(self.dataset)
+        }
+    }
+
+    fn run(&self, ctx: &GridContext) -> Result<CharRow, ScenarioError> {
+        let t = ctx.transform(self.dataset, Subset::Full, self.method, self.epsilon)?;
+        let transformed = extract(t.series.target().values(), self.opts);
+        Ok(CharRow {
+            dataset: self.dataset,
+            method: self.method,
+            epsilon: self.epsilon,
+            diffs: transformed.diff(self.original),
+            rel_diffs: transformed.relative_diff_pct(self.original),
+            tfe: self.tfe,
+        })
+    }
+}
+
 /// Runs the analysis on an already-evaluated grid.
 pub fn run(exp: &ForecastExperiment) -> CharacteristicsExperiment {
-    // Build per-cell feature differences.
-    let mut rows: Vec<CharRow> = Vec::new();
+    let ctx = GridContext::new(exp.config.clone());
+
+    // Original (uncompressed) feature vectors per dataset.
+    let mut originals: Vec<(DatasetKind, FeatureVector, FeatureOptions)> = Vec::new();
     for &dataset in &exp.config.datasets {
-        let data = exp.config.dataset(dataset);
-        let target = data.target();
+        let Ok(data) = ctx.try_dataset(dataset) else { continue };
+        let target = data.series.target();
         let period = dataset.samples_per_day() as usize;
         let opts = FeatureOptions {
             period: (period >= 2 && target.len() >= 2 * period).then_some(period),
             shift_window: 48.min(target.len() / 4).max(2),
             cap: Some(8_000),
         };
-        let original = extract(target.values(), opts);
+        originals.push((dataset, extract(target.values(), opts), opts));
+    }
+
+    // Enumerate the analysable cells — those with at least one TFE on the
+    // evaluated grid — and schedule them on the engine; a cell whose
+    // transform fails is logged and skipped rather than aborting.
+    let mut tasks: Vec<CellTask<'_>> = Vec::new();
+    for (dataset, original, opts) in &originals {
         for &method in &exp.config.methods {
-            let compressor = method.compressor();
             for &epsilon in &exp.config.error_bounds {
-                let Ok((decompressed, _)) = compressor.transform(target, epsilon) else {
-                    continue;
-                };
-                let transformed = extract(decompressed.values(), opts);
                 let tfes: Vec<f64> = exp
                     .config
                     .models
                     .iter()
-                    .filter_map(|&m| exp.tfe_of(dataset, m, method, epsilon))
+                    .filter_map(|&m| exp.tfe_of(*dataset, m, method, epsilon))
                     .collect();
                 if tfes.is_empty() {
                     continue;
                 }
-                rows.push(CharRow {
-                    dataset,
+                tasks.push(CellTask {
+                    dataset: *dataset,
                     method,
                     epsilon,
-                    diffs: transformed.diff(&original),
-                    rel_diffs: transformed.relative_diff_pct(&original),
+                    original,
+                    opts: *opts,
                     tfe: mean(&tfes),
                 });
             }
         }
     }
+    let rows: Vec<CharRow> =
+        Engine::new(&ctx).run_report(&tasks).into_records_logged("characteristics cells");
 
     // GBoost TFE predictor + TreeSHAP importance.
     let n = rows.len();

@@ -8,8 +8,9 @@ use tsdata::datasets::DatasetKind;
 
 use super::fmt::{f, TextTable};
 use crate::cache::GridContext;
-use crate::grid::{gorilla_crs_ctx, run_compression_grid_ctx, GridConfig};
-use crate::results::CompressionRecord;
+use crate::engine::Engine;
+use crate::grid::GridConfig;
+use crate::results::{failure_summary, CompressionRecord, TaskFailure};
 
 /// The combined RQ1 experiment output.
 #[derive(Debug, Clone)]
@@ -20,15 +21,23 @@ pub struct CompressionExperiment {
     pub gorilla: Vec<(DatasetKind, f64)>,
     /// Table 3 regressions per (dataset, method).
     pub regressions: Vec<(DatasetKind, Method, LinFit)>,
+    /// Grid cells that failed or panicked (the renders note them).
+    pub failures: Vec<TaskFailure>,
 }
 
-/// Runs the compression grid and fits the Table-3 regressions. Both the
-/// grid and the Gorilla baseline draw datasets from one shared
-/// [`GridContext`], so each dataset is generated exactly once.
+/// Runs the compression grid through the task engine and fits the
+/// Table-3 regressions. Both the grid and the Gorilla baseline draw
+/// datasets from one shared [`GridContext`], so each dataset is
+/// generated exactly once; failed cells are recorded, not fatal.
 pub fn run(config: &GridConfig) -> CompressionExperiment {
     let ctx = GridContext::new(config.clone());
-    let records = run_compression_grid_ctx(&ctx);
-    let gorilla = gorilla_crs_ctx(&ctx);
+    let engine = Engine::new(&ctx);
+    let grid_report = engine.compression_report();
+    let gorilla_report = engine.gorilla_report();
+    let records = grid_report.records;
+    let gorilla = gorilla_report.records;
+    let mut failures = grid_report.failures;
+    failures.extend(gorilla_report.failures);
     let mut regressions = Vec::new();
     for &dataset in &config.datasets {
         for &method in &config.methods {
@@ -44,10 +53,18 @@ pub fn run(config: &GridConfig) -> CompressionExperiment {
             }
         }
     }
-    CompressionExperiment { records, gorilla, regressions }
+    CompressionExperiment { records, gorilla, regressions, failures }
 }
 
 impl CompressionExperiment {
+    /// A partial-grid note listing failed cells, or the empty string.
+    pub fn failure_note(&self) -> String {
+        match failure_summary(&self.failures) {
+            Some(s) => format!("\nPartial grid: {s}\n"),
+            None => String::new(),
+        }
+    }
+
     /// Figure 2: TE (NRMSE) and CR per error bound per method per dataset.
     pub fn render_fig2(&self) -> String {
         let mut t = TextTable::new(&["Dataset", "Method", "EB", "TE(NRMSE)", "CR"]);
@@ -65,6 +82,7 @@ impl CompressionExperiment {
         for (d, cr) in &self.gorilla {
             out.push_str(&format!("  {:<8} {}\n", d.name(), f(*cr, 2)));
         }
+        out.push_str(&self.failure_note());
         out
     }
 

@@ -5,6 +5,8 @@
 use compression::{Method, ALL_METHODS};
 use tsdata::datasets::{generate_univariate, DatasetKind, GenOptions};
 
+use crate::grid::run_parallel;
+
 /// One decompressed curve of the figure.
 #[derive(Debug, Clone)]
 pub struct Curve {
@@ -36,14 +38,15 @@ pub fn run(dataset: DatasetKind, segment_len: usize, seed: u64) -> Fig1 {
     );
     let segment =
         series.segment(segment_len, 2 * segment_len).expect("generated series covers the segment");
-    let mut curves = Vec::new();
-    for method in ALL_METHODS {
-        for eps in [0.05, 0.1] {
-            let (d, _) =
-                method.compressor().transform(&segment, eps).expect("segment compresses cleanly");
-            curves.push(Curve { method, epsilon: eps, values: d.into_values() });
-        }
-    }
+    // One (method, ε) curve per task, scheduled on the worker pool.
+    let cells: Vec<(Method, f64)> =
+        ALL_METHODS.iter().flat_map(|&m| [0.05, 0.1].map(|eps| (m, eps))).collect();
+    let curves = run_parallel(cells.len(), cells.len(), |i| {
+        let (method, epsilon) = cells[i];
+        let (d, _) =
+            method.compressor().transform(&segment, epsilon).expect("segment compresses cleanly");
+        Curve { method, epsilon, values: d.into_values() }
+    });
     Fig1 { dataset, original: segment.into_values(), curves }
 }
 

@@ -9,9 +9,11 @@ use tsdata::metrics::{tfe, MetricSet};
 
 use super::fmt::{f, TextTable};
 use crate::cache::GridContext;
-use crate::grid::{run_compression_grid_ctx, run_forecast_grid_ctx, GridConfig};
+use crate::engine::Engine;
+use crate::grid::GridConfig;
 use crate::results::{
-    average_over_seeds, ci95_half_width, mean, CompressionRecord, ForecastRecord,
+    average_over_seeds, ci95_half_width, failure_summary, mean, CompressionRecord, ForecastRecord,
+    TaskFailure,
 };
 
 /// Combined forecasting-grid output.
@@ -23,19 +25,41 @@ pub struct ForecastExperiment {
     pub forecast: Vec<ForecastRecord>,
     /// Compression measurements (for the TE axis of Figure 4).
     pub compression: Vec<CompressionRecord>,
+    /// Tasks (from either grid) that failed or panicked; the renders
+    /// append a partial-grid note when non-empty.
+    pub failures: Vec<TaskFailure>,
 }
 
-/// Runs both grids against one shared [`GridContext`] (datasets are
-/// generated once, transforms memoized across tasks) and averages
-/// forecast metrics over seeds.
+/// Runs both grids through one [`Engine`] over a shared [`GridContext`]
+/// (datasets are generated once, transforms memoized across tasks) and
+/// averages forecast metrics over seeds. Failed tasks are collected into
+/// [`ForecastExperiment::failures`] rather than aborting the run.
 pub fn run(config: &GridConfig) -> ForecastExperiment {
     let ctx = GridContext::new(config.clone());
-    let forecast = average_over_seeds(&run_forecast_grid_ctx(&ctx));
-    let compression = run_compression_grid_ctx(&ctx);
-    ForecastExperiment { config: config.clone(), forecast, compression }
+    let engine = Engine::new(&ctx);
+    let forecast_report = engine.forecast_report();
+    let compression_report = engine.compression_report();
+    let mut failures = forecast_report.failures;
+    failures.extend(compression_report.failures);
+    ForecastExperiment {
+        config: config.clone(),
+        forecast: average_over_seeds(&forecast_report.records),
+        compression: compression_report.records,
+        failures,
+    }
 }
 
 impl ForecastExperiment {
+    /// A partial-grid note listing failed tasks, or the empty string when
+    /// every task completed. Appended to the renders so a report built
+    /// from a degraded grid says so.
+    pub fn failure_note(&self) -> String {
+        match failure_summary(&self.failures) {
+            Some(s) => format!("\nPartial grid: {s}\n"),
+            None => String::new(),
+        }
+    }
+
     /// Baseline metrics for a (dataset, model).
     pub fn baseline(&self, dataset: DatasetKind, model: ModelKind) -> Option<MetricSet> {
         self.forecast
@@ -114,7 +138,7 @@ impl ForecastExperiment {
                 t.row(cells);
             }
         }
-        format!("Table 2: baseline results (scaled metrics)\n{}", t.render())
+        format!("Table 2: baseline results (scaled metrics)\n{}{}", t.render(), self.failure_note())
     }
 
     /// Figure 4 data: per (dataset, method, ε) — TE, mean TFE across
@@ -154,7 +178,11 @@ impl ForecastExperiment {
                 format!("±{}", f(ci, 4)),
             ]);
         }
-        format!("Figure 4: TFE vs TE (mean ± 95% CI across models)\n{}", t.render())
+        format!(
+            "Figure 4: TFE vs TE (mean ± 95% CI across models)\n{}{}",
+            t.render(),
+            self.failure_note()
+        )
     }
 
     /// Figure 6 data: mean TFE per (dataset, model), averaged over methods

@@ -9,8 +9,10 @@ use tsdata::metrics::{rmse, tfe};
 
 use super::fmt::{f, TextTable};
 use crate::cache::GridContext;
-use crate::grid::{run_retrain_grid_ctx, GridConfig};
-use crate::results::mean;
+use crate::engine::Engine;
+use crate::grid::GridConfig;
+use crate::results::{failure_summary, mean, ForecastRecord, TaskFailure};
+use tsdata::metrics::MetricSet;
 
 /// One Figure-7 point: TFE of a retrained model.
 #[derive(Debug, Clone, Copy)]
@@ -36,7 +38,7 @@ pub struct Fig7 {
 
 /// Runs the retraining experiment. The paper uses Arima and DLinear on
 /// ETTm1 and ETTm2 with error bounds up to ~0.2. Internally this drives
-/// [`run_retrain_grid_ctx`], so train/val/test transforms are shared
+/// the engine's retrain grid, so train/val/test transforms are shared
 /// across models through the grid's [`GridContext`] cache (the figure
 /// uses a single fit per cell — seed 40).
 pub fn run(config: &GridConfig, models: &[ModelKind], error_bounds: &[f64]) -> Fig7 {
@@ -46,7 +48,7 @@ pub fn run(config: &GridConfig, models: &[ModelKind], error_bounds: &[f64]) -> F
     cfg.seeds_deep = 1;
     cfg.seeds_simple = 1;
     let ctx = GridContext::new(cfg);
-    let records = run_retrain_grid_ctx(&ctx);
+    let records = Engine::new(&ctx).retrain_report().into_records_logged("fig7 retrain grid");
 
     let baseline = |dataset: DatasetKind, model: ModelKind| {
         records
@@ -96,6 +98,71 @@ impl Fig7 {
             ]);
         }
         format!("Figure 7: TFE when training on decompressed data\n{}", t.render())
+    }
+}
+
+/// The full §4.4.1 retraining grid as an experiment: every configured
+/// `(dataset, model, seed, method, ε)` cell retrained on decompressed
+/// data, with per-task failures recorded (the `repro` CLI's `retrain`
+/// experiment).
+#[derive(Debug, Clone)]
+pub struct RetrainGrid {
+    /// Raw per-seed records (baseline rows have `method: None`).
+    pub records: Vec<ForecastRecord>,
+    /// Tasks that failed or panicked.
+    pub failures: Vec<TaskFailure>,
+}
+
+/// Runs the configured retrain grid through a caller-supplied [`Engine`]
+/// (lets the CLI attach progress/cancellation hooks).
+pub fn run_grid_with(engine: &Engine<'_>) -> RetrainGrid {
+    let report = engine.retrain_report();
+    RetrainGrid { records: report.records, failures: report.failures }
+}
+
+/// Runs the configured retrain grid with a default engine.
+pub fn run_grid(config: &GridConfig) -> RetrainGrid {
+    let ctx = GridContext::new(config.clone());
+    let engine = Engine::new(&ctx);
+    run_grid_with(&engine)
+}
+
+impl RetrainGrid {
+    /// Baseline metrics for a `(dataset, model, seed)`.
+    fn baseline(&self, dataset: DatasetKind, model: ModelKind, seed: u64) -> Option<MetricSet> {
+        self.records
+            .iter()
+            .find(|r| {
+                r.dataset == dataset && r.model == model && r.seed == seed && r.method.is_none()
+            })
+            .map(|r| r.metrics)
+    }
+
+    /// Renders the grid: per-cell RMSE and TFE against the raw-trained
+    /// baseline, plus a partial-grid note when tasks were lost.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&["Dataset", "Model", "Seed", "Method", "EB", "RMSE", "TFE"]);
+        for r in &self.records {
+            let Some(method) = r.method else { continue };
+            let tfe_cell = self
+                .baseline(r.dataset, r.model, r.seed)
+                .map(|b| f(tfe(b.rmse, r.metrics.rmse), 4))
+                .unwrap_or_else(|| "-".to_string());
+            t.row(vec![
+                r.dataset.name().to_string(),
+                r.model.name().to_string(),
+                r.seed.to_string(),
+                method.name().to_string(),
+                f(r.epsilon, 2),
+                f(r.metrics.rmse, 4),
+                tfe_cell,
+            ]);
+        }
+        let mut out = format!("Retrain grid (4.4.1 at grid scale)\n{}", t.render());
+        if let Some(s) = failure_summary(&self.failures) {
+            out.push_str(&format!("\nPartial grid: {s}\n"));
+        }
+        out
     }
 }
 
@@ -158,6 +225,20 @@ mod tests {
         assert_eq!(fig.points.len(), 6);
         assert!(fig.mean_tfe(DatasetKind::ETTm1, ModelKind::GBoost, 0.1).is_some());
         assert!(fig.render().contains("Figure 7"));
+    }
+
+    #[test]
+    fn retrain_grid_cli_experiment_renders() {
+        let mut c = cfg();
+        c.error_bounds = vec![0.1];
+        c.models = vec![ModelKind::GBoost];
+        let grid = run_grid(&c);
+        assert!(grid.failures.is_empty());
+        assert_eq!(grid.records.len(), 4); // baseline + 3 methods x 1 eps
+        let s = grid.render();
+        assert!(s.contains("Retrain grid"));
+        assert!(s.contains("TFE"));
+        assert!(!s.contains("Partial grid"));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use tsdata::datasets::{generate_univariate, DatasetKind, GenOptions, ALL_DATASET
 use tsdata::stats::{summarize, Summary};
 
 use super::fmt::{f, TextTable};
+use crate::grid::run_parallel;
 
 /// One Table-1 row: measured statistics of the generated dataset plus the
 /// paper's published values for comparison.
@@ -27,13 +28,13 @@ pub struct Table1 {
 /// Computes Table 1. `len` overrides the series length (`None` = the
 /// paper's full lengths).
 pub fn run(len: Option<usize>, seed: u64) -> Table1 {
-    let rows = ALL_DATASETS
-        .iter()
-        .map(|&dataset| {
-            let series = generate_univariate(dataset, GenOptions { len, channels: None, seed });
-            Table1Row { dataset, measured: summarize(series.values()) }
-        })
-        .collect();
+    // One generation+summary task per dataset, scheduled on the worker
+    // pool (rows come back in dataset order regardless of threads).
+    let rows = run_parallel(ALL_DATASETS.len(), ALL_DATASETS.len(), |i| {
+        let dataset = ALL_DATASETS[i];
+        let series = generate_univariate(dataset, GenOptions { len, channels: None, seed });
+        Table1Row { dataset, measured: summarize(series.values()) }
+    });
     Table1 { rows }
 }
 

@@ -1,29 +1,28 @@
 //! The evaluation grid: compressor × error bound × dataset on the
 //! compression side, and model × seed × compressor × error bound × dataset
-//! on the forecasting side, run on a crossbeam worker pool.
+//! on the forecasting side, scheduled through the task engine
+//! ([`crate::engine`]) with per-task fault isolation.
 //!
 //! Every runner has a `*_ctx` variant taking a [`GridContext`], whose
 //! caches share dataset generation and `(dataset, subset, method, ε)`
 //! transforms across tasks — and across grids, when several runners use
-//! the same context. The plain entry points build a fresh context.
+//! the same context. The plain entry points build a fresh context. The
+//! `*_ctx` runners log failed tasks and return the surviving records;
+//! callers that need the structured failures use [`Engine`] directly.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use compression::codec::PeblcCompressor;
-use compression::{Gorilla, Method, ALL_METHODS, ERROR_BOUNDS};
+use compression::{Method, ALL_METHODS, ERROR_BOUNDS};
 use forecast::model::{ModelKind, ALL_MODELS};
 use forecast::{build_model, BuildOptions, Profile};
 use tsdata::datasets::{DatasetKind, GenOptions, ALL_DATASETS};
-use tsdata::metrics::{compression_ratio, nrmse, rmse};
 use tsdata::series::MultiSeries;
 use tsdata::split::{split, Split, SplitSpec};
 
-use crate::cache::{GridContext, Subset};
+use crate::cache::GridContext;
+use crate::engine::Engine;
 use crate::results::{CompressionRecord, ForecastRecord};
-use crate::scenario::{
-    evaluate_scenario_with, retrain_scenario_with, ScenarioError, ScenarioOutcome,
-};
+use crate::scenario::ScenarioError;
 
 /// Grid configuration. The defaults of [`GridConfig::default_repro`]
 /// complete on one laptop-class CPU; [`GridConfig::paper`] matches the
@@ -137,9 +136,11 @@ impl GridConfig {
         tsdata::datasets::generate(kind, self.gen_options())
     }
 
-    /// Splits a dataset with the paper's 70/10/20 proportions.
-    pub fn split(&self, data: &MultiSeries) -> Split {
-        split(data, SplitSpec::default()).expect("grid datasets are large enough to split")
+    /// Splits a dataset with the paper's 70/10/20 proportions. A series
+    /// too short to split is an error the engine records as a per-task
+    /// failure, not a panic.
+    pub fn split(&self, data: &MultiSeries) -> Result<Split, ScenarioError> {
+        Ok(split(data, SplitSpec::default())?)
     }
 
     /// Seeds used for a given model kind.
@@ -148,20 +149,8 @@ impl GridConfig {
         (0..n as u64).map(|s| 40 + s).collect()
     }
 
-    /// Task list for the forecast-style grids: `(dataset, model, seed)`.
-    fn forecast_tasks(&self) -> Vec<(DatasetKind, ModelKind, u64)> {
-        self.datasets
-            .iter()
-            .flat_map(|&d| {
-                self.models
-                    .iter()
-                    .flat_map(move |&m| self.seeds_for(m).into_iter().map(move |s| (d, m, s)))
-            })
-            .collect()
-    }
-
     /// Model builder for one grid task.
-    fn build_task_model(
+    pub(crate) fn build_task_model(
         &self,
         dataset: DatasetKind,
         kind: ModelKind,
@@ -189,6 +178,15 @@ fn num_threads() -> usize {
 /// task order. Each worker accumulates into a private vector; the vectors
 /// are merged after the scope joins, so there is no shared collection
 /// lock on the task path.
+///
+/// This is the legacy helper predating the task engine; new grid code
+/// should go through [`Engine`], which traps panics *per task*. Here a
+/// panicking closure kills its worker, but the pool degrades instead of
+/// aborting: surviving workers drain the remaining indices, their results
+/// are kept, and the indices lost with the dead worker (its in-flight
+/// task plus any completed results in its private vector) are reported on
+/// stderr. The returned vector stays in task order but may be shorter
+/// than `num_tasks`.
 pub fn run_parallel<T, F>(num_tasks: usize, threads: usize, task: F) -> Vec<T>
 where
     T: Send,
@@ -196,7 +194,7 @@ where
 {
     let next = AtomicUsize::new(0);
     let workers = threads.max(1).min(num_tasks.max(1));
-    let mut indexed: Vec<(usize, T)> = crossbeam::scope(|scope| {
+    let (mut indexed, dead_workers) = crossbeam::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|_| {
@@ -212,13 +210,31 @@ where
                 })
             })
             .collect();
-        let mut merged = Vec::with_capacity(num_tasks);
+        let mut merged: Vec<(usize, T)> = Vec::with_capacity(num_tasks);
+        let mut dead = 0usize;
         for h in handles {
-            merged.extend(h.join().expect("worker threads do not panic"));
+            match h.join() {
+                Ok(local) => merged.extend(local),
+                // Joining consumes the panic; surviving workers keep
+                // draining the shared counter in the meantime.
+                Err(_) => dead += 1,
+            }
         }
-        merged
+        (merged, dead)
     })
-    .expect("worker threads do not panic");
+    .expect("all worker panics are consumed at join");
+    if dead_workers > 0 {
+        let mut present = vec![false; num_tasks];
+        for (i, _) in &indexed {
+            present[*i] = true;
+        }
+        let lost: Vec<usize> = (0..num_tasks).filter(|&i| !present[i]).collect();
+        eprintln!(
+            "run_parallel: {dead_workers} worker(s) panicked; lost results for \
+             {} of {num_tasks} task(s) at indices {lost:?}",
+            lost.len()
+        );
+    }
     indexed.sort_by_key(|(i, _)| *i);
     indexed.into_iter().map(|(_, t)| t).collect()
 }
@@ -232,36 +248,9 @@ pub fn run_compression_grid(config: &GridConfig) -> Vec<CompressionRecord> {
 
 /// [`run_compression_grid`] against a shared [`GridContext`]: datasets and
 /// full-series transforms are pulled from (and left in) the context's
-/// caches.
+/// caches. Failed cells are logged and skipped.
 pub fn run_compression_grid_ctx(ctx: &GridContext) -> Vec<CompressionRecord> {
-    let config = &ctx.config;
-    let cells: Vec<(DatasetKind, Method, f64)> = config
-        .datasets
-        .iter()
-        .flat_map(|&d| {
-            config
-                .methods
-                .iter()
-                .flat_map(move |&m| config.error_bounds.iter().map(move |&e| (d, m, e)))
-        })
-        .collect();
-    run_parallel(cells.len(), config.threads, |i| {
-        let (dataset, method, epsilon) = cells[i];
-        let ds = ctx.dataset(dataset);
-        let t = ctx
-            .transform(dataset, Subset::Full, method, epsilon)
-            .expect("generated data compresses cleanly");
-        let target = ds.series.target();
-        CompressionRecord {
-            dataset,
-            method,
-            epsilon,
-            te_nrmse: nrmse(target.values(), t.series.target().values()),
-            te_rmse: rmse(target.values(), t.series.target().values()),
-            cr: compression_ratio(ds.raw_size, t.stats.size_bytes),
-            segments: t.stats.num_segments,
-        }
-    })
+    Engine::new(ctx).compression_report().into_records_logged("compression grid")
 }
 
 /// Gorilla's lossless CR per dataset (the Figure-2 baseline).
@@ -276,54 +265,10 @@ pub fn gorilla_crs(config: &GridConfig) -> Vec<(DatasetKind, f64)> {
 }
 
 /// [`gorilla_crs`] against a shared [`GridContext`] (reuses its cached
-/// datasets instead of regenerating them).
+/// datasets instead of regenerating them). Failed datasets are logged
+/// and skipped.
 pub fn gorilla_crs_ctx(ctx: &GridContext) -> Vec<(DatasetKind, f64)> {
-    ctx.config
-        .datasets
-        .iter()
-        .map(|&d| {
-            let ds = ctx.dataset(d);
-            let target = ds.series.target();
-            let raw = compression::raw_bytes(target).len();
-            let frame = Gorilla.compress(target, 0.0).expect("gorilla is total");
-            (d, compression_ratio(raw, frame.size_bytes()))
-        })
-        .collect()
-}
-
-/// Converts one scenario outcome into grid records (baseline first).
-fn outcome_to_records(
-    config: &GridConfig,
-    dataset: DatasetKind,
-    model: ModelKind,
-    seed: u64,
-    outcome: ScenarioOutcome,
-) -> Vec<ForecastRecord> {
-    let mut recs = vec![ForecastRecord {
-        dataset,
-        model,
-        method: None,
-        epsilon: 0.0,
-        seed,
-        metrics: outcome.baseline,
-    }];
-    for (name, eps, metrics) in outcome.transformed {
-        let method = config
-            .methods
-            .iter()
-            .copied()
-            .find(|m| m.name() == name)
-            .expect("method came from config");
-        recs.push(ForecastRecord {
-            dataset,
-            model,
-            method: Some(method),
-            epsilon: eps,
-            seed,
-            metrics,
-        });
-    }
-    recs
+    Engine::new(ctx).gorilla_report().into_records_logged("gorilla baseline")
 }
 
 /// Runs Algorithm 1 for every `(dataset, model, seed)` and collects both
@@ -335,39 +280,10 @@ pub fn run_forecast_grid(config: &GridConfig) -> Vec<ForecastRecord> {
 /// [`run_forecast_grid`] against a shared [`GridContext`]. Test-subset
 /// transforms are memoized in the context, so each `(dataset, method, ε)`
 /// cell is compressed and decompressed exactly once no matter how many
-/// `(model, seed)` tasks consume it.
+/// `(model, seed)` tasks consume it. Failed or panicked tasks are logged
+/// and their coordinates skipped; all other records survive.
 pub fn run_forecast_grid_ctx(ctx: &GridContext) -> Vec<ForecastRecord> {
-    let config = &ctx.config;
-    let tasks = config.forecast_tasks();
-    let method_by_name: HashMap<&'static str, Method> =
-        config.methods.iter().map(|&m| (m.name(), m)).collect();
-
-    let records = run_parallel(tasks.len(), config.threads, |i| {
-        let (dataset, model_kind, seed) = tasks[i];
-        let ds = ctx.dataset(dataset);
-        let split = &ds.split;
-        let mut model = config.build_task_model(dataset, model_kind, seed);
-        let compressors: Vec<Box<dyn PeblcCompressor>> =
-            config.methods.iter().map(|m| m.compressor()).collect();
-        let mut provider = |subset: Subset, c: &dyn PeblcCompressor, eps: f64| {
-            let method = method_by_name[c.name()];
-            ctx.transform(dataset, subset, method, eps).map(|t| t.series.clone())
-        };
-        match evaluate_scenario_with(
-            model.as_mut(),
-            &split.train,
-            &split.val,
-            &split.test,
-            &compressors,
-            &config.error_bounds,
-            config.eval_stride,
-            &mut provider,
-        ) {
-            Ok(outcome) => Ok(outcome_to_records(config, dataset, model_kind, seed, outcome)),
-            Err(e) => Err((dataset, model_kind, seed, e)),
-        }
-    });
-    collect_records(records)
+    Engine::new(ctx).forecast_report().into_records_logged("forecast grid")
 }
 
 /// Runs the §4.4.1 retraining scenario for every `(dataset, model, seed)`:
@@ -380,56 +296,9 @@ pub fn run_retrain_grid(config: &GridConfig) -> Vec<ForecastRecord> {
 
 /// [`run_retrain_grid`] against a shared [`GridContext`]. Train, val, and
 /// test transforms are all memoized, shared with any other grid using the
-/// same context.
+/// same context. Failed or panicked tasks are logged and skipped.
 pub fn run_retrain_grid_ctx(ctx: &GridContext) -> Vec<ForecastRecord> {
-    let config = &ctx.config;
-    let tasks = config.forecast_tasks();
-    let method_by_name: HashMap<&'static str, Method> =
-        config.methods.iter().map(|&m| (m.name(), m)).collect();
-
-    let records = run_parallel(tasks.len(), config.threads, |i| {
-        let (dataset, model_kind, seed) = tasks[i];
-        let ds = ctx.dataset(dataset);
-        let split = &ds.split;
-        let mut make = || config.build_task_model(dataset, model_kind, seed);
-        let compressors: Vec<Box<dyn PeblcCompressor>> =
-            config.methods.iter().map(|m| m.compressor()).collect();
-        let mut provider = |subset: Subset, c: &dyn PeblcCompressor, eps: f64| {
-            let method = method_by_name[c.name()];
-            ctx.transform(dataset, subset, method, eps).map(|t| t.series.clone())
-        };
-        match retrain_scenario_with(
-            &mut make,
-            &split.train,
-            &split.val,
-            &split.test,
-            &compressors,
-            &config.error_bounds,
-            config.eval_stride,
-            &mut provider,
-        ) {
-            Ok(outcome) => Ok(outcome_to_records(config, dataset, model_kind, seed, outcome)),
-            Err(e) => Err((dataset, model_kind, seed, e)),
-        }
-    });
-    collect_records(records)
-}
-
-type TaskResult = Result<Vec<ForecastRecord>, (DatasetKind, ModelKind, u64, ScenarioError)>;
-
-fn collect_records(records: Vec<TaskResult>) -> Vec<ForecastRecord> {
-    let mut out = Vec::new();
-    for r in records {
-        match r {
-            Ok(mut recs) => out.append(&mut recs),
-            Err((d, m, s, e)) => report_task_failure(d, m, s, &e),
-        }
-    }
-    out
-}
-
-fn report_task_failure(d: DatasetKind, m: ModelKind, s: u64, e: &ScenarioError) {
-    eprintln!("grid task failed: dataset={} model={} seed={s}: {e}", d.name(), m.name());
+    Engine::new(ctx).retrain_report().into_records_logged("retrain grid")
 }
 
 #[cfg(test)]
@@ -443,6 +312,19 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i * 2);
         }
+    }
+
+    #[test]
+    fn parallel_runner_survives_a_panicking_task() {
+        // The panicking closure kills one worker; the survivor drains the
+        // remaining indices, so exactly the panicking index is lost.
+        let out = run_parallel(20, 2, |i| {
+            if i == 0 {
+                panic!("injected worker panic");
+            }
+            i
+        });
+        assert_eq!(out, (1..20).collect::<Vec<_>>());
     }
 
     #[test]

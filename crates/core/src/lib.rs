@@ -1,13 +1,16 @@
 //! # evalcore — the evaluation pipeline
 //!
-//! Implements the paper's Algorithm 1 ([`scenario`]), the full evaluation
-//! grid over compressors × error bounds × models × datasets ([`grid`]),
-//! the shared transform/dataset caches behind it ([`cache`]), result
-//! bookkeeping ([`results`]) and the per-table/figure experiment
-//! reproductions ([`experiments`]).
+//! Implements the paper's Algorithm 1 ([`scenario`]), the task engine
+//! that schedules the evaluation cross-product with per-task fault
+//! isolation ([`engine`]), the grid entry points over compressors ×
+//! error bounds × models × datasets ([`grid`]), the shared
+//! transform/dataset caches behind them ([`cache`]), result bookkeeping
+//! including partial-failure summaries ([`results`]) and the
+//! per-table/figure experiment reproductions ([`experiments`]).
 
 pub mod advisor;
 pub mod cache;
+pub mod engine;
 pub mod experiments;
 pub mod grid;
 pub mod results;
@@ -15,6 +18,10 @@ pub mod scenario;
 
 pub use advisor::{CompressionAdvisor, Recommendation};
 pub use cache::{GridContext, Subset, TransformCache, TransformKey};
+pub use engine::{
+    CancelFlag, CompressionTask, Engine, ForecastTask, GorillaTask, GridReport, GridTask,
+    RetrainTask, TaskCoord, TaskEvent, TaskOutcome, TaskStatus,
+};
 pub use grid::{run_compression_grid, run_forecast_grid, run_retrain_grid, GridConfig};
-pub use results::{CompressionRecord, ForecastRecord};
+pub use results::{failure_summary, CompressionRecord, ForecastRecord, TaskFailure};
 pub use scenario::{evaluate_scenario, retrain_scenario, transform_series, ScenarioOutcome};

@@ -1,9 +1,13 @@
-//! Result records, aggregation and CSV emission for the evaluation grid.
+//! Result records, aggregation and CSV emission for the evaluation grid,
+//! plus the structured failure bookkeeping that lets a partial grid
+//! (some tasks failed or panicked) still produce a report.
 
 use compression::Method;
 use forecast::model::ModelKind;
 use tsdata::datasets::DatasetKind;
 use tsdata::metrics::MetricSet;
+
+use crate::engine::TaskCoord;
 
 /// Compression-side measurements for one `(dataset, method, ε)` cell
 /// (Figures 2–3, Table 3 inputs).
@@ -41,6 +45,57 @@ pub struct ForecastRecord {
     pub seed: u64,
     /// Accuracy metrics (scaled units).
     pub metrics: MetricSet,
+}
+
+/// One failed or panicked grid task: the coordinate it covered plus the
+/// rendered error. Collected by the engine's
+/// [`GridReport`](crate::engine::GridReport) in task order.
+#[derive(Debug, Clone)]
+pub struct TaskFailure {
+    /// Grid coordinates of the failed task.
+    pub coord: TaskCoord,
+    /// Rendered error (or panic message).
+    pub error: String,
+    /// Whether the task panicked (vs returning an error).
+    pub panicked: bool,
+}
+
+/// Maximum per-coordinate lines a failure summary prints before eliding.
+const SUMMARY_MAX_LINES: usize = 8;
+
+/// Renders a failure summary — the total count (split into failed vs
+/// panicked) plus the first error per coordinate — or `None` when every
+/// task succeeded. Coordinates appear in task order, capped at
+/// [`SUMMARY_MAX_LINES`] lines.
+pub fn failure_summary(failures: &[TaskFailure]) -> Option<String> {
+    if failures.is_empty() {
+        return None;
+    }
+    let panicked = failures.iter().filter(|f| f.panicked).count();
+    let mut out = format!(
+        "{} task(s) did not complete ({} failed, {panicked} panicked); \
+         affected coordinates keep their remaining grid cells:",
+        failures.len(),
+        failures.len() - panicked,
+    );
+    let mut seen: Vec<String> = Vec::new();
+    for f in failures {
+        let coord = f.coord.to_string();
+        if seen.contains(&coord) {
+            continue;
+        }
+        if seen.len() == SUMMARY_MAX_LINES {
+            out.push_str(&format!("\n  ... and {} more", failures.len() - seen.len()));
+            break;
+        }
+        out.push_str(&format!(
+            "\n  {coord}: {}{}",
+            if f.panicked { "panicked: " } else { "" },
+            f.error
+        ));
+        seen.push(coord);
+    }
+    Some(out)
 }
 
 /// Mean of a slice; NaN-free inputs assumed. Returns 0.0 when empty.

@@ -38,6 +38,10 @@ pub enum ScenarioError {
     Series(SeriesError),
     /// The test subset yields no evaluation windows.
     NoWindows,
+    /// A task referenced a method absent from the grid configuration.
+    UnknownMethod(&'static str),
+    /// The task was skipped because the engine's cancel flag was set.
+    Cancelled,
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -47,6 +51,10 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::Codec(e) => write!(f, "compression: {e}"),
             ScenarioError::Series(e) => write!(f, "series: {e}"),
             ScenarioError::NoWindows => write!(f, "no evaluation windows in test subset"),
+            ScenarioError::UnknownMethod(name) => {
+                write!(f, "method {name} is not in the grid configuration")
+            }
+            ScenarioError::Cancelled => write!(f, "task cancelled before it started"),
         }
     }
 }

@@ -1,0 +1,119 @@
+//! Fault-injection tests for the task engine: a panicking task and a
+//! failing task on a real forecast grid must surface as structured
+//! failures at exactly their coordinates while every other task still
+//! produces records, and the assembled outcome must be byte-identical
+//! across thread counts.
+
+use evalcore::results::forecast_csv;
+use evalcore::scenario::ScenarioError;
+use evalcore::{Engine, ForecastTask, GridConfig, GridContext, GridTask, TaskCoord, TaskFailure};
+use forecast::model::ModelKind;
+use tsdata::datasets::DatasetKind;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Fault {
+    None,
+    Fail,
+    Panic,
+}
+
+/// A forecast task with an optional injected fault.
+struct FaultyTask {
+    inner: ForecastTask,
+    fault: Fault,
+}
+
+impl GridTask for FaultyTask {
+    type Output = Vec<evalcore::ForecastRecord>;
+
+    fn coord(&self) -> TaskCoord {
+        self.inner.coord()
+    }
+
+    fn run(&self, ctx: &GridContext) -> Result<Self::Output, ScenarioError> {
+        match self.fault {
+            Fault::Panic => panic!("injected panic"),
+            Fault::Fail => Err(ScenarioError::NoWindows),
+            Fault::None => self.inner.run(ctx),
+        }
+    }
+}
+
+/// A small real grid: 2 datasets x 1 model x 2 seeds = 4 tasks.
+fn config() -> GridConfig {
+    let mut cfg = GridConfig::smoke();
+    cfg.datasets = vec![DatasetKind::ETTm1, DatasetKind::ETTm2];
+    cfg.models = vec![ModelKind::GBoost];
+    cfg.seeds_simple = 2;
+    cfg
+}
+
+fn faulty_tasks(cfg: &GridConfig) -> Vec<FaultyTask> {
+    let tasks = ForecastTask::enumerate(cfg);
+    assert_eq!(tasks.len(), 4, "grid shape");
+    tasks
+        .into_iter()
+        .enumerate()
+        .map(|(i, inner)| {
+            let fault = match i {
+                1 => Fault::Fail,
+                2 => Fault::Panic,
+                _ => Fault::None,
+            };
+            FaultyTask { inner, fault }
+        })
+        .collect()
+}
+
+#[test]
+fn injected_faults_hit_exactly_their_coordinates() {
+    let cfg = config();
+    let ctx = GridContext::new(cfg.clone());
+    let tasks = faulty_tasks(&cfg);
+    let report = Engine::new(&ctx).run_report(&tasks);
+
+    // Exactly the injected coordinates fail, in task order.
+    assert_eq!(report.failures.len(), 2);
+    let failed: &TaskFailure = &report.failures[0];
+    assert_eq!(failed.coord, tasks[1].coord());
+    assert!(!failed.panicked);
+    assert!(failed.error.contains("no evaluation windows"), "{}", failed.error);
+    let panicked: &TaskFailure = &report.failures[1];
+    assert_eq!(panicked.coord, tasks[2].coord());
+    assert!(panicked.panicked);
+    assert!(panicked.error.contains("injected panic"), "{}", panicked.error);
+
+    // Every other task produced a full record batch: baseline plus one
+    // record per (method, eps).
+    assert_eq!(report.records.len(), 2);
+    let per_task = 1 + cfg.methods.len() * cfg.error_bounds.len();
+    for (batch, task) in report.records.iter().zip([&tasks[0], &tasks[3]]) {
+        assert_eq!(batch.len(), per_task);
+        assert!(batch.iter().all(|r| r.dataset == task.inner.dataset));
+        assert!(batch.iter().all(|r| r.seed == task.inner.seed));
+    }
+}
+
+#[test]
+fn outcomes_identical_across_thread_counts() {
+    let cfg = config();
+    let tasks = faulty_tasks(&cfg);
+
+    let run_with = |threads: usize| {
+        let ctx = GridContext::new(cfg.clone());
+        let report = Engine::new(&ctx).threads(threads).run_report(&tasks);
+        let records: Vec<_> = report.records.into_iter().flatten().collect();
+        let failures: Vec<(String, String, bool)> = report
+            .failures
+            .iter()
+            .map(|f| (f.coord.to_string(), f.error.clone(), f.panicked))
+            .collect();
+        (forecast_csv(&records), failures)
+    };
+
+    let (csv1, fail1) = run_with(1);
+    let (csv4, fail4) = run_with(4);
+    assert_eq!(csv1, csv4, "records must assemble identically for any thread count");
+    assert_eq!(fail1, fail4, "failures must assemble identically for any thread count");
+    assert!(csv1.lines().count() > 1, "sanity: surviving tasks produced records");
+}
