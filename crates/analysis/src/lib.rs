@@ -6,7 +6,7 @@
 //!   [`acf`], [`decomp`], [`rolling`], [`spectral`], [`unitroot`], [`holt`].
 //! * [`shap`] — exact TreeSHAP over `forecast`'s gradient-boosted trees
 //!   (Figure 5's importance ranking).
-//! * [`kneedle`] — Kneedle elbow detection (§4.3.2, Table 5).
+//! * [`mod@kneedle`] — Kneedle elbow detection (§4.3.2, Table 5).
 //! * [`regress`] — OLS with standard errors (Table 3).
 //! * [`correlation`] — Spearman/Pearson (Table 4).
 

@@ -34,6 +34,12 @@ fn main() {
         cfg.len.map_or("paper-full".to_string(), |l| l.to_string()),
         cfg.threads
     );
+    if let Some(dir) = &cli.artifacts {
+        eprintln!(
+            "[repro] artifact store: {dir}{}",
+            if cli.resume { " (resuming: stored fits are reused)" } else { "" }
+        );
+    }
 
     // Shared expensive stages, computed lazily at most once.
     let mut compression: Option<compression_exp::CompressionExperiment> = None;
@@ -135,6 +141,12 @@ fn main() {
         };
         println!("{output}");
         eprintln!("[repro] {exp:?} done in {:.1?}\n", started.elapsed());
+    }
+
+    // The checkpoint summary: a fully resumed run reports fitted=0.
+    if let Some(dir) = &cli.artifacts {
+        let (loaded, fitted) = evalcore::artifact::fit_stats::counts();
+        eprintln!("[repro] artifacts: loaded={loaded} fitted={fitted} dir={dir}");
     }
 
     // Optional CSV dumps of whatever grids were evaluated.

@@ -135,18 +135,27 @@ pub struct Cli {
     pub seed: Option<u64>,
     /// Directory to write CSV dumps of the grid results into.
     pub csv_dir: Option<String>,
+    /// Artifact-store directory: fitted models are checkpointed here and
+    /// loaded back on later runs with the same configuration.
+    pub artifacts: Option<String>,
+    /// Whether `--resume` was passed (requires `--artifacts`; documents
+    /// the intent to continue a killed or previous run from the store).
+    pub resume: bool,
 }
 
 /// Parses `repro` arguments. Returns `Err` with a usage string on bad
 /// input.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
     let usage = "usage: repro [all|table1|table2|...|fig7|decomp|retrain]... \
-                 [--quick|--paper] [--len N] [--seed S] [--csv DIR]";
+                 [--quick|--paper] [--len N] [--seed S] [--csv DIR] \
+                 [--artifacts DIR [--resume]]";
     let mut experiments = Vec::new();
     let mut scale = Scale::Default;
     let mut len = None;
     let mut seed = None;
     let mut csv_dir = None;
+    let mut artifacts = None;
+    let mut resume = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -164,6 +173,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String
                 let v = iter.next().ok_or_else(|| format!("--csv needs a directory\n{usage}"))?;
                 csv_dir = Some(v);
             }
+            "--artifacts" => {
+                let v =
+                    iter.next().ok_or_else(|| format!("--artifacts needs a directory\n{usage}"))?;
+                artifacts = Some(v);
+            }
+            "--resume" => resume = true,
             other => {
                 let e = Experiment::parse(other)
                     .ok_or_else(|| format!("unknown experiment {other}\n{usage}"))?;
@@ -171,10 +186,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String
             }
         }
     }
+    if resume && artifacts.is_none() {
+        return Err(format!("--resume needs --artifacts DIR (the store to resume from)\n{usage}"));
+    }
     if experiments.is_empty() {
         experiments.push(Experiment::All);
     }
-    Ok(Cli { experiments, scale, len, seed, csv_dir })
+    Ok(Cli { experiments, scale, len, seed, csv_dir, artifacts, resume })
 }
 
 /// Builds the grid configuration for a scale.
@@ -199,6 +217,7 @@ pub fn config_for(cli: &Cli) -> GridConfig {
     if let Some(seed) = cli.seed {
         cfg.data_seed = seed;
     }
+    cfg.artifacts = cli.artifacts.as_ref().map(std::path::PathBuf::from);
     cfg
 }
 
@@ -270,5 +289,24 @@ mod tests {
         assert_eq!(cfg.len, Some(777));
         assert_eq!(cfg.data_seed, 5);
         assert_eq!(cfg.datasets.len(), 6);
+        assert_eq!(cfg.artifacts, None);
+    }
+
+    #[test]
+    fn artifacts_flag_threads_into_config() {
+        let cli = parse("table2 --quick --artifacts store").unwrap();
+        assert_eq!(cli.artifacts.as_deref(), Some("store"));
+        assert!(!cli.resume);
+        let cfg = config_for(&cli);
+        assert_eq!(cfg.artifacts.as_deref(), Some(std::path::Path::new("store")));
+    }
+
+    #[test]
+    fn resume_requires_artifacts() {
+        assert!(parse("table2 --resume").is_err());
+        assert!(parse("--artifacts").is_err());
+        let cli = parse("table2 --artifacts store --resume").unwrap();
+        assert!(cli.resume);
+        assert_eq!(cli.artifacts.as_deref(), Some("store"));
     }
 }

@@ -2,7 +2,7 @@
 //! 2015), the related-work compressor the paper cites twice: §3.2 argues
 //! that "PMC and SWING learn constant and linear approximations which have
 //! been shown to represent time series more efficiently than higher-level
-//! polynomials [10]", and §6.3 describes PPA's own forecasting study.
+//! polynomials \[10\]", and §6.3 describes PPA's own forecasting study.
 //!
 //! Implementing PPA lets the repo *test* that claim (see the
 //! `ppa_vs_low_degree` ablation test below and `benches/ablations.rs`):

@@ -18,11 +18,13 @@ use std::sync::Arc;
 
 use compression::codec::PeblcCompressor;
 use compression::Method;
+use forecast::model::{ForecastError, Forecaster};
 use parking_lot::{Mutex, RwLock};
 use tsdata::datasets::DatasetKind;
 use tsdata::series::MultiSeries;
 use tsdata::split::Split;
 
+use crate::artifact::{ArtifactKey, ArtifactStore};
 use crate::grid::GridConfig;
 use crate::scenario::ScenarioError;
 
@@ -97,32 +99,18 @@ pub fn transform_with_stats(
     epsilon: f64,
 ) -> Result<(MultiSeries, FrameStats), ScenarioError> {
     let mut stats = FrameStats::default();
-    let mut err = None;
     let mut idx = 0usize;
     let target = data.target_index();
-    let out = data.map_channels(|c| {
+    let out = data.try_map_channels(|c| {
         let i = idx;
         idx += 1;
-        match compressor.transform(c, epsilon) {
-            Ok((d, frame)) => {
-                if i == target {
-                    stats = FrameStats {
-                        size_bytes: frame.size_bytes(),
-                        num_segments: frame.num_segments,
-                    };
-                }
-                d
-            }
-            Err(e) => {
-                err = Some(e);
-                c.clone()
-            }
+        let (d, frame) = compressor.transform(c, epsilon).map_err(ScenarioError::from)?;
+        if i == target {
+            stats = FrameStats { size_bytes: frame.size_bytes(), num_segments: frame.num_segments };
         }
+        Ok::<_, ScenarioError>(d)
     })?;
-    match err {
-        Some(e) => Err(e.into()),
-        None => Ok((out, stats)),
-    }
+    Ok((out, stats))
 }
 
 /// A lazily filled, exactly-once slot. The outer map is read-locked on the
@@ -274,12 +262,105 @@ pub struct GridContext {
     pub datasets: DatasetCache,
     /// Memoized transforms.
     pub transforms: TransformCache,
+    artifacts: Option<ArtifactStore>,
+    models_loaded: AtomicUsize,
+    models_fitted: AtomicUsize,
 }
 
 impl GridContext {
-    /// Creates a context with empty caches.
+    /// Creates a context with empty caches. When the configuration names
+    /// an artifact directory, the store is opened here so every grid
+    /// running against this context checkpoints and resumes through it;
+    /// an unopenable store degrades to fitting from scratch with a
+    /// warning rather than failing the run.
     pub fn new(config: GridConfig) -> Self {
-        GridContext { config, datasets: DatasetCache::new(), transforms: TransformCache::new() }
+        let artifacts = config.artifacts.as_ref().and_then(|dir| match ArtifactStore::open(dir) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!(
+                    "[artifacts] cannot open store at {}: {e}; fitting from scratch",
+                    dir.display()
+                );
+                None
+            }
+        });
+        GridContext {
+            config,
+            datasets: DatasetCache::new(),
+            transforms: TransformCache::new(),
+            artifacts,
+            models_loaded: AtomicUsize::new(0),
+            models_fitted: AtomicUsize::new(0),
+        }
+    }
+
+    /// The artifact store, when the configuration enabled one.
+    pub fn artifact_store(&self) -> Option<&ArtifactStore> {
+        self.artifacts.as_ref()
+    }
+
+    /// `(loaded, fitted)` model counts across every task run against this
+    /// context — the numbers behind the repro CLI's
+    /// `loaded=N fitted=M` log line. A resumed run reports `fitted=0`.
+    pub fn fit_counts(&self) -> (usize, usize) {
+        (self.models_loaded.load(Ordering::Relaxed), self.models_fitted.load(Ordering::Relaxed))
+    }
+
+    /// Produces a fitted model: restored from the artifact store when a
+    /// previous run checkpointed this exact `key`, fitted (and
+    /// checkpointed) otherwise.
+    ///
+    /// Robustness policy: a *missing* artifact is the normal cold-start
+    /// path; an *unreadable or rejected* one (corruption, format version
+    /// skew, architecture mismatch) is warned about and treated as
+    /// missing, so a damaged store degrades to a slower run, never a
+    /// failed one. Models that don't support state export
+    /// ([`ForecastError::InvalidState`]) fit normally and skip the
+    /// checkpoint.
+    pub fn fit_or_load(
+        &self,
+        key: &ArtifactKey,
+        model: &mut dyn Forecaster,
+        train: &MultiSeries,
+        val: &MultiSeries,
+    ) -> Result<(), ScenarioError> {
+        if let Some(store) = &self.artifacts {
+            match store.load(key) {
+                Ok(Some(state)) => match model.load_state(&state) {
+                    Ok(()) => {
+                        self.models_loaded.fetch_add(1, Ordering::Relaxed);
+                        crate::artifact::fit_stats::record_loaded();
+                        return Ok(());
+                    }
+                    Err(e) => eprintln!(
+                        "[artifacts] stored state for {} rejected ({e}); refitting",
+                        key.canonical()
+                    ),
+                },
+                Ok(None) => {}
+                Err(e) => eprintln!(
+                    "[artifacts] unreadable artifact for {} ({e}); refitting",
+                    key.canonical()
+                ),
+            }
+        }
+        model.fit(train, val)?;
+        self.models_fitted.fetch_add(1, Ordering::Relaxed);
+        crate::artifact::fit_stats::record_fitted();
+        if let Some(store) = &self.artifacts {
+            match model.save_state() {
+                Ok(state) => {
+                    if let Err(e) = store.save(key, &state) {
+                        eprintln!("[artifacts] failed to save {}: {e}", key.canonical());
+                    }
+                }
+                Err(ForecastError::InvalidState(_)) => {}
+                Err(e) => {
+                    eprintln!("[artifacts] cannot snapshot {}: {e}", key.canonical())
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The dataset for `kind`, generated (and split) at most once. A split

@@ -34,12 +34,14 @@ use compression::{Gorilla, Method};
 use forecast::model::ModelKind;
 use tsdata::datasets::DatasetKind;
 use tsdata::metrics::{compression_ratio, nrmse, rmse};
+use tsdata::scaler::StandardScaler;
+use tsdata::split::make_windows;
 
 use crate::cache::{GridContext, Subset};
 use crate::grid::GridConfig;
 use crate::results::{CompressionRecord, ForecastRecord, TaskFailure};
 use crate::scenario::{
-    evaluate_scenario_with, retrain_scenario_with, ScenarioError, ScenarioOutcome,
+    score_scenario_with, score_transformed, score_windows, ScenarioError, ScenarioOutcome,
 };
 
 /// Grid coordinates identifying one task. Fields that do not apply to a
@@ -324,16 +326,20 @@ impl GridTask for ForecastTask {
         let ds = ctx.try_dataset(self.dataset)?;
         let split = &ds.split;
         let mut model = config.build_task_model(self.dataset, self.model, self.seed);
+        // Raw-trained model: loaded from the artifact store when a
+        // previous run checkpointed this (dataset, model, seed), fitted
+        // and checkpointed otherwise.
+        let key = config.artifact_key(self.dataset, self.model, self.seed, None, None);
+        ctx.fit_or_load(&key, model.as_mut(), &split.train, &split.val)?;
         let compressors: Vec<Box<dyn PeblcCompressor>> =
             config.methods.iter().map(|m| m.compressor()).collect();
         let mut provider = |subset: Subset, c: &dyn PeblcCompressor, eps: f64| {
             let method = method_for(config, c.name())?;
             ctx.transform(self.dataset, subset, method, eps).map(|t| t.series.clone())
         };
-        let outcome = evaluate_scenario_with(
-            model.as_mut(),
+        let outcome = score_scenario_with(
+            model.as_ref(),
             &split.train,
-            &split.val,
             &split.test,
             &compressors,
             &config.error_bounds,
@@ -382,23 +388,49 @@ impl GridTask for RetrainTask {
         let config = &ctx.config;
         let ds = ctx.try_dataset(self.dataset)?;
         let split = &ds.split;
-        let mut make = || config.build_task_model(self.dataset, self.model, self.seed);
-        let compressors: Vec<Box<dyn PeblcCompressor>> =
-            config.methods.iter().map(|m| m.compressor()).collect();
-        let mut provider = |subset: Subset, c: &dyn PeblcCompressor, eps: f64| {
-            let method = method_for(config, c.name())?;
-            ctx.transform(self.dataset, subset, method, eps).map(|t| t.series.clone())
-        };
-        let outcome = retrain_scenario_with(
-            &mut make,
-            &split.train,
-            &split.val,
-            &split.test,
-            &compressors,
-            &config.error_bounds,
-            config.eval_stride,
-            &mut provider,
-        )?;
+        // Baseline: a raw-trained model scored on raw test data. Its
+        // artifact key has no transform, so it is *shared* with the
+        // forecast grid — a retrain run after a forecast run (or vice
+        // versa) loads the same checkpoint instead of refitting.
+        let mut base = config.build_task_model(self.dataset, self.model, self.seed);
+        let base_key = config.artifact_key(self.dataset, self.model, self.seed, None, None);
+        ctx.fit_or_load(&base_key, base.as_mut(), &split.train, &split.val)?;
+        let scaler = StandardScaler::fit_single(split.train.target().values());
+        let raw_windows =
+            make_windows(&split.test, base.input_len(), base.horizon(), config.eval_stride);
+        if raw_windows.is_empty() {
+            return Err(ScenarioError::NoWindows);
+        }
+        let baseline = score_windows(base.as_ref(), &raw_windows, &scaler)?;
+
+        // Each (method, ε) retrains on the transformed train/val data;
+        // the training transform is part of the artifact key.
+        let mut transformed = Vec::new();
+        for &method in &config.methods {
+            for &eps in &config.error_bounds {
+                let t_train = ctx.transform(self.dataset, Subset::Train, method, eps)?;
+                let t_val = ctx.transform(self.dataset, Subset::Val, method, eps)?;
+                let t_test = ctx.transform(self.dataset, Subset::Test, method, eps)?;
+                let mut model = config.build_task_model(self.dataset, self.model, self.seed);
+                let key = config.artifact_key(
+                    self.dataset,
+                    self.model,
+                    self.seed,
+                    Some(method),
+                    Some(eps),
+                );
+                ctx.fit_or_load(&key, model.as_mut(), &t_train.series, &t_val.series)?;
+                let metrics = score_transformed(
+                    model.as_ref(),
+                    &split.test,
+                    &t_test.series,
+                    &scaler,
+                    config.eval_stride,
+                )?;
+                transformed.push((method.name(), eps, metrics));
+            }
+        }
+        let outcome = ScenarioOutcome { baseline, transformed };
         outcome_to_records(config, self.dataset, self.model, self.seed, outcome)
     }
 }

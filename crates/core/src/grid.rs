@@ -57,6 +57,11 @@ pub struct GridConfig {
     pub threads: usize,
     /// Dataset generation seed.
     pub data_seed: u64,
+    /// Artifact store directory (`None` = no checkpointing). When set,
+    /// fitted models are saved as versioned artifacts and later runs with
+    /// the same configuration load them instead of refitting (see
+    /// [`crate::artifact`]).
+    pub artifacts: Option<std::path::PathBuf>,
 }
 
 impl GridConfig {
@@ -78,6 +83,7 @@ impl GridConfig {
             profile: Profile::Fast,
             threads: num_threads(),
             data_seed: 0x5EED,
+            artifacts: None,
         }
     }
 
@@ -99,6 +105,7 @@ impl GridConfig {
             profile: Profile::Fast,
             threads: num_threads(),
             data_seed: 0x5EED,
+            artifacts: None,
         }
     }
 
@@ -124,6 +131,7 @@ impl GridConfig {
             profile: Profile::Paper,
             threads: num_threads(),
             data_seed: 0x5EED,
+            artifacts: None,
         }
     }
 
@@ -167,6 +175,32 @@ impl GridConfig {
                 profile: self.profile,
             },
         )
+    }
+
+    /// The artifact-store address of one fitted model under this
+    /// configuration. `method`/`epsilon` describe the lossy transform of
+    /// the *training* data (`None` = trained on raw data).
+    pub(crate) fn artifact_key(
+        &self,
+        dataset: DatasetKind,
+        model: ModelKind,
+        seed: u64,
+        method: Option<Method>,
+        epsilon: Option<f64>,
+    ) -> crate::artifact::ArtifactKey {
+        crate::artifact::ArtifactKey {
+            dataset: dataset.name().to_string(),
+            model: model.name().to_string(),
+            seed,
+            profile: format!("{:?}", self.profile),
+            method: method.map(|m| m.name().to_string()),
+            eps_bits: epsilon.map(f64::to_bits),
+            input_len: self.input_len,
+            horizon: self.horizon,
+            len: self.len,
+            channels: self.channels,
+            data_seed: self.data_seed,
+        }
     }
 }
 

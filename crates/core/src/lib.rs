@@ -4,11 +4,14 @@
 //! that schedules the evaluation cross-product with per-task fault
 //! isolation ([`engine`]), the grid entry points over compressors ×
 //! error bounds × models × datasets ([`grid`]), the shared
-//! transform/dataset caches behind them ([`cache`]), result bookkeeping
-//! including partial-failure summaries ([`results`]) and the
-//! per-table/figure experiment reproductions ([`experiments`]).
+//! transform/dataset caches behind them ([`cache`]), the versioned
+//! model-artifact format and checkpoint store behind `--resume`
+//! ([`artifact`]), result bookkeeping including partial-failure
+//! summaries ([`results`]) and the per-table/figure experiment
+//! reproductions ([`experiments`]).
 
 pub mod advisor;
+pub mod artifact;
 pub mod cache;
 pub mod engine;
 pub mod experiments;
@@ -17,6 +20,7 @@ pub mod results;
 pub mod scenario;
 
 pub use advisor::{CompressionAdvisor, Recommendation};
+pub use artifact::{decode_state, encode_state, ArtifactError, ArtifactKey, ArtifactStore};
 pub use cache::{GridContext, Subset, TransformCache, TransformKey};
 pub use engine::{
     CancelFlag, CompressionTask, Engine, ForecastTask, GorillaTask, GridReport, GridTask,

@@ -66,7 +66,7 @@ const SUMMARY_MAX_LINES: usize = 8;
 /// Renders a failure summary — the total count (split into failed vs
 /// panicked) plus the first error per coordinate — or `None` when every
 /// task succeeded. Coordinates appear in task order, capped at
-/// [`SUMMARY_MAX_LINES`] lines.
+/// `SUMMARY_MAX_LINES` lines.
 pub fn failure_summary(failures: &[TaskFailure]) -> Option<String> {
     if failures.is_empty() {
         return None;

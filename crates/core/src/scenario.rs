@@ -79,24 +79,17 @@ impl From<SeriesError> for ScenarioError {
     }
 }
 
-/// Applies the transformation `T` to every channel of a series.
+/// Applies the transformation `T` to every channel of a series,
+/// short-circuiting on the first codec error (a failed channel poisons
+/// the whole series, so transforming the rest would be wasted work).
 pub fn transform_series(
     data: &MultiSeries,
     compressor: &dyn PeblcCompressor,
     epsilon: f64,
 ) -> Result<MultiSeries, ScenarioError> {
-    let mut err = None;
-    let out = data.map_channels(|c| match compressor.transform(c, epsilon) {
-        Ok((d, _)) => d,
-        Err(e) => {
-            err = Some(e);
-            c.clone()
-        }
-    })?;
-    match err {
-        Some(e) => Err(e.into()),
-        None => Ok(out),
-    }
+    data.try_map_channels(|c| {
+        compressor.transform(c, epsilon).map(|(d, _)| d).map_err(ScenarioError::from)
+    })
 }
 
 /// Scores a fitted model on evaluation windows. Metrics are computed in
@@ -175,11 +168,25 @@ pub fn evaluate_scenario_with(
     transform: &mut TransformProvider<'_>,
 ) -> Result<ScenarioOutcome, ScenarioError> {
     model.fit(train, val)?;
-    let scaler = StandardScaler::fit_single(train.target().values());
-    let input_len = model.input_len();
-    let horizon = model.horizon();
+    score_scenario_with(&*model, train, test, compressors, error_bounds, eval_stride, transform)
+}
 
-    let raw_windows = make_windows(test, input_len, horizon, eval_stride);
+/// The scoring half of Algorithm 1: evaluates an **already fitted** model
+/// on the raw baseline and every `(compressor, ε)` combination. The
+/// engine's load-or-fit path calls this directly after restoring a model
+/// from the artifact store, skipping the fit entirely.
+#[allow(clippy::too_many_arguments)]
+pub fn score_scenario_with(
+    model: &dyn Forecaster,
+    train: &MultiSeries,
+    test: &MultiSeries,
+    compressors: &[Box<dyn PeblcCompressor>],
+    error_bounds: &[f64],
+    eval_stride: usize,
+    transform: &mut TransformProvider<'_>,
+) -> Result<ScenarioOutcome, ScenarioError> {
+    let scaler = StandardScaler::fit_single(train.target().values());
+    let raw_windows = make_windows(test, model.input_len(), model.horizon(), eval_stride);
     if raw_windows.is_empty() {
         return Err(ScenarioError::NoWindows);
     }
@@ -189,12 +196,24 @@ pub fn evaluate_scenario_with(
     for compressor in compressors {
         for &eps in error_bounds {
             let t_test = transform(Subset::Test, compressor.as_ref(), eps)?;
-            let windows = make_eval_windows(test, &t_test, input_len, horizon, eval_stride)?;
-            let metrics = score_windows(model, &windows, &scaler)?;
+            let metrics = score_transformed(model, test, &t_test, &scaler, eval_stride)?;
             transformed.push((compressor.name(), eps, metrics));
         }
     }
     Ok(ScenarioOutcome { baseline, transformed })
+}
+
+/// Scores a fitted model on one transformed test subset (inputs from
+/// `t_test`, targets from the raw `test`), in scaled units.
+pub fn score_transformed(
+    model: &dyn Forecaster,
+    test: &MultiSeries,
+    t_test: &MultiSeries,
+    scaler: &StandardScaler,
+    eval_stride: usize,
+) -> Result<MetricSet, ScenarioError> {
+    let windows = make_eval_windows(test, t_test, model.input_len(), model.horizon(), eval_stride)?;
+    score_windows(model, &windows, scaler)
 }
 
 /// The §4.4.1 variant: train *and* infer on decompressed data, scoring

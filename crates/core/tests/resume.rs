@@ -1,0 +1,161 @@
+//! End-to-end checkpoint/resume tests: a forecast grid pointed at an
+//! artifact store fits every model once, and a second run over the same
+//! store loads every fit back instead of retraining — with byte-identical
+//! assembled results. A damaged store must degrade to a refit, never to a
+//! failed run.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use evalcore::results::forecast_csv;
+use evalcore::{Engine, ForecastTask, GridConfig, GridContext, RetrainTask};
+use forecast::model::ModelKind;
+use tsdata::datasets::DatasetKind;
+
+fn temp_store(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "resume-test-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// A small real grid: 2 datasets x 2 models x 1 seed = 4 fits.
+fn config(store: &Path) -> GridConfig {
+    let mut cfg = GridConfig::smoke();
+    cfg.datasets = vec![DatasetKind::ETTm1, DatasetKind::ETTm2];
+    cfg.models = vec![ModelKind::GBoost, ModelKind::DLinear];
+    cfg.seeds_simple = 1;
+    cfg.seeds_deep = 1;
+    cfg.artifacts = Some(store.to_path_buf());
+    cfg
+}
+
+fn run_grid(cfg: &GridConfig) -> (String, (usize, usize)) {
+    let ctx = GridContext::new(cfg.clone());
+    let tasks = ForecastTask::enumerate(cfg);
+    let report = Engine::new(&ctx).run_report(&tasks);
+    assert!(report.failures.is_empty(), "grid must succeed: {:?}", report.failures);
+    let records: Vec<_> = report.records.into_iter().flatten().collect();
+    (forecast_csv(&records), ctx.fit_counts())
+}
+
+#[test]
+fn second_run_loads_every_fit_and_reproduces_records() {
+    let store = temp_store("grid");
+    let cfg = config(&store);
+
+    let (cold_csv, (cold_loaded, cold_fitted)) = run_grid(&cfg);
+    assert_eq!(cold_loaded, 0, "an empty store has nothing to load");
+    assert_eq!(cold_fitted, 4, "every grid cell fits once");
+
+    let (warm_csv, (warm_loaded, warm_fitted)) = run_grid(&cfg);
+    assert_eq!(warm_fitted, 0, "a resumed run must refit nothing");
+    assert_eq!(warm_loaded, 4, "every fit comes back from the store");
+    assert_eq!(cold_csv, warm_csv, "loaded models must reproduce records byte-identically");
+
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn config_change_invalidates_the_checkpoint() {
+    let store = temp_store("key");
+    let cfg = config(&store);
+    let (_, (_, cold_fitted)) = run_grid(&cfg);
+    assert_eq!(cold_fitted, 4);
+
+    // A different data seed is a different experiment: nothing may be
+    // reused from the store even though model/dataset names match.
+    let mut other = cfg.clone();
+    other.data_seed += 1;
+    let (_, (other_loaded, other_fitted)) = run_grid(&other);
+    assert_eq!(other_loaded, 0, "a changed config must miss the store");
+    assert_eq!(other_fitted, 4);
+
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn corrupt_artifacts_degrade_to_a_refit() {
+    let store = temp_store("corrupt");
+    let cfg = config(&store);
+    let (cold_csv, (_, cold_fitted)) = run_grid(&cfg);
+    assert_eq!(cold_fitted, 4);
+
+    // Flip a payload byte in every stored artifact: the checksum (or the
+    // decoder) must reject each file and the run must refit instead of
+    // failing or silently loading damaged weights.
+    let mut corrupted = 0;
+    for entry in walk(&store) {
+        let mut bytes = std::fs::read(&entry).expect("artifact reads");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&entry, bytes).expect("artifact rewrites");
+        corrupted += 1;
+    }
+    assert_eq!(corrupted, 4, "one artifact per grid cell");
+
+    let (warm_csv, (warm_loaded, warm_fitted)) = run_grid(&cfg);
+    assert_eq!(warm_loaded, 0, "corrupt artifacts must not load");
+    assert_eq!(warm_fitted, 4, "every cell falls back to fitting");
+    assert_eq!(cold_csv, warm_csv, "refit results match the original run");
+
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn retrain_grid_resumes_and_shares_the_baseline_fit() {
+    let store = temp_store("retrain");
+    let mut cfg = config(&store);
+    cfg.datasets = vec![DatasetKind::ETTm1];
+    cfg.models = vec![ModelKind::GBoost];
+    cfg.error_bounds = vec![0.1, 0.4];
+
+    // Cold: the baseline fit plus one retrained model per (method, eps).
+    let per_task_fits = 1 + cfg.methods.len() * cfg.error_bounds.len();
+    let ctx = GridContext::new(cfg.clone());
+    let tasks = RetrainTask::enumerate(&cfg);
+    assert_eq!(tasks.len(), 1);
+    let report = Engine::new(&ctx).run_report(&tasks);
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    let cold_records: Vec<_> = report.records.into_iter().flatten().collect();
+    assert_eq!(ctx.fit_counts(), (0, per_task_fits));
+
+    // Warm: everything loads, including the baseline shared with the
+    // forecast grid's artifact key.
+    let ctx2 = GridContext::new(cfg.clone());
+    let report2 = Engine::new(&ctx2).run_report(&tasks);
+    assert!(report2.failures.is_empty(), "{:?}", report2.failures);
+    let warm_records: Vec<_> = report2.records.into_iter().flatten().collect();
+    assert_eq!(ctx2.fit_counts(), (per_task_fits, 0));
+    assert_eq!(forecast_csv(&cold_records), forecast_csv(&warm_records));
+
+    // The forecast grid reuses the retrain grid's raw baseline artifact.
+    let ctx3 = GridContext::new(cfg.clone());
+    let forecast_tasks = ForecastTask::enumerate(&cfg);
+    assert_eq!(forecast_tasks.len(), 1);
+    let report3 = Engine::new(&ctx3).run_report(&forecast_tasks);
+    assert!(report3.failures.is_empty(), "{:?}", report3.failures);
+    assert_eq!(ctx3.fit_counts(), (1, 0), "baseline fit is shared across grids");
+
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+/// Recursively lists the artifact files under the store root.
+fn walk(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("store dir reads") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}

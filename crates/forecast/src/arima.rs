@@ -15,6 +15,7 @@ use tsdata::series::MultiSeries;
 
 use crate::linalg::lstsq;
 use crate::model::{validate_window, ForecastError, Forecaster};
+use crate::stateio;
 
 /// ARIMA configuration.
 #[derive(Debug, Clone)]
@@ -400,6 +401,68 @@ impl Forecaster for Arima {
             })
             .collect();
         Ok(f.scaler.inverse(0, &result))
+    }
+
+    fn save_state(&self) -> Result<neural::state::StateDict, ForecastError> {
+        let f = self.fitted.as_ref().ok_or(ForecastError::NotFitted)?;
+        let mut dict = neural::state::StateDict::new();
+        stateio::put_tag(&mut dict, self.name());
+        stateio::put_row(&mut dict, "arima.order", &[f.p as f64, f.d as f64, f.q as f64]);
+        stateio::put_row(&mut dict, "arima.phi", &f.phi);
+        stateio::put_row(&mut dict, "arima.theta", &f.theta);
+        stateio::put_row(&mut dict, "arima.scalars", &[f.intercept, f.aic]);
+        let flat: Vec<f64> = f.fourier.iter().flat_map(|&(a, b)| [a, b]).collect();
+        stateio::put_row(&mut dict, "arima.fourier", &flat);
+        stateio::put_row(&mut dict, "arima.season", &[f.season.map_or(-1.0, |s| s as f64)]);
+        stateio::put_scaler(&mut dict, "arima.scaler", &f.scaler);
+        Ok(dict)
+    }
+
+    fn load_state(&mut self, state: &neural::state::StateDict) -> Result<(), ForecastError> {
+        stateio::check_tag(state, self.name())?;
+        stateio::check_len(state, 9)?;
+        let order = stateio::row(state, "arima.order")?;
+        if order.len() != 3 {
+            return Err(stateio::invalid("arima.order must hold [p, d, q]"));
+        }
+        let p = stateio::index(order[0], "arima p")?;
+        let d = stateio::index(order[1], "arima d")?;
+        let q = stateio::index(order[2], "arima q")?;
+        let phi = stateio::row(state, "arima.phi")?.to_vec();
+        let theta = stateio::row(state, "arima.theta")?.to_vec();
+        if phi.len() != p || theta.len() != q {
+            return Err(stateio::invalid(format!(
+                "arima coefficient counts ({}, {}) disagree with order ({p}, {q})",
+                phi.len(),
+                theta.len()
+            )));
+        }
+        let scalars = stateio::row(state, "arima.scalars")?;
+        if scalars.len() != 2 {
+            return Err(stateio::invalid("arima.scalars must hold [intercept, aic]"));
+        }
+        let flat = stateio::row(state, "arima.fourier")?;
+        if !flat.len().is_multiple_of(2) {
+            return Err(stateio::invalid("arima.fourier must hold (sin, cos) pairs"));
+        }
+        let fourier: Vec<(f64, f64)> = flat.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        let season_raw = stateio::scalar(state, "arima.season")?;
+        let season =
+            if season_raw < 0.0 { None } else { Some(stateio::index(season_raw, "arima season")?) };
+        let scaler = stateio::get_scaler(state, "arima.scaler")?;
+        self.fitted = Some(Fitted {
+            p,
+            d,
+            q,
+            phi,
+            theta,
+            intercept: scalars[0],
+            fourier,
+            season,
+            scaler,
+            aic: scalars[1],
+        });
+        Ok(())
     }
 }
 

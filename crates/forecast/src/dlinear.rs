@@ -16,6 +16,7 @@ use tsdata::series::MultiSeries;
 
 use crate::deep::{make_batches, prepare, Batch, BatchSpec};
 use crate::model::{validate_window, ForecastError, Forecaster};
+use crate::stateio;
 
 /// DLinear configuration.
 #[derive(Debug, Clone)]
@@ -101,6 +102,30 @@ impl DLinear {
             scaler: None,
         }
     }
+
+    /// Builds the seeded layer structure. Shared by `fit` and `load_state`
+    /// so a restored model has the exact architecture the fit produced.
+    fn build_layers(&self) -> (ParamStore, Dense, Dense) {
+        let mut rng = StdRng::seed_from_u64(self.config.train.seed);
+        let mut store = ParamStore::new();
+        let trend_layer = Dense::new(
+            &mut store,
+            "trend",
+            self.config.input_len,
+            self.config.horizon,
+            Activation::Identity,
+            &mut rng,
+        );
+        let remainder_layer = Dense::new(
+            &mut store,
+            "remainder",
+            self.config.input_len,
+            self.config.horizon,
+            Activation::Identity,
+            &mut rng,
+        );
+        (store, trend_layer, remainder_layer)
+    }
 }
 
 impl Forecaster for DLinear {
@@ -139,24 +164,7 @@ impl Forecaster for DLinear {
             self.config.batches,
         );
 
-        let mut rng = StdRng::seed_from_u64(self.config.train.seed);
-        let mut store = ParamStore::new();
-        let trend_layer = Dense::new(
-            &mut store,
-            "trend",
-            self.config.input_len,
-            self.config.horizon,
-            Activation::Identity,
-            &mut rng,
-        );
-        let remainder_layer = Dense::new(
-            &mut store,
-            "remainder",
-            self.config.input_len,
-            self.config.horizon,
-            Activation::Identity,
-            &mut rng,
-        );
+        let (mut store, trend_layer, remainder_layer) = self.build_layers();
 
         let decompose_all = |batches: &[Batch]| -> Vec<(Tensor, Tensor, Tensor)> {
             batches
@@ -210,6 +218,31 @@ impl Forecaster for DLinear {
         let fm = ml.forward(&mut g, &self.store, mi);
         let pred = g.add(ft, fm);
         Ok(scaler.inverse(0, g.value(pred).data()))
+    }
+
+    fn save_state(&self) -> Result<neural::state::StateDict, ForecastError> {
+        if self.trend_layer.is_none() {
+            return Err(ForecastError::NotFitted);
+        }
+        let scaler = self.scaler.as_ref().ok_or(ForecastError::NotFitted)?;
+        let mut dict = neural::state::StateDict::new();
+        stateio::put_tag(&mut dict, self.name());
+        stateio::put_scaler(&mut dict, "scaler", scaler);
+        stateio::put_params(&mut dict, &self.store);
+        Ok(dict)
+    }
+
+    fn load_state(&mut self, state: &neural::state::StateDict) -> Result<(), ForecastError> {
+        stateio::check_tag(state, self.name())?;
+        let scaler = stateio::get_scaler(state, "scaler")?;
+        let (mut store, trend_layer, remainder_layer) = self.build_layers();
+        stateio::check_len(state, store.len() + 3)?;
+        stateio::get_params(&mut store, state)?;
+        self.store = store;
+        self.trend_layer = Some(trend_layer);
+        self.remainder_layer = Some(remainder_layer);
+        self.scaler = Some(scaler);
+        Ok(())
     }
 }
 

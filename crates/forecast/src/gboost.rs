@@ -13,7 +13,8 @@ use tsdata::scaler::StandardScaler;
 use tsdata::series::MultiSeries;
 
 use crate::model::{validate_window, ForecastError, Forecaster};
-use crate::tree::{BinnedFeatures, RegressionTree, TreeConfig};
+use crate::stateio;
+use crate::tree::{BinnedFeatures, Node, RegressionTree, TreeConfig};
 
 /// Boosting hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -127,6 +128,16 @@ impl GbmRegressor {
     /// Feature dimensionality.
     pub fn num_features(&self) -> usize {
         self.num_features
+    }
+
+    /// Rebuilds an ensemble from stored parts (state deserialization).
+    pub fn from_parts(
+        base: f64,
+        trees: Vec<RegressionTree>,
+        learning_rate: f64,
+        num_features: usize,
+    ) -> Self {
+        GbmRegressor { base, trees, learning_rate, num_features }
     }
 }
 
@@ -266,6 +277,128 @@ impl Forecaster for GBoost {
             }
         };
         Ok(scaler.inverse(0, &out))
+    }
+
+    fn save_state(&self) -> Result<neural::state::StateDict, ForecastError> {
+        if self.models.is_empty() {
+            return Err(ForecastError::NotFitted);
+        }
+        let scaler = self.scaler.as_ref().ok_or(ForecastError::NotFitted)?;
+        let mut dict = neural::state::StateDict::new();
+        stateio::put_tag(&mut dict, self.name());
+        stateio::put_row(&mut dict, "gboost.num_models", &[self.models.len() as f64]);
+        for (i, m) in self.models.iter().enumerate() {
+            stateio::put_row(
+                &mut dict,
+                &format!("gboost.{i}.meta"),
+                &[m.base(), m.learning_rate(), m.num_features() as f64, m.trees().len() as f64],
+            );
+            for (t, tree) in m.trees().iter().enumerate() {
+                let mut flat = Vec::with_capacity(tree.nodes().len() * 6);
+                for node in tree.nodes() {
+                    match *node {
+                        Node::Leaf { value, cover } => {
+                            flat.extend_from_slice(&[0.0, value, 0.0, 0.0, 0.0, cover]);
+                        }
+                        Node::Split { feature, threshold, left, right, cover } => {
+                            flat.extend_from_slice(&[
+                                1.0,
+                                feature as f64,
+                                threshold,
+                                left as f64,
+                                right as f64,
+                                cover,
+                            ]);
+                        }
+                    }
+                }
+                let rows = tree.nodes().len();
+                dict.insert(
+                    &format!("gboost.{i}.tree{t}"),
+                    neural::tensor::Tensor::new(rows, 6, flat),
+                );
+            }
+        }
+        stateio::put_scaler(&mut dict, "gboost.scaler", scaler);
+        Ok(dict)
+    }
+
+    fn load_state(&mut self, state: &neural::state::StateDict) -> Result<(), ForecastError> {
+        stateio::check_tag(state, self.name())?;
+        let num_models =
+            stateio::index(stateio::scalar(state, "gboost.num_models")?, "gboost model count")?;
+        let expected = match self.config.strategy {
+            MultiStep::Direct => self.config.horizon,
+            MultiStep::Recursive => 1,
+        };
+        if num_models != expected {
+            return Err(stateio::invalid(format!(
+                "snapshot has {num_models} boosters, configuration needs {expected}"
+            )));
+        }
+        let mut models = Vec::with_capacity(num_models);
+        let mut entries = 4; // tag + num_models + scaler means/stds
+        for i in 0..num_models {
+            let meta = stateio::row(state, &format!("gboost.{i}.meta"))?;
+            if meta.len() != 4 {
+                return Err(stateio::invalid(format!("gboost.{i}.meta must hold 4 values")));
+            }
+            let num_features = stateio::index(meta[2], "gboost feature count")?;
+            if num_features != self.config.input_len {
+                return Err(stateio::invalid(format!(
+                    "booster {i} expects {num_features} features, configuration has {}",
+                    self.config.input_len
+                )));
+            }
+            let num_trees = stateio::index(meta[3], "gboost tree count")?;
+            entries += 1 + num_trees;
+            let mut trees = Vec::with_capacity(num_trees);
+            for t in 0..num_trees {
+                let name = format!("gboost.{i}.tree{t}");
+                let tensor = state
+                    .get(&name)
+                    .ok_or_else(|| stateio::invalid(format!("missing entry `{name}`")))?;
+                let (rows, cols) = tensor.shape();
+                if cols != 6 || rows == 0 {
+                    return Err(stateio::invalid(format!("entry `{name}` must be n×6, n > 0")));
+                }
+                let mut nodes = Vec::with_capacity(rows);
+                for row in tensor.data().chunks_exact(6) {
+                    let node = match row[0] {
+                        0.0 => Node::Leaf { value: row[1], cover: row[5] },
+                        1.0 => {
+                            let left = stateio::index(row[3], "tree left child")?;
+                            let right = stateio::index(row[4], "tree right child")?;
+                            if left >= rows || right >= rows {
+                                return Err(stateio::invalid(format!(
+                                    "entry `{name}` has a child index out of range"
+                                )));
+                            }
+                            let feature = stateio::index(row[1], "tree split feature")?;
+                            if feature >= num_features {
+                                return Err(stateio::invalid(format!(
+                                    "entry `{name}` splits on feature {feature} of {num_features}"
+                                )));
+                            }
+                            Node::Split { feature, threshold: row[2], left, right, cover: row[5] }
+                        }
+                        tag => {
+                            return Err(stateio::invalid(format!(
+                                "entry `{name}` has unknown node tag {tag}"
+                            )))
+                        }
+                    };
+                    nodes.push(node);
+                }
+                trees.push(RegressionTree::from_parts(nodes, num_features));
+            }
+            models.push(GbmRegressor::from_parts(meta[0], trees, meta[1], num_features));
+        }
+        stateio::check_len(state, entries)?;
+        let scaler = stateio::get_scaler(state, "gboost.scaler")?;
+        self.models = models;
+        self.scaler = Some(scaler);
+        Ok(())
     }
 }
 

@@ -18,6 +18,7 @@ use tsdata::series::MultiSeries;
 
 use crate::deep::{make_batches, prepare, Batch, BatchSpec};
 use crate::model::{validate_window, ForecastError, Forecaster};
+use crate::stateio;
 
 /// GRU forecaster configuration.
 #[derive(Debug, Clone)]
@@ -67,6 +68,27 @@ impl Gru {
     /// Creates an unfitted model.
     pub fn new(config: GruConfig) -> Self {
         Gru { config, store: ParamStore::new(), net: None, scaler: None }
+    }
+
+    /// Builds the seeded network structure. Shared by `fit` and
+    /// `load_state` so a restored model has the exact architecture the fit
+    /// produced.
+    fn build_net(&self) -> (ParamStore, Net) {
+        let mut rng = StdRng::seed_from_u64(self.config.train.seed);
+        let mut store = ParamStore::new();
+        let net = Net {
+            encoder: GruCell::new(&mut store, "enc", 1, self.config.hidden, &mut rng),
+            decoder: GruCell::new(&mut store, "dec", 1, self.config.hidden, &mut rng),
+            head: Dense::new(
+                &mut store,
+                "head",
+                self.config.hidden,
+                1,
+                Activation::Identity,
+                &mut rng,
+            ),
+        };
+        (store, net)
     }
 
     /// Builds the forward pass for a batch of scaled windows `x
@@ -144,20 +166,7 @@ impl Forecaster for Gru {
             self.config.batches,
         );
 
-        let mut rng = StdRng::seed_from_u64(self.config.train.seed);
-        let mut store = ParamStore::new();
-        let net = Net {
-            encoder: GruCell::new(&mut store, "enc", 1, self.config.hidden, &mut rng),
-            decoder: GruCell::new(&mut store, "dec", 1, self.config.hidden, &mut rng),
-            head: Dense::new(
-                &mut store,
-                "head",
-                self.config.hidden,
-                1,
-                Activation::Identity,
-                &mut rng,
-            ),
-        };
+        let (mut store, net) = self.build_net();
 
         let this = &*self;
         train(
@@ -188,6 +197,30 @@ impl Forecaster for Gru {
         let mut rng = StdRng::seed_from_u64(0);
         let pred = self.forward(&mut g, &self.store, net, &Tensor::row(&x), false, &mut rng);
         Ok(scaler.inverse(0, g.value(pred).data()))
+    }
+
+    fn save_state(&self) -> Result<neural::state::StateDict, ForecastError> {
+        if self.net.is_none() {
+            return Err(ForecastError::NotFitted);
+        }
+        let scaler = self.scaler.as_ref().ok_or(ForecastError::NotFitted)?;
+        let mut dict = neural::state::StateDict::new();
+        stateio::put_tag(&mut dict, self.name());
+        stateio::put_scaler(&mut dict, "scaler", scaler);
+        stateio::put_params(&mut dict, &self.store);
+        Ok(dict)
+    }
+
+    fn load_state(&mut self, state: &neural::state::StateDict) -> Result<(), ForecastError> {
+        stateio::check_tag(state, self.name())?;
+        let scaler = stateio::get_scaler(state, "scaler")?;
+        let (mut store, net) = self.build_net();
+        stateio::check_len(state, store.len() + 3)?;
+        stateio::get_params(&mut store, state)?;
+        self.store = store;
+        self.net = Some(net);
+        self.scaler = Some(scaler);
+        Ok(())
     }
 }
 

@@ -28,6 +28,7 @@ pub mod linalg;
 pub mod model;
 pub mod nbeats;
 pub mod seq2seq;
+mod stateio;
 pub mod transformer;
 pub mod tree;
 
@@ -37,6 +38,7 @@ pub use ensemble::{Combine, Ensemble};
 pub use gboost::{GBoost, GBoostConfig, GbmConfig, GbmRegressor};
 pub use gru::{Gru, GruConfig};
 pub use model::{ForecastError, Forecaster, ModelKind, ALL_MODELS};
+pub use neural::state::{StateDict, StateError};
 pub use seq2seq::{Seq2Seq, Seq2SeqConfig};
 pub use tree::{Node, RegressionTree, TreeConfig};
 

@@ -5,6 +5,7 @@
 //! then queried with (possibly lossy-transformed) input windows — exactly
 //! the evaluation scenario of Algorithm 1.
 
+use neural::state::StateDict;
 use tsdata::series::MultiSeries;
 
 /// Errors from fitting or predicting.
@@ -18,6 +19,9 @@ pub enum ForecastError {
     BadWindow { expected: usize, got: usize },
     /// A numerical routine failed (e.g. a singular normal-equation system).
     Numerical(String),
+    /// A state snapshot could not be produced or applied (wrong model kind,
+    /// missing or malformed entries).
+    InvalidState(String),
 }
 
 impl std::fmt::Display for ForecastError {
@@ -31,6 +35,7 @@ impl std::fmt::Display for ForecastError {
                 write!(f, "bad input window: expected length {expected}, got {got}")
             }
             ForecastError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            ForecastError::InvalidState(msg) => write!(f, "invalid model state: {msg}"),
         }
     }
 }
@@ -58,6 +63,21 @@ pub trait Forecaster: Send {
     /// `inputs[ch]` is channel `ch`'s last `input_len()` values (channel 0
     /// is the target).
     fn predict(&self, inputs: &[Vec<f64>]) -> Result<Vec<f64>, ForecastError>;
+
+    /// Serializes the fitted state as named tensors, such that
+    /// [`Forecaster::load_state`] on an identically configured model
+    /// reproduces bit-identical predictions. Implementations must fail with
+    /// [`ForecastError::NotFitted`] before `fit`.
+    fn save_state(&self) -> Result<StateDict, ForecastError> {
+        Err(ForecastError::InvalidState(format!("{} does not support state export", self.name())))
+    }
+
+    /// Restores a fitted state produced by [`Forecaster::save_state`] on an
+    /// identically configured model, leaving this model fitted.
+    fn load_state(&mut self, state: &StateDict) -> Result<(), ForecastError> {
+        let _ = state;
+        Err(ForecastError::InvalidState(format!("{} does not support state import", self.name())))
+    }
 }
 
 /// Checks the standard window invariants shared by all implementations.

@@ -15,6 +15,7 @@ use tsdata::series::MultiSeries;
 
 use crate::deep::{make_batches, prepare, BatchSpec};
 use crate::model::{validate_window, ForecastError, Forecaster};
+use crate::stateio;
 
 /// NBeats configuration (generic architecture).
 #[derive(Debug, Clone)]
@@ -124,6 +125,17 @@ impl NBeats {
         NBeats { config, store: ParamStore::new(), blocks: Vec::new(), scaler: None }
     }
 
+    /// Builds the seeded block stack. Shared by `fit` and `load_state` so a
+    /// restored model has the exact architecture the fit produced.
+    fn build_blocks(&self) -> (ParamStore, Vec<Block>) {
+        let mut rng = StdRng::seed_from_u64(self.config.train.seed);
+        let mut store = ParamStore::new();
+        let blocks: Vec<Block> = (0..self.config.blocks)
+            .map(|b| Block::new(&mut store, &format!("block{b}"), &self.config, &mut rng))
+            .collect();
+        (store, blocks)
+    }
+
     fn forward(
         &self,
         g: &mut Graph,
@@ -184,11 +196,7 @@ impl Forecaster for NBeats {
             self.config.batches,
         );
 
-        let mut rng = StdRng::seed_from_u64(self.config.train.seed);
-        let mut store = ParamStore::new();
-        let blocks: Vec<Block> = (0..self.config.blocks)
-            .map(|b| Block::new(&mut store, &format!("block{b}"), &self.config, &mut rng))
-            .collect();
+        let (mut store, blocks) = self.build_blocks();
 
         // Borrow pieces locally so the closure doesn't capture `self`.
         let this = &*self;
@@ -220,6 +228,30 @@ impl Forecaster for NBeats {
         let mut rng = StdRng::seed_from_u64(0);
         let pred = self.forward(&mut g, &self.store, &self.blocks, xi, false, &mut rng);
         Ok(scaler.inverse(0, g.value(pred).data()))
+    }
+
+    fn save_state(&self) -> Result<neural::state::StateDict, ForecastError> {
+        if self.blocks.is_empty() {
+            return Err(ForecastError::NotFitted);
+        }
+        let scaler = self.scaler.as_ref().ok_or(ForecastError::NotFitted)?;
+        let mut dict = neural::state::StateDict::new();
+        stateio::put_tag(&mut dict, self.name());
+        stateio::put_scaler(&mut dict, "scaler", scaler);
+        stateio::put_params(&mut dict, &self.store);
+        Ok(dict)
+    }
+
+    fn load_state(&mut self, state: &neural::state::StateDict) -> Result<(), ForecastError> {
+        stateio::check_tag(state, self.name())?;
+        let scaler = stateio::get_scaler(state, "scaler")?;
+        let (mut store, blocks) = self.build_blocks();
+        stateio::check_len(state, store.len() + 3)?;
+        stateio::get_params(&mut store, state)?;
+        self.store = store;
+        self.blocks = blocks;
+        self.scaler = Some(scaler);
+        Ok(())
     }
 }
 

@@ -30,6 +30,7 @@ use tsdata::series::MultiSeries;
 
 use crate::deep::{make_batches, prepare, Batch, BatchSpec};
 use crate::model::{validate_window, ForecastError, Forecaster};
+use crate::stateio;
 
 /// Configuration shared by Transformer and Informer.
 #[derive(Debug, Clone)]
@@ -130,8 +131,8 @@ fn ffn_block(
     ff2.forward(g, store, h)
 }
 
-/// The generic encoder-decoder forecaster. Instantiated as
-/// [`crate::transformer::Transformer`] and [`crate::informer::Informer`].
+/// The generic encoder-decoder forecaster. Instantiated via
+/// [`crate::transformer::transformer`] and [`crate::informer::informer`].
 pub struct Seq2Seq {
     name: &'static str,
     config: Seq2SeqConfig,
@@ -370,6 +371,34 @@ impl Forecaster for Seq2Seq {
         let mut rng = StdRng::seed_from_u64(0);
         let pred = self.forward_sample(&mut g, &self.store, net, &x, false, &mut rng);
         Ok(scaler.inverse(0, g.value(pred).data()))
+    }
+
+    fn save_state(&self) -> Result<neural::state::StateDict, ForecastError> {
+        if self.net.is_none() {
+            return Err(ForecastError::NotFitted);
+        }
+        let scaler = self.scaler.as_ref().ok_or(ForecastError::NotFitted)?;
+        let mut dict = neural::state::StateDict::new();
+        // Tagging with the display name keeps a Transformer snapshot from
+        // loading into an Informer even though the two share this struct.
+        stateio::put_tag(&mut dict, self.name());
+        stateio::put_scaler(&mut dict, "scaler", scaler);
+        stateio::put_params(&mut dict, &self.store);
+        Ok(dict)
+    }
+
+    fn load_state(&mut self, state: &neural::state::StateDict) -> Result<(), ForecastError> {
+        stateio::check_tag(state, self.name())?;
+        let scaler = stateio::get_scaler(state, "scaler")?;
+        let mut rng = StdRng::seed_from_u64(self.config.train.seed);
+        let mut store = ParamStore::new();
+        let net = self.build_net(&mut store, &mut rng);
+        stateio::check_len(state, store.len() + 3)?;
+        stateio::get_params(&mut store, state)?;
+        self.store = store;
+        self.net = Some(net);
+        self.scaler = Some(scaler);
+        Ok(())
     }
 }
 

@@ -112,6 +112,20 @@ pub struct RegressionTree {
 }
 
 impl RegressionTree {
+    /// Rebuilds a tree from a stored node arena (state deserialization).
+    ///
+    /// # Panics
+    /// Panics if `nodes` is empty or any split child index is out of range.
+    pub fn from_parts(nodes: Vec<Node>, num_features: usize) -> Self {
+        assert!(!nodes.is_empty(), "tree needs at least one node");
+        for node in &nodes {
+            if let Node::Split { left, right, .. } = node {
+                assert!(*left < nodes.len() && *right < nodes.len(), "child index out of range");
+            }
+        }
+        RegressionTree { nodes, num_features }
+    }
+
     /// Fits a tree minimizing squared error.
     ///
     /// `features` is row-major `n × num_features`.

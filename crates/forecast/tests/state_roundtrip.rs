@@ -1,0 +1,147 @@
+//! Property tests for model checkpointing: for every one of the paper's
+//! seven models, `save_state` on a fitted model followed by `load_state`
+//! into an identically configured fresh model must reproduce
+//! bit-identical predictions, for any training series and input window.
+//!
+//! Tiny windows and series keep each fit to milliseconds while still
+//! exercising every parameter tensor.
+
+use forecast::model::{ForecastError, ModelKind, ALL_MODELS};
+use forecast::{build_model, BuildOptions};
+use proptest::prelude::*;
+use tsdata::datasets::{generate, DatasetKind, GenOptions};
+use tsdata::series::MultiSeries;
+use tsdata::split::{split, SplitSpec};
+
+const INPUT_LEN: usize = 16;
+const HORIZON: usize = 4;
+
+fn tiny_options(seed: u64) -> BuildOptions {
+    BuildOptions { input_len: INPUT_LEN, horizon: HORIZON, seed, ..BuildOptions::default() }
+}
+
+/// A small but structured univariate series: enough points for a 70/10/20
+/// split to leave room for at least one training window.
+fn tiny_series(data_seed: u64) -> MultiSeries {
+    generate(DatasetKind::ETTm1, GenOptions { len: Some(360), channels: Some(1), seed: data_seed })
+}
+
+/// Fits `kind`, round-trips its state through a fresh model, and checks
+/// that both predict bit-identically on the given window start.
+fn assert_roundtrip(kind: ModelKind, seed: u64, data_seed: u64, start: usize) {
+    let data = tiny_series(data_seed);
+    let s = split(&data, SplitSpec::default()).expect("360 points split cleanly");
+
+    let mut fitted = build_model(kind, tiny_options(seed));
+    fitted.fit(&s.train, &s.val).expect("tiny fit succeeds");
+    let state = fitted.save_state().expect("fitted model exports state");
+
+    let mut reloaded = build_model(kind, tiny_options(seed));
+    assert_eq!(
+        reloaded.save_state(),
+        Err(ForecastError::NotFitted),
+        "{}: save before fit must be rejected",
+        kind.name()
+    );
+    reloaded.load_state(&state).expect("state loads into an identical build");
+
+    let window = vec![s.test.target().values()[start..start + INPUT_LEN].to_vec()];
+    let before = fitted.predict(&window).expect("fitted predicts");
+    let after = reloaded.predict(&window).expect("reloaded predicts");
+    assert_eq!(before.len(), HORIZON);
+    // Bit-identity, not approximate equality: the artifact store replays
+    // exact f64 bit patterns, so reloaded models must be exact replicas.
+    let before_bits: Vec<u64> = before.iter().map(|v| v.to_bits()).collect();
+    let after_bits: Vec<u64> = after.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(before_bits, after_bits, "{}: reloaded predictions drifted", kind.name());
+}
+
+macro_rules! roundtrip_props {
+    ($($test:ident => $kind:expr),+ $(,)?) => {$(
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(3))]
+
+            #[test]
+            fn $test(seed in 0u64..1_000, data_seed in 0u64..1_000, start in 0usize..40) {
+                assert_roundtrip($kind, seed, data_seed, start);
+            }
+        }
+    )+};
+}
+
+roundtrip_props! {
+    arima_state_roundtrip_bit_identical => ModelKind::Arima,
+    gboost_state_roundtrip_bit_identical => ModelKind::GBoost,
+    dlinear_state_roundtrip_bit_identical => ModelKind::DLinear,
+    gru_state_roundtrip_bit_identical => ModelKind::Gru,
+    informer_state_roundtrip_bit_identical => ModelKind::Informer,
+    nbeats_state_roundtrip_bit_identical => ModelKind::NBeats,
+    transformer_state_roundtrip_bit_identical => ModelKind::Transformer,
+}
+
+/// A snapshot of one model kind must not load into another: every state
+/// dict is tagged with its model name and the tag is checked on import.
+#[test]
+fn cross_model_state_rejected() {
+    let data = tiny_series(7);
+    let s = split(&data, SplitSpec::default()).expect("splits");
+    let mut dlinear = build_model(ModelKind::DLinear, tiny_options(1));
+    dlinear.fit(&s.train, &s.val).expect("fits");
+    let state = dlinear.save_state().expect("exports");
+
+    for kind in ALL_MODELS {
+        if kind == ModelKind::DLinear {
+            continue;
+        }
+        let mut other = build_model(kind, tiny_options(1));
+        let err = other.load_state(&state).expect_err("foreign state must be rejected");
+        assert!(
+            matches!(err, ForecastError::InvalidState(_)),
+            "{}: expected InvalidState, got {err:?}",
+            kind.name()
+        );
+    }
+}
+
+/// A truncated state dict (missing parameter tensors) must be rejected
+/// rather than leaving the model half-loaded.
+#[test]
+fn truncated_state_rejected() {
+    let data = tiny_series(11);
+    let s = split(&data, SplitSpec::default()).expect("splits");
+    let mut gru = build_model(ModelKind::Gru, tiny_options(2));
+    gru.fit(&s.train, &s.val).expect("fits");
+    let full = gru.save_state().expect("exports");
+
+    let mut truncated = neural::state::StateDict::new();
+    for (name, tensor) in full.entries().take(full.len() - 1) {
+        truncated.insert(name, tensor.clone());
+    }
+    let mut fresh = build_model(ModelKind::Gru, tiny_options(2));
+    assert!(
+        matches!(fresh.load_state(&truncated), Err(ForecastError::InvalidState(_))),
+        "truncated state must not load"
+    );
+    // The failed load must not leave the model claiming to be fitted.
+    assert!(fresh.predict(&[vec![0.0; INPUT_LEN]]).is_err());
+}
+
+/// After a successful load the model must behave as fitted: window
+/// validation still applies and the horizon is preserved.
+#[test]
+fn reloaded_model_validates_windows() {
+    let data = tiny_series(3);
+    let s = split(&data, SplitSpec::default()).expect("splits");
+    let mut model = build_model(ModelKind::GBoost, tiny_options(5));
+    model.fit(&s.train, &s.val).expect("fits");
+    let state = model.save_state().expect("exports");
+
+    let mut reloaded = build_model(ModelKind::GBoost, tiny_options(5));
+    reloaded.load_state(&state).expect("loads");
+    assert_eq!(reloaded.input_len(), INPUT_LEN);
+    assert_eq!(reloaded.horizon(), HORIZON);
+    assert!(matches!(
+        reloaded.predict(&[vec![0.0; INPUT_LEN - 1]]),
+        Err(ForecastError::BadWindow { .. })
+    ));
+}

@@ -63,6 +63,25 @@ impl MultiHeadAttention {
         self.d_model
     }
 
+    /// Ids of the projection parameters, in registration order.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        vec![self.wq, self.wk, self.wv, self.wo]
+    }
+
+    /// Snapshots the projections under their registered names.
+    pub fn export_state(&self, store: &ParamStore) -> crate::state::StateDict {
+        crate::state::export_params(store, &self.param_ids())
+    }
+
+    /// Restores the projections from a snapshot.
+    pub fn import_state(
+        &self,
+        store: &mut ParamStore,
+        dict: &crate::state::StateDict,
+    ) -> Result<(), crate::state::StateError> {
+        crate::state::import_params(store, &self.param_ids(), dict)
+    }
+
     /// Applies attention for one sample.
     ///
     /// `q_in: [Lq, d_model]`, `k_in`/`v_in`: `[Lk, d_model]`.

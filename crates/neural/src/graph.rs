@@ -99,6 +99,44 @@ impl ParamStore {
         }
     }
 
+    /// Snapshots every parameter as a named tensor, in registration order.
+    pub fn export_state(&self) -> crate::state::StateDict {
+        let mut dict = crate::state::StateDict::new();
+        for (name, value) in self.names.iter().zip(&self.values) {
+            dict.insert(name, value.clone());
+        }
+        dict
+    }
+
+    /// Restores every parameter value from a snapshot.
+    ///
+    /// Strict both ways: each registered parameter must be present with a
+    /// matching shape, and the snapshot may not hold extra entries. A
+    /// failed import leaves the store untouched.
+    pub fn import_state(
+        &mut self,
+        dict: &crate::state::StateDict,
+    ) -> Result<(), crate::state::StateError> {
+        for (name, value) in self.names.iter().zip(&self.values) {
+            let (r, c) = value.shape();
+            dict.require(name, r, c)?;
+        }
+        if dict.len() != self.values.len() {
+            let known: std::collections::HashSet<&str> =
+                self.names.iter().map(String::as_str).collect();
+            let extra = dict
+                .entries()
+                .map(|(n, _)| n)
+                .find(|n| !known.contains(n))
+                .unwrap_or("<duplicate registration>");
+            return Err(crate::state::StateError::Unexpected(extra.to_string()));
+        }
+        for (name, value) in self.names.iter().zip(&mut self.values) {
+            *value = dict.get(name).expect("validated above").clone();
+        }
+        Ok(())
+    }
+
     fn accumulate(&mut self, id: ParamId, grad: &Tensor) {
         self.grads[id.0].add_assign(grad);
     }

@@ -66,6 +66,25 @@ impl Dense {
         self.out_dim
     }
 
+    /// Ids of the layer's parameters, in registration order.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        vec![self.w, self.b]
+    }
+
+    /// Snapshots the layer's parameters under their registered names.
+    pub fn export_state(&self, store: &ParamStore) -> crate::state::StateDict {
+        crate::state::export_params(store, &self.param_ids())
+    }
+
+    /// Restores the layer's parameters from a snapshot.
+    pub fn import_state(
+        &self,
+        store: &mut ParamStore,
+        dict: &crate::state::StateDict,
+    ) -> Result<(), crate::state::StateError> {
+        crate::state::import_params(store, &self.param_ids(), dict)
+    }
+
     /// Applies the layer within a graph.
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: NodeId) -> NodeId {
         let w = g.param(store, self.w);
@@ -126,6 +145,25 @@ impl LayerNorm {
         let gamma = store.add(&format!("{name}.gamma"), Tensor::full(1, dim, 1.0));
         let beta = store.add(&format!("{name}.beta"), Tensor::zeros(1, dim));
         LayerNorm { gamma, beta }
+    }
+
+    /// Ids of the layer's parameters, in registration order.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        vec![self.gamma, self.beta]
+    }
+
+    /// Snapshots the layer's parameters under their registered names.
+    pub fn export_state(&self, store: &ParamStore) -> crate::state::StateDict {
+        crate::state::export_params(store, &self.param_ids())
+    }
+
+    /// Restores the layer's parameters from a snapshot.
+    pub fn import_state(
+        &self,
+        store: &mut ParamStore,
+        dict: &crate::state::StateDict,
+    ) -> Result<(), crate::state::StateError> {
+        crate::state::import_params(store, &self.param_ids(), dict)
     }
 
     /// Applies row-wise layer normalization.

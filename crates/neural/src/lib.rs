@@ -13,7 +13,9 @@
 //! * [`attention`] — multi-head attention (full and Informer ProbSparse)
 //!   plus sinusoidal positional encodings.
 //! * [`optim`] — Adam with weight decay and gradient clipping (§3.4).
-//! * [`train`] — mini-batch loop with early stopping, patience 3 (§3.4).
+//! * [`mod@train`] — mini-batch loop with early stopping, patience 3 (§3.4).
+//! * [`state`] — flat named-tensor snapshots ([`state::StateDict`]) with
+//!   strict `export_state`/`import_state` on stores, layers, and Adam.
 //!
 //! Every op has finite-difference gradient tests; see `graph::tests`.
 //!
@@ -45,6 +47,7 @@ pub mod kernels;
 pub mod layers;
 pub mod optim;
 pub mod rnn;
+pub mod state;
 pub mod tensor;
 pub mod train;
 
@@ -53,5 +56,6 @@ pub use graph::{Graph, NodeId, ParamId, ParamStore};
 pub use layers::{glorot, Activation, Dense, Dropout, LayerNorm};
 pub use optim::{Adam, AdamConfig};
 pub use rnn::GruCell;
+pub use state::{StateDict, StateError};
 pub use tensor::Tensor;
 pub use train::{train, TrainConfig, TrainReport};

@@ -66,6 +66,25 @@ impl GruCell {
         self.in_dim
     }
 
+    /// Ids of the cell's parameters, in registration order.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        vec![self.wxz, self.whz, self.wxr, self.whr, self.wxh, self.whh, self.bz, self.br, self.bh]
+    }
+
+    /// Snapshots the cell's parameters under their registered names.
+    pub fn export_state(&self, store: &ParamStore) -> crate::state::StateDict {
+        crate::state::export_params(store, &self.param_ids())
+    }
+
+    /// Restores the cell's parameters from a snapshot.
+    pub fn import_state(
+        &self,
+        store: &mut ParamStore,
+        dict: &crate::state::StateDict,
+    ) -> Result<(), crate::state::StateError> {
+        crate::state::import_params(store, &self.param_ids(), dict)
+    }
+
     /// One recurrence step: `(x_t, h_{t-1}) -> h_t`.
     pub fn step(&self, g: &mut Graph, store: &ParamStore, x: NodeId, h: NodeId) -> NodeId {
         let gate = |g: &mut Graph, wx: ParamId, wh: ParamId, b: ParamId, x, h| {

@@ -8,7 +8,7 @@
 //! * [`metrics`] — RMSE/NRMSE/RSE/R plus TE, TFE and CR (paper §3.5,
 //!   Definitions 6–9, Eq. 3).
 //! * [`scaler`] — the standard scaler applied to model inputs (§3.4).
-//! * [`split`] — 70/10/20 chronological splits and sliding windows (§3.6).
+//! * [`mod@split`] — 70/10/20 chronological splits and sliding windows (§3.6).
 //! * [`generators`] / [`datasets`] — deterministic synthetic recreations of
 //!   the six evaluation datasets calibrated to Table 1.
 //! * [`csv`] — ETT-style CSV import/export for running on real data.

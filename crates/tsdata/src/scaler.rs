@@ -34,6 +34,16 @@ impl StandardScaler {
         Self::fit(&[values])
     }
 
+    /// Rebuilds a scaler from previously fitted statistics (state
+    /// deserialization).
+    ///
+    /// # Panics
+    /// Panics if the vectors differ in length.
+    pub fn from_parts(means: Vec<f64>, stds: Vec<f64>) -> Self {
+        assert_eq!(means.len(), stds.len(), "scaler channel count mismatch");
+        StandardScaler { means, stds }
+    }
+
     /// Number of channels this scaler was fitted for.
     pub fn num_channels(&self) -> usize {
         self.means.len()

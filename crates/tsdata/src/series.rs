@@ -308,6 +308,22 @@ impl MultiSeries {
         MultiSeries::new(self.names.clone(), channels, self.target)
     }
 
+    /// Fallible sibling of [`MultiSeries::map_channels`]: stops at the
+    /// first channel error instead of transforming the remaining
+    /// channels. Use this when the transformation is expensive (e.g. a
+    /// codec round-trip) and a failure anywhere poisons the whole result.
+    pub fn try_map_channels<F, E>(&self, mut f: F) -> Result<MultiSeries, E>
+    where
+        F: FnMut(&RegularTimeSeries) -> Result<RegularTimeSeries, E>,
+        E: From<SeriesError>,
+    {
+        let mut channels = Vec::with_capacity(self.channels.len());
+        for c in &self.channels {
+            channels.push(f(c)?);
+        }
+        Ok(MultiSeries::new(self.names.clone(), channels, self.target)?)
+    }
+
     /// A row-slice over all channels: indices `start..end`.
     pub fn slice(&self, start: usize, end: usize) -> Result<MultiSeries, SeriesError> {
         let channels =

@@ -8,6 +8,7 @@
 
 use evalimplsts::compression::{all_lossy, find_bound_violation, raw_compressed_size};
 use evalimplsts::evalcore::scenario::{evaluate_scenario, transform_series};
+use evalimplsts::evalcore::{decode_state, encode_state};
 use evalimplsts::forecast::{build_model, BuildOptions, ModelKind};
 use evalimplsts::tsdata::datasets::{generate, DatasetKind, GenOptions};
 use evalimplsts::tsdata::metrics::{compression_ratio, nrmse, tfe};
@@ -68,4 +69,25 @@ fn main() {
         &s.test.target().values()[..5],
         &transformed.target().values()[..5],
     );
+
+    // 5. Checkpointing: the fitted model serializes to the versioned
+    //    artifact format, and a fresh model reloaded from those bytes
+    //    predicts bit-identically (this is what `repro --artifacts`
+    //    relies on to resume a killed run without refitting).
+    let bytes = encode_state(&model.save_state().expect("fitted model exports state"))
+        .expect("state encodes");
+    let path = std::env::temp_dir().join("quickstart-gboost.state");
+    std::fs::write(&path, &bytes).expect("artifact writes");
+    println!("\nsaved fitted {} state: {} bytes -> {}", model.name(), bytes.len(), path.display());
+
+    let restored = decode_state(&std::fs::read(&path).expect("artifact reads back"))
+        .expect("artifact decodes");
+    let mut reloaded = build_model(ModelKind::GBoost, BuildOptions::default());
+    reloaded.load_state(&restored).expect("state loads into an identically built model");
+    let window = vec![s.test.target().values()[..96].to_vec()];
+    let before = model.predict(&window).expect("original predicts");
+    let after = reloaded.predict(&window).expect("reloaded predicts");
+    assert_eq!(before, after, "reloaded model must predict bit-identically");
+    println!("reloaded model predicts bit-identically (first value {:.4})", after[0]);
+    let _ = std::fs::remove_file(&path);
 }

@@ -298,7 +298,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Length specification for [`vec`]: a fixed size or a half-open
+    /// Length specification for [`fn@vec`]: a fixed size or a half-open
     /// range of sizes.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
