@@ -21,6 +21,25 @@ pub enum Severity {
     Critical,
 }
 
+impl Severity {
+    /// Classifies a relative deviation against a warning threshold (both
+    /// in percent). `None` when the deviation is at or below the
+    /// threshold; [`Severity::Critical`] strictly above twice the
+    /// threshold, [`Severity::Warning`] otherwise. Both comparisons are
+    /// strict, so a deviation of exactly `threshold` raises nothing and
+    /// exactly `2 × threshold` stays a warning. This is the single
+    /// source of severity used by [`CharacteristicsMonitor::check`].
+    pub fn from_deviation(deviation_pct: f64, threshold_pct: f64) -> Option<Severity> {
+        if deviation_pct > 2.0 * threshold_pct {
+            Some(Severity::Critical)
+        } else if deviation_pct > threshold_pct {
+            Some(Severity::Warning)
+        } else {
+            None
+        }
+    }
+}
+
 /// One raised alert.
 #[derive(Debug, Clone)]
 pub struct Alert {
@@ -96,20 +115,12 @@ impl CharacteristicsMonitor {
                     .position(|&n| n == name)
                     .unwrap_or_else(|| panic!("unknown monitored characteristic {name}"));
                 let deviation = rel[idx];
-                if deviation > threshold {
-                    Some(Alert {
-                        characteristic: FEATURE_NAMES[idx],
-                        deviation_pct: deviation,
-                        threshold_pct: threshold,
-                        severity: if deviation > 2.0 * threshold {
-                            Severity::Critical
-                        } else {
-                            Severity::Warning
-                        },
-                    })
-                } else {
-                    None
-                }
+                Severity::from_deviation(deviation, threshold).map(|severity| Alert {
+                    characteristic: FEATURE_NAMES[idx],
+                    deviation_pct: deviation,
+                    threshold_pct: threshold,
+                    severity,
+                })
             })
             .collect();
         alerts.sort_by(|a, b| {
@@ -205,6 +216,37 @@ mod tests {
                 "mild perturbation flagged critical: {alerts:?}"
             );
         }
+    }
+
+    #[test]
+    fn severity_boundaries_are_strict() {
+        // Exactly the threshold: no alert (the guideline is "deviations
+        // *of even* 1%", crossed strictly).
+        assert_eq!(Severity::from_deviation(1.0, 1.0), None);
+        assert_eq!(Severity::from_deviation(0.0, 1.0), None);
+        assert_eq!(Severity::from_deviation(4.999, 5.0), None);
+        // Just above the threshold: Warning.
+        assert_eq!(Severity::from_deviation(1.0 + 1e-9, 1.0), Some(Severity::Warning));
+        assert_eq!(Severity::from_deviation(1.5, 1.0), Some(Severity::Warning));
+        // Exactly twice the threshold: still Warning (strict comparison).
+        assert_eq!(Severity::from_deviation(2.0, 1.0), Some(Severity::Warning));
+        assert_eq!(Severity::from_deviation(10.0, 5.0), Some(Severity::Warning));
+        // Strictly above twice the threshold: Critical.
+        assert_eq!(Severity::from_deviation(2.0 + 1e-9, 1.0), Some(Severity::Critical));
+        assert_eq!(Severity::from_deviation(11.0, 5.0), Some(Severity::Critical));
+    }
+
+    #[test]
+    fn identity_transform_raises_no_alerts() {
+        // A bound of ε = 0 makes the transformation the identity, so the
+        // monitored characteristics deviate by exactly 0% and every
+        // threshold comparison stays strictly below.
+        let x = seasonal(2000, 6);
+        let monitor = CharacteristicsMonitor::new(&x, config());
+        let identity = x.clone();
+        let alerts = monitor.check(&identity);
+        assert!(alerts.is_empty(), "identity transform must not alert: {alerts:?}");
+        assert!(monitor.passes(&identity));
     }
 
     #[test]

@@ -5,6 +5,14 @@
 //! cargo run -p bench --release --bin repro -- table2 --quick # one experiment
 //! cargo run -p bench --release --bin repro -- all --paper    # paper scale
 //! ```
+//!
+//! Telemetry is enabled for the whole run (this is the instrumented
+//! binary; the recording overhead is within noise). `--metrics FILE`
+//! writes the Prometheus text dump, `--trace FILE` the Chrome trace-event
+//! JSON (open in `about:tracing` / Perfetto); passing either also prints
+//! an end-of-run summary (slowest tasks, cache hit rates, per-model fit
+//! time) on stderr. All experiment output on stdout is byte-identical
+//! with or without these flags.
 
 use bench::{config_for, parse_args, Experiment, ALL_EXPERIMENTS};
 use evalcore::experiments::{
@@ -21,6 +29,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    telemetry::set_enabled(true);
     let cfg = config_for(&cli);
     let experiments: Vec<Experiment> = if cli.experiments.contains(&Experiment::All) {
         ALL_EXPERIMENTS.to_vec()
@@ -143,9 +152,13 @@ fn main() {
         eprintln!("[repro] {exp:?} done in {:.1?}\n", started.elapsed());
     }
 
-    // The checkpoint summary: a fully resumed run reports fitted=0.
+    // The checkpoint summary: a fully resumed run reports fitted=0. The
+    // totals come from the telemetry registry (the single source of truth
+    // for loaded/fitted counts), summed across all model labels.
     if let Some(dir) = &cli.artifacts {
-        let (loaded, fitted) = evalcore::artifact::fit_stats::counts();
+        let registry = telemetry::global().metrics();
+        let loaded = registry.counter_total("models_loaded_total");
+        let fitted = registry.counter_total("models_fitted_total");
         eprintln!("[repro] artifacts: loaded={loaded} fitted={fitted} dir={dir}");
     }
 
@@ -176,4 +189,99 @@ fn main() {
             write("retrain.csv", evalcore::results::forecast_csv(&grid.records));
         }
     }
+
+    // Telemetry export: snapshot once, feed every consumer the same data.
+    if cli.metrics.is_some() || cli.trace.is_some() {
+        let snapshots = telemetry::global().metrics().snapshot();
+        let spans = telemetry::global().spans().snapshot();
+        eprint!("{}", render_summary(&snapshots, &spans));
+        let write = |path: &str, contents: String| match std::fs::write(path, contents) {
+            Ok(()) => eprintln!("[repro] wrote {path}"),
+            Err(e) => eprintln!("[repro] failed writing {path}: {e}"),
+        };
+        if let Some(path) = &cli.metrics {
+            write(path, telemetry::export::prometheus(&snapshots));
+        }
+        if let Some(path) = &cli.trace {
+            write(path, telemetry::export::chrome_trace(&spans));
+        }
+    }
+}
+
+/// Renders the end-of-run observability summary: the slowest engine
+/// tasks, cache hit rates, and per-model fit time.
+fn render_summary(
+    snapshots: &[telemetry::MetricSnapshot],
+    spans: &[telemetry::SpanRecord],
+) -> String {
+    use std::fmt::Write as _;
+    let counter = |name: &str| -> u64 {
+        snapshots.iter().filter(|s| s.name == name).filter_map(|s| s.value.as_counter()).sum()
+    };
+    let mut out = String::from("[repro] == telemetry summary ==\n");
+
+    let slow = telemetry::slowest(spans, "engine.task", 10);
+    if !slow.is_empty() {
+        out.push_str("[repro] slowest tasks:\n");
+        for r in &slow {
+            let label = |key: &str| {
+                r.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str()).unwrap_or("")
+            };
+            let _ = writeln!(
+                out,
+                "[repro]   {:>9.3}s  {:<11} {:<8} {:<6} eps={:<6} model={} seed={}",
+                r.dur_us as f64 / 1e6,
+                label("family"),
+                label("dataset"),
+                label("method"),
+                label("epsilon"),
+                label("model"),
+                label("seed"),
+            );
+        }
+    }
+
+    let mut cache_line = |what: &str, hits: u64, misses: u64| {
+        let total = hits + misses;
+        if total > 0 {
+            let _ = writeln!(
+                out,
+                "[repro] {what} cache: {hits} hit(s) / {misses} miss(es) ({:.1}% hit rate)",
+                100.0 * hits as f64 / total as f64
+            );
+        }
+    };
+    cache_line(
+        "transform",
+        counter("transform_cache_hits_total"),
+        counter("transform_cache_misses_total"),
+    );
+    cache_line(
+        "dataset",
+        counter("dataset_cache_hits_total"),
+        counter("dataset_cache_misses_total"),
+    );
+
+    let mut fit_rows: Vec<(&str, u64, f64)> = snapshots
+        .iter()
+        .filter(|s| s.name == "model_fit_seconds")
+        .filter_map(|s| {
+            let (count, sum) = s.value.as_histogram_totals()?;
+            let model =
+                s.labels.iter().find(|(k, _)| k == "model").map(|(_, v)| v.as_str()).unwrap_or("?");
+            Some((model, count, sum))
+        })
+        .collect();
+    fit_rows.sort_by(|a, b| b.2.total_cmp(&a.2));
+    if !fit_rows.is_empty() {
+        out.push_str("[repro] fit time per model:\n");
+        for (model, count, sum) in fit_rows {
+            let _ = writeln!(
+                out,
+                "[repro]   {model:<12} {count:>4} fit(s) {sum:>9.3}s total {:>8.3}s avg",
+                sum / count.max(1) as f64
+            );
+        }
+    }
+    out
 }

@@ -141,6 +141,12 @@ pub struct Cli {
     /// Whether `--resume` was passed (requires `--artifacts`; documents
     /// the intent to continue a killed or previous run from the store).
     pub resume: bool,
+    /// File to write the Prometheus text-format metrics dump into at the
+    /// end of the run.
+    pub metrics: Option<String>,
+    /// File to write the Chrome trace-event JSON into at the end of the
+    /// run (open in `about:tracing` or Perfetto).
+    pub trace: Option<String>,
 }
 
 /// Parses `repro` arguments. Returns `Err` with a usage string on bad
@@ -148,7 +154,7 @@ pub struct Cli {
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
     let usage = "usage: repro [all|table1|table2|...|fig7|decomp|retrain]... \
                  [--quick|--paper] [--len N] [--seed S] [--csv DIR] \
-                 [--artifacts DIR [--resume]]";
+                 [--artifacts DIR [--resume]] [--metrics FILE] [--trace FILE]";
     let mut experiments = Vec::new();
     let mut scale = Scale::Default;
     let mut len = None;
@@ -156,6 +162,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String
     let mut csv_dir = None;
     let mut artifacts = None;
     let mut resume = false;
+    let mut metrics = None;
+    let mut trace = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -179,6 +187,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String
                 artifacts = Some(v);
             }
             "--resume" => resume = true,
+            "--metrics" => {
+                let v = iter.next().ok_or_else(|| format!("--metrics needs a file\n{usage}"))?;
+                metrics = Some(v);
+            }
+            "--trace" => {
+                let v = iter.next().ok_or_else(|| format!("--trace needs a file\n{usage}"))?;
+                trace = Some(v);
+            }
             other => {
                 let e = Experiment::parse(other)
                     .ok_or_else(|| format!("unknown experiment {other}\n{usage}"))?;
@@ -192,7 +208,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String
     if experiments.is_empty() {
         experiments.push(Experiment::All);
     }
-    Ok(Cli { experiments, scale, len, seed, csv_dir, artifacts, resume })
+    Ok(Cli { experiments, scale, len, seed, csv_dir, artifacts, resume, metrics, trace })
 }
 
 /// Builds the grid configuration for a scale.
@@ -299,6 +315,18 @@ mod tests {
         assert!(!cli.resume);
         let cfg = config_for(&cli);
         assert_eq!(cfg.artifacts.as_deref(), Some(std::path::Path::new("store")));
+    }
+
+    #[test]
+    fn metrics_and_trace_flags_parse() {
+        let cli = parse("table1 --quick --metrics out.prom --trace out.json").unwrap();
+        assert_eq!(cli.metrics.as_deref(), Some("out.prom"));
+        assert_eq!(cli.trace.as_deref(), Some("out.json"));
+        assert!(parse("--metrics").is_err());
+        assert!(parse("--trace").is_err());
+        let cli = parse("table1").unwrap();
+        assert_eq!(cli.metrics, None);
+        assert_eq!(cli.trace, None);
     }
 
     #[test]

@@ -101,13 +101,25 @@ pub trait PeblcCompressor: Send + Sync {
 
     /// The transformation `T` of Definition 5: compress then decompress,
     /// returning both the reconstructed series and the compressed frame.
+    /// This is the chokepoint every grid transform goes through, so it
+    /// carries the codec telemetry: bytes in/out counters and a round-trip
+    /// duration histogram, labelled by method.
     fn transform(
         &self,
         series: &RegularTimeSeries,
         epsilon: f64,
     ) -> Result<(RegularTimeSeries, CompressedSeries), CodecError> {
+        let start = std::time::Instant::now();
         let c = self.compress(series, epsilon)?;
         let d = self.decompress(&c)?;
+        let label = [("method", self.name())];
+        telemetry::counter_add(
+            "codec_bytes_in_total",
+            &label,
+            (series.len() * std::mem::size_of::<f64>()) as u64,
+        );
+        telemetry::counter_add("codec_bytes_out_total", &label, c.size_bytes() as u64);
+        telemetry::observe("codec_transform_seconds", &label, telemetry::secs(start.elapsed()));
         Ok((d, c))
     }
 }

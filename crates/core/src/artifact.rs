@@ -394,6 +394,15 @@ impl ArtifactStore {
     /// is written to a temp file and renamed into place, so a killed run
     /// never leaves a half-written artifact at the final address.
     pub fn save(&self, key: &ArtifactKey, state: &StateDict) -> Result<(), ArtifactError> {
+        let start = std::time::Instant::now();
+        let result = self.save_inner(key, state);
+        let outcome = if result.is_ok() { "ok" } else { "error" };
+        telemetry::counter_add("artifact_saves_total", &[("result", outcome)], 1);
+        telemetry::observe("artifact_save_seconds", &[], telemetry::secs(start.elapsed()));
+        result
+    }
+
+    fn save_inner(&self, key: &ArtifactKey, state: &StateDict) -> Result<(), ArtifactError> {
         let path = self.path_for(key);
         let dir = path.parent().expect("artifact paths are always nested under the root");
         std::fs::create_dir_all(dir)?;
@@ -409,6 +418,19 @@ impl ArtifactStore {
     /// has saved one yet. Decode failures (corruption, version skew)
     /// surface as errors so callers can decide to refit.
     pub fn load(&self, key: &ArtifactKey) -> Result<Option<StateDict>, ArtifactError> {
+        let start = std::time::Instant::now();
+        let result = self.load_inner(key);
+        let outcome = match &result {
+            Ok(Some(_)) => "hit",
+            Ok(None) => "miss",
+            Err(_) => "error",
+        };
+        telemetry::counter_add("artifact_loads_total", &[("result", outcome)], 1);
+        telemetry::observe("artifact_load_seconds", &[], telemetry::secs(start.elapsed()));
+        result
+    }
+
+    fn load_inner(&self, key: &ArtifactKey) -> Result<Option<StateDict>, ArtifactError> {
         let path = self.path_for(key);
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
@@ -428,31 +450,6 @@ impl ArtifactStore {
     /// Number of artifacts successfully loaded through this handle.
     pub fn loads(&self) -> usize {
         self.loads.load(Ordering::Relaxed)
-    }
-}
-
-/// Process-wide loaded-vs-fitted counters, aggregated across every
-/// [`GridContext`](crate::cache::GridContext) in the process. The repro
-/// binary builds one context per experiment stage, so its
-/// `loaded=N fitted=M` summary line reads these totals rather than any
-/// single context's counters.
-pub mod fit_stats {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    static LOADED: AtomicUsize = AtomicUsize::new(0);
-    static FITTED: AtomicUsize = AtomicUsize::new(0);
-
-    pub(crate) fn record_loaded() {
-        LOADED.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn record_fitted() {
-        FITTED.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// `(loaded, fitted)` model totals since process start.
-    pub fn counts() -> (usize, usize) {
-        (LOADED.load(Ordering::Relaxed), FITTED.load(Ordering::Relaxed))
     }
 }
 

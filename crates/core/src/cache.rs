@@ -159,10 +159,18 @@ impl TransformCache {
         let mut guard = slot.lock();
         if let Some(cached) = guard.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter_add("transform_cache_hits_total", &[], 1);
             return Ok(cached.clone());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter_add("transform_cache_misses_total", &[], 1);
+        let start = std::time::Instant::now();
         let (series, stats) = compute()?;
+        telemetry::observe(
+            "transform_compute_seconds",
+            &[("method", key.method.name())],
+            telemetry::secs(start.elapsed()),
+        );
         let cached = Arc::new(CachedTransform { series: Arc::new(series), stats });
         *guard = Some(cached.clone());
         Ok(cached)
@@ -231,10 +239,18 @@ impl DatasetCache {
         let mut guard = slot.lock();
         if let Some(cached) = guard.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter_add("dataset_cache_hits_total", &[], 1);
             return Ok(cached.clone());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter_add("dataset_cache_misses_total", &[], 1);
+        let start = std::time::Instant::now();
         let cached = Arc::new(generate()?);
+        telemetry::observe(
+            "dataset_generate_seconds",
+            &[("dataset", kind.name())],
+            telemetry::secs(start.elapsed()),
+        );
         *guard = Some(cached.clone());
         Ok(cached)
     }
@@ -329,7 +345,11 @@ impl GridContext {
                 Ok(Some(state)) => match model.load_state(&state) {
                     Ok(()) => {
                         self.models_loaded.fetch_add(1, Ordering::Relaxed);
-                        crate::artifact::fit_stats::record_loaded();
+                        telemetry::counter_add(
+                            "models_loaded_total",
+                            &[("model", key.model.as_str())],
+                            1,
+                        );
                         return Ok(());
                     }
                     Err(e) => eprintln!(
@@ -344,9 +364,18 @@ impl GridContext {
                 ),
             }
         }
-        model.fit(train, val)?;
+        {
+            let _span = telemetry::span("model.fit", &[("model", key.model.as_str())]);
+            let start = std::time::Instant::now();
+            model.fit(train, val)?;
+            telemetry::observe(
+                "model_fit_seconds",
+                &[("model", key.model.as_str())],
+                telemetry::secs(start.elapsed()),
+            );
+        }
         self.models_fitted.fetch_add(1, Ordering::Relaxed);
-        crate::artifact::fit_stats::record_fitted();
+        telemetry::counter_add("models_fitted_total", &[("model", key.model.as_str())], 1);
         if let Some(store) = &self.artifacts {
             match model.save_state() {
                 Ok(state) => {

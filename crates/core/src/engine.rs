@@ -182,6 +182,13 @@ pub trait GridTask: Sync {
     /// The task's grid coordinates (used in failure reports and events).
     fn coord(&self) -> TaskCoord;
 
+    /// The task family name, used as the low-cardinality `family` label
+    /// on telemetry spans and outcome counters (`"compression"`,
+    /// `"forecast"`, …).
+    fn family(&self) -> &'static str {
+        "task"
+    }
+
     /// Executes the task. Errors become [`TaskOutcome::Failed`]; panics
     /// are trapped by the engine and become [`TaskOutcome::Panicked`].
     fn run(&self, ctx: &GridContext) -> Result<Self::Output, ScenarioError>;
@@ -221,6 +228,10 @@ impl CompressionTask {
 
 impl GridTask for CompressionTask {
     type Output = CompressionRecord;
+
+    fn family(&self) -> &'static str {
+        "compression"
+    }
 
     fn coord(&self) -> TaskCoord {
         TaskCoord {
@@ -263,6 +274,10 @@ impl GorillaTask {
 
 impl GridTask for GorillaTask {
     type Output = (DatasetKind, f64);
+
+    fn family(&self) -> &'static str {
+        "gorilla"
+    }
 
     fn coord(&self) -> TaskCoord {
         TaskCoord::dataset(self.dataset)
@@ -312,6 +327,10 @@ impl ForecastTask {
 
 impl GridTask for ForecastTask {
     type Output = Vec<ForecastRecord>;
+
+    fn family(&self) -> &'static str {
+        "forecast"
+    }
 
     fn coord(&self) -> TaskCoord {
         TaskCoord {
@@ -375,6 +394,10 @@ impl RetrainTask {
 
 impl GridTask for RetrainTask {
     type Output = Vec<ForecastRecord>;
+
+    fn family(&self) -> &'static str {
+        "retrain"
+    }
 
     fn coord(&self) -> TaskCoord {
         TaskCoord {
@@ -590,14 +613,54 @@ impl<'c> Engine<'c> {
     }
 
     fn run_one<T: GridTask>(&self, task: &T) -> TaskOutcome<T::Output> {
+        let family = task.family();
         if self.cancel.is_cancelled() {
+            telemetry::counter_add(
+                "engine_tasks_total",
+                &[("family", family), ("status", "cancelled")],
+                1,
+            );
             return TaskOutcome::Failed(ScenarioError::Cancelled);
         }
-        match catch_unwind(AssertUnwindSafe(|| task.run(self.ctx))) {
+        // The label strings are only materialised while telemetry records;
+        // the disabled path pays one atomic load and no formatting.
+        let span = if telemetry::enabled() {
+            let coord = task.coord();
+            let epsilon = coord.epsilon.map(|e| e.to_string()).unwrap_or_default();
+            let seed = coord.seed.map(|s| s.to_string()).unwrap_or_default();
+            telemetry::span(
+                "engine.task",
+                &[
+                    ("family", family),
+                    ("dataset", coord.dataset.name()),
+                    ("method", coord.method.map(|m| m.name()).unwrap_or("")),
+                    ("epsilon", &epsilon),
+                    ("model", coord.model.map(|m| m.name()).unwrap_or("")),
+                    ("seed", &seed),
+                ],
+            )
+        } else {
+            telemetry::Span::inert()
+        };
+        let start = std::time::Instant::now();
+        let outcome = match catch_unwind(AssertUnwindSafe(|| task.run(self.ctx))) {
             Ok(Ok(r)) => TaskOutcome::Ok(r),
             Ok(Err(e)) => TaskOutcome::Failed(e),
             Err(payload) => TaskOutcome::Panicked(panic_message(payload.as_ref())),
-        }
+        };
+        drop(span);
+        let status = match outcome.status() {
+            TaskStatus::Ok => "ok",
+            TaskStatus::Failed => "failed",
+            TaskStatus::Panicked => "panicked",
+        };
+        telemetry::counter_add("engine_tasks_total", &[("family", family), ("status", status)], 1);
+        telemetry::observe(
+            "engine_task_seconds",
+            &[("family", family)],
+            telemetry::secs(start.elapsed()),
+        );
+        outcome
     }
 
     /// Runs every task and splits the outcomes into successful records

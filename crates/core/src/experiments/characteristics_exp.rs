@@ -97,6 +97,7 @@ impl GridTask for CellTask<'_> {
 
 /// Runs the analysis on an already-evaluated grid.
 pub fn run(exp: &ForecastExperiment) -> CharacteristicsExperiment {
+    let _span = telemetry::span("experiment.characteristics", &[]);
     let ctx = GridContext::new(exp.config.clone());
 
     // Original (uncompressed) feature vectors per dataset.

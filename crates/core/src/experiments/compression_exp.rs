@@ -30,6 +30,7 @@ pub struct CompressionExperiment {
 /// datasets from one shared [`GridContext`], so each dataset is
 /// generated exactly once; failed cells are recorded, not fatal.
 pub fn run(config: &GridConfig) -> CompressionExperiment {
+    let _span = telemetry::span("experiment.compression", &[]);
     let ctx = GridContext::new(config.clone());
     let engine = Engine::new(&ctx);
     let grid_report = engine.compression_report();

@@ -37,6 +37,7 @@ pub struct Table5 {
 
 /// Locates elbows on the TFE-vs-TE curves of an evaluated grid.
 pub fn run(exp: &ForecastExperiment) -> Table5 {
+    let _span = telemetry::span("experiment.elbows", &[]);
     let mut cells = Vec::new();
     for &dataset in &exp.config.datasets {
         for &method in &exp.config.methods {

@@ -32,6 +32,7 @@ pub struct Fig1 {
 /// Extracts a segment and compresses it with every method at the figure's
 /// two error bounds.
 pub fn run(dataset: DatasetKind, segment_len: usize, seed: u64) -> Fig1 {
+    let _span = telemetry::span("experiment.fig1", &[]);
     let series = generate_univariate(
         dataset,
         GenOptions { len: Some(segment_len.max(64) * 4), channels: None, seed },

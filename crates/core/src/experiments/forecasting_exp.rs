@@ -35,6 +35,7 @@ pub struct ForecastExperiment {
 /// averages forecast metrics over seeds. Failed tasks are collected into
 /// [`ForecastExperiment::failures`] rather than aborting the run.
 pub fn run(config: &GridConfig) -> ForecastExperiment {
+    let _span = telemetry::span("experiment.forecasting", &[]);
     let ctx = GridContext::new(config.clone());
     let engine = Engine::new(&ctx);
     let forecast_report = engine.forecast_report();

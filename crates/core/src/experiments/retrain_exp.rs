@@ -42,6 +42,7 @@ pub struct Fig7 {
 /// across models through the grid's [`GridContext`] cache (the figure
 /// uses a single fit per cell — seed 40).
 pub fn run(config: &GridConfig, models: &[ModelKind], error_bounds: &[f64]) -> Fig7 {
+    let _span = telemetry::span("experiment.retrain", &[]);
     let mut cfg = config.clone();
     cfg.models = models.to_vec();
     cfg.error_bounds = error_bounds.to_vec();

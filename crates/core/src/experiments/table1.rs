@@ -28,6 +28,7 @@ pub struct Table1 {
 /// Computes Table 1. `len` overrides the series length (`None` = the
 /// paper's full lengths).
 pub fn run(len: Option<usize>, seed: u64) -> Table1 {
+    let _span = telemetry::span("experiment.table1", &[]);
     // One generation+summary task per dataset, scheduled on the worker
     // pool (rows come back in dataset order regardless of threads).
     let rows = run_parallel(ALL_DATASETS.len(), ALL_DATASETS.len(), |i| {

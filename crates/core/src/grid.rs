@@ -263,6 +263,8 @@ where
             present[*i] = true;
         }
         let lost: Vec<usize> = (0..num_tasks).filter(|&i| !present[i]).collect();
+        telemetry::counter_add("run_parallel_worker_deaths_total", &[], dead_workers as u64);
+        telemetry::counter_add("run_parallel_lost_tasks_total", &[], lost.len() as u64);
         eprintln!(
             "run_parallel: {dead_workers} worker(s) panicked; lost results for \
              {} of {num_tasks} task(s) at indices {lost:?}",

@@ -84,6 +84,7 @@ pub fn build_model(kind: ModelKind, opts: BuildOptions) -> Box<dyn Forecaster> {
         max_epochs: if paper { 40 } else { 8 },
         patience: 3,
         seed: opts.seed,
+        model: kind.name(),
         ..Default::default()
     };
     let batches = if paper {

@@ -23,11 +23,20 @@ pub struct TrainConfig {
     pub adam: AdamConfig,
     /// Shuffling / dropout seed.
     pub seed: u64,
+    /// Model name used as the `model` label on training telemetry
+    /// (epoch durations and loss gauges). Purely observational.
+    pub model: &'static str,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { max_epochs: 30, patience: 3, adam: AdamConfig::default(), seed: 42 }
+        TrainConfig {
+            max_epochs: 30,
+            patience: 3,
+            adam: AdamConfig::default(),
+            seed: 42,
+            model: "model",
+        }
     }
 }
 
@@ -80,8 +89,10 @@ where
     let mut train_losses = Vec::new();
     let mut val_losses = Vec::new();
 
+    let model_label = [("model", config.model)];
     let mut order: Vec<usize> = (0..n_train_batches).collect();
     for _epoch in 0..config.max_epochs {
+        let epoch_start = std::time::Instant::now();
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         for &b in &order {
@@ -106,6 +117,15 @@ where
             *train_losses.last().expect("pushed above")
         };
         val_losses.push(val);
+
+        telemetry::counter_add("train_epochs_total", &model_label, 1);
+        telemetry::observe(
+            "train_epoch_seconds",
+            &model_label,
+            telemetry::secs(epoch_start.elapsed()),
+        );
+        telemetry::gauge_set("train_loss", &model_label, *train_losses.last().expect("pushed"));
+        telemetry::gauge_set("val_loss", &model_label, val);
 
         if val < best_val - 1e-12 {
             best_val = val;
@@ -155,6 +175,7 @@ mod tests {
                 patience: 5,
                 adam: AdamConfig { lr: 0.01, weight_decay: 0.0, ..Default::default() },
                 seed: 1,
+                ..Default::default()
             },
             train_b.len(),
             val_b.len(),
@@ -192,6 +213,7 @@ mod tests {
                     ..Default::default()
                 },
                 seed: 0,
+                ..Default::default()
             },
             1,
             1,
