@@ -14,7 +14,8 @@ pub enum Shape {
 
 /// Finds the knee/elbow of a curve given as parallel `x`/`y` arrays
 /// (x strictly increasing). Returns the index of the detected point, or
-/// `None` when the curve is degenerate (too short or flat).
+/// `None` when the curve is degenerate (mismatched arrays, too short,
+/// or flat).
 ///
 /// `sensitivity` is Kneedle's `S` (1.0 is the paper default; larger is
 /// more conservative).
@@ -27,7 +28,10 @@ pub enum Shape {
 /// assert!((x[k] - 0.5).abs() < 0.05);
 /// ```
 pub fn kneedle(x: &[f64], y: &[f64], shape: Shape, sensitivity: f64) -> Option<usize> {
-    assert_eq!(x.len(), y.len(), "kneedle: length mismatch");
+    if x.len() != y.len() {
+        // Mismatched inputs describe no curve; degenerate, not a panic.
+        return None;
+    }
     let n = x.len();
     if n < 3 {
         return None;
@@ -117,6 +121,17 @@ mod tests {
         let x = [0.0, 0.5, 1.0];
         assert_eq!(kneedle(&x, &[2.0, 2.0, 2.0], Shape::ConvexIncreasing, 1.0), None);
         assert_eq!(kneedle(&[1.0, 1.0, 1.0], &x, Shape::ConvexIncreasing, 1.0), None);
+    }
+
+    #[test]
+    fn mismatched_lengths_return_none() {
+        // Regression: this used to panic via assert_eq! instead of
+        // reporting a degenerate curve.
+        let x: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..=7).map(|i| (i as f64).sqrt()).collect();
+        assert_eq!(kneedle(&x, &y, Shape::ConcaveIncreasing, 1.0), None);
+        assert_eq!(kneedle(&y, &x, Shape::ConvexIncreasing, 1.0), None);
+        assert_eq!(kneedle(&[], &x, Shape::ConvexIncreasing, 1.0), None);
     }
 
     #[test]

@@ -148,7 +148,9 @@ pub fn point_bound(value: f64, epsilon: f64) -> f64 {
 /// DEFLATE pass shrink constant-coefficient streams so effectively
 /// (the paper's PMC-vs-Swing gzip argument, §4.2).
 pub fn shortest_decimal_in(lo: f64, hi: f64) -> f64 {
-    debug_assert!(lo <= hi, "inverted interval");
+    // Written to pass for NaN bounds (a NaN point's interval), which the
+    // non-finite branch below handles.
+    debug_assert!(lo <= hi || lo.is_nan() || hi.is_nan(), "inverted interval");
     if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
         return (lo + hi) / 2.0;
     }

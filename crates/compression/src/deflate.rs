@@ -12,6 +12,7 @@
 
 use crate::bitstream::{BitReader, BitWriter};
 use crate::huffman::{CanonicalCode, HuffmanError};
+use crate::reader::ByteReader;
 
 /// Errors from decompression.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -253,12 +254,8 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 
     let mut w = BitWriter::new();
     // Header: code lengths, 4 bits each.
-    for &l in lit_code.lengths() {
-        w.write_bits(l as u64, 4);
-    }
-    for &l in dist_code.lengths() {
-        w.write_bits(l as u64, 4);
-    }
+    lit_code.write_lengths4(&mut w);
+    dist_code.write_lengths4(&mut w);
     for t in &tokens {
         match *t {
             Token::Literal(b) => lit_code.encode(b as usize, &mut w),
@@ -290,12 +287,10 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 
 /// Decompresses a buffer produced by [`compress`].
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DeflateError> {
-    if input.len() < 5 {
-        return Err(DeflateError::Truncated);
-    }
-    let mode = input[0];
-    let expected = u32::from_le_bytes(input[1..5].try_into().expect("sliced 4 bytes")) as usize;
-    let body = &input[5..];
+    let mut hdr = ByteReader::new(input);
+    let mode = hdr.read_u8().map_err(|_| DeflateError::Truncated)?;
+    let expected = hdr.read_u32_le().map_err(|_| DeflateError::Truncated)? as usize;
+    let body = hdr.rest();
     match mode {
         0 => {
             if body.len() < expected {
@@ -305,18 +300,19 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DeflateError> {
         }
         1 => {
             let mut r = BitReader::new(body);
-            let mut lit_lengths = vec![0u8; NUM_LIT_LEN];
-            for l in lit_lengths.iter_mut() {
-                *l = r.read_bits(4).map_err(|_| DeflateError::Truncated)? as u8;
-            }
-            let mut dist_lengths = vec![0u8; NUM_DIST];
-            for l in dist_lengths.iter_mut() {
-                *l = r.read_bits(4).map_err(|_| DeflateError::Truncated)? as u8;
-            }
-            let lit_code = CanonicalCode::from_lengths(&lit_lengths)?;
-            let dist_code = CanonicalCode::from_lengths(&dist_lengths)?;
-            let mut out = Vec::with_capacity(expected);
+            let lit_code = CanonicalCode::read_lengths4(&mut r, NUM_LIT_LEN)?;
+            let dist_code = CanonicalCode::read_lengths4(&mut r, NUM_DIST)?;
+            // A match token costs ≥ 2 bits and emits ≤ 258 bytes, so an
+            // honest stream expands ≤ 1032x: cap the preallocation so a
+            // tampered length field cannot reserve gigabytes up front.
+            let plausible = body.len().saturating_mul(1032).saturating_add(16);
+            let mut out = Vec::with_capacity(expected.min(plausible));
             loop {
+                if out.len() > expected {
+                    // Already past the promised size — stop before a
+                    // hostile stream makes us materialize it all.
+                    return Err(DeflateError::LengthMismatch { expected, got: out.len() });
+                }
                 let sym = lit_code.decode(&mut r)?;
                 if sym == EOB {
                     break;

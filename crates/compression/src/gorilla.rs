@@ -14,6 +14,7 @@ use tsdata::series::RegularTimeSeries;
 use crate::bitstream::{BitReader, BitWriter};
 use crate::codec::{CodecError, CompressedSeries, PeblcCompressor};
 use crate::deflate;
+use crate::reader::ByteReader;
 use crate::timestamps;
 
 /// The Gorilla codec. Implements [`PeblcCompressor`] with the error bound
@@ -62,10 +63,19 @@ pub fn compress_values(values: &[f64], w: &mut BitWriter) {
 
 /// Decompresses `n` values from Gorilla bits.
 pub fn decompress_values(r: &mut BitReader<'_>, n: usize) -> Result<Vec<f64>, CodecError> {
-    let mut out = Vec::with_capacity(n);
     if n == 0 {
-        return Ok(out);
+        return Ok(Vec::new());
     }
+    // An honest stream spends 64 bits on the first value and at least one
+    // bit on each later one; reject a tampered count before allocating for
+    // values the stream cannot possibly hold.
+    if n > r.remaining().saturating_sub(63) {
+        return Err(CodecError::Corrupt(format!(
+            "gorilla count {n} exceeds the {}-bit stream",
+            r.remaining()
+        )));
+    }
+    let mut out = Vec::with_capacity(n);
     let err = |_| CodecError::Corrupt("gorilla stream truncated".into());
     let mut prev = r.read_bits(64).map_err(err)?;
     out.push(f64::from_bits(prev));
@@ -125,15 +135,13 @@ impl PeblcCompressor for Gorilla {
 
     fn decompress(&self, compressed: &CompressedSeries) -> Result<RegularTimeSeries, CodecError> {
         let inner = deflate::decompress(&compressed.bytes)?;
-        let (start, interval, rest) = timestamps::decode_header(&inner)?;
-        if rest.len() < 4 {
-            return Err(CodecError::Corrupt("missing count".into()));
-        }
-        let n = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+        let mut hdr = ByteReader::new(&inner);
+        let (start, interval) = timestamps::read_header(&mut hdr)?;
+        let n = hdr.read_u32_le()? as usize;
         if n == 0 {
             return Err(CodecError::Corrupt("empty gorilla series".into()));
         }
-        let mut r = BitReader::new(&rest[4..]);
+        let mut r = BitReader::new(hdr.rest());
         let values = decompress_values(&mut r, n)?;
         Ok(RegularTimeSeries::new(start, interval, values)?)
     }

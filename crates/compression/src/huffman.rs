@@ -248,6 +248,27 @@ impl CanonicalCode {
         Self::from_lengths(&build_code_lengths(freqs)?)
     }
 
+    /// Reconstructs a code from an `alphabet`-sized table of 4-bit code
+    /// lengths — the serialized-table layout both SZ and the DEFLATE
+    /// container use. Total: a truncated table or a Kraft-violating one
+    /// is an error, never a panic, so this is the one place untrusted
+    /// Huffman tables enter the crate.
+    pub fn read_lengths4(r: &mut BitReader<'_>, alphabet: usize) -> Result<Self, HuffmanError> {
+        let mut lengths = vec![0u8; alphabet];
+        for l in lengths.iter_mut() {
+            *l = r.read_bits(4)? as u8;
+        }
+        Self::from_lengths(&lengths)
+    }
+
+    /// Serializes the table in the layout [`Self::read_lengths4`] reads.
+    pub fn write_lengths4(&self, w: &mut BitWriter) {
+        for &l in self.lengths() {
+            debug_assert!(l <= 15, "4-bit table");
+            w.write_bits(l as u64, 4);
+        }
+    }
+
     /// The per-symbol code lengths (for serialization).
     pub fn lengths(&self) -> &[u8] {
         &self.lengths

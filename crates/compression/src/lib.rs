@@ -14,6 +14,12 @@
 //! * [`timestamps`] — the shared timestamp header (§3.2).
 //! * [`codec`] — the [`codec::PeblcCompressor`] trait, sizing rules (Eq. 3)
 //!   and the paper's 13 error bounds.
+//! * [`reader`] — the length-checked [`reader::ByteReader`] cursor every
+//!   decode path is built on: malformed input is an error, never a panic
+//!   (DESIGN.md §10).
+//! * [`mutate`] — the seeded corpus mutator behind the decode-totality
+//!   fuzz harness (`tests/fuzz_decode.rs` and the artifact fuzz in
+//!   `evalcore`).
 //!
 //! All lossy compressors guarantee the *relative* pointwise bound of
 //! Definition 4: `|v̂ - v| <= ε·|v|` for every point.
@@ -34,8 +40,10 @@ pub mod codec;
 pub mod deflate;
 pub mod gorilla;
 pub mod huffman;
+pub mod mutate;
 pub mod pmc;
 pub mod ppa;
+pub mod reader;
 pub mod streaming;
 pub mod swing;
 pub mod sz;
@@ -48,6 +56,7 @@ pub use codec::{
 pub use gorilla::Gorilla;
 pub use pmc::Pmc;
 pub use ppa::Ppa;
+pub use reader::{ByteReader, ReadError};
 pub use streaming::{Emit, StreamingPmc, StreamingSwing};
 pub use swing::Swing;
 pub use sz::Sz;

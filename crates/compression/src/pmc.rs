@@ -21,6 +21,7 @@ use crate::codec::{
     check_epsilon, point_bound, shortest_decimal_in, CodecError, CompressedSeries, PeblcCompressor,
 };
 use crate::deflate;
+use crate::reader::ByteReader;
 use crate::timestamps;
 
 /// The PMC-Mean compressor.
@@ -167,22 +168,23 @@ impl PeblcCompressor for Pmc {
 
     fn decompress(&self, compressed: &CompressedSeries) -> Result<RegularTimeSeries, CodecError> {
         let inner = deflate::decompress(&compressed.bytes)?;
-        let (start, interval, rest) = timestamps::decode_header(&inner)?;
-        if rest.len() < 4 {
-            return Err(CodecError::Corrupt("missing segment count".into()));
+        let mut r = ByteReader::new(&inner);
+        let (start, interval) = timestamps::read_header(&mut r)?;
+        let n_seg = r.read_u32_le()? as usize;
+        // Each stored segment costs 6 bytes, so a tampered count cannot
+        // reach the body of the loop past the honest record supply; the
+        // explicit check turns the excess into a clean error.
+        if n_seg > r.bounded_capacity(n_seg, 6) {
+            return Err(CodecError::Corrupt(format!(
+                "segment count {n_seg} exceeds the {} remaining bytes",
+                r.remaining()
+            )));
         }
-        let n_seg = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
         let mut values = Vec::new();
-        let mut off = 4;
         for _ in 0..n_seg {
-            if rest.len() < off + 6 {
-                return Err(CodecError::Corrupt("segment record truncated".into()));
-            }
-            let len = u16::from_le_bytes(rest[off..off + 2].try_into().expect("2 bytes")) as usize;
-            let value =
-                f32::from_le_bytes(rest[off + 2..off + 6].try_into().expect("4 bytes")) as f64;
+            let len = r.read_u16_le()? as usize;
+            let value = r.read_f32_le()? as f64;
             values.extend(std::iter::repeat_n(value, len));
-            off += 6;
         }
         Ok(RegularTimeSeries::new(start, interval, values)?)
     }

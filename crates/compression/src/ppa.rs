@@ -18,6 +18,7 @@ use tsdata::series::RegularTimeSeries;
 
 use crate::codec::{check_epsilon, point_bound, CodecError, CompressedSeries, PeblcCompressor};
 use crate::deflate;
+use crate::reader::ByteReader;
 use crate::timestamps;
 
 /// Maximum window length the greedy fitter grows before forcing a cut
@@ -200,30 +201,30 @@ impl PeblcCompressor for Ppa {
 
     fn decompress(&self, compressed: &CompressedSeries) -> Result<RegularTimeSeries, CodecError> {
         let inner = deflate::decompress(&compressed.bytes)?;
-        let (start, interval, rest) = timestamps::decode_header(&inner)?;
-        if rest.len() < 5 {
-            return Err(CodecError::Corrupt("missing PPA header".into()));
-        }
-        let degree = rest[0] as usize;
+        let mut r = ByteReader::new(&inner);
+        let (start, interval) = timestamps::read_header(&mut r)?;
+        let degree = r.read_u8()? as usize;
         if degree > 2 {
             return Err(CodecError::Corrupt(format!("bad PPA degree {degree}")));
         }
-        let n_seg = u32::from_le_bytes(rest[1..5].try_into().expect("4 bytes")) as usize;
+        let n_seg = r.read_u32_le()? as usize;
         let rec = 2 + 4 * (degree + 1);
+        // Each segment costs `rec` bytes; a tampered count cannot demand
+        // more segments than the remaining input can hold.
+        if n_seg > r.bounded_capacity(n_seg, rec) {
+            return Err(CodecError::Corrupt(format!(
+                "segment count {n_seg} exceeds the {} remaining bytes",
+                r.remaining()
+            )));
+        }
         let mut values = Vec::new();
-        let mut off = 5;
         for _ in 0..n_seg {
-            if rest.len() < off + rec {
-                return Err(CodecError::Corrupt("PPA segment truncated".into()));
-            }
-            let len = u16::from_le_bytes(rest[off..off + 2].try_into().expect("2 bytes")) as usize;
+            let len = r.read_u16_le()? as usize;
             let mut coeffs = [0.0f64; 3];
-            for (c, coeff) in coeffs.iter_mut().enumerate().take(degree + 1) {
-                let at = off + 2 + 4 * c;
-                *coeff = f32::from_le_bytes(rest[at..at + 4].try_into().expect("4 bytes")) as f64;
+            for coeff in coeffs.iter_mut().take(degree + 1) {
+                *coeff = r.read_f32_le()? as f64;
             }
             values.extend(PpaSegment { len, coeffs }.values());
-            off += rec;
         }
         Ok(RegularTimeSeries::new(start, interval, values)?)
     }

@@ -21,6 +21,7 @@ use tsdata::series::RegularTimeSeries;
 
 use crate::codec::{check_epsilon, point_bound, CodecError, CompressedSeries, PeblcCompressor};
 use crate::deflate;
+use crate::reader::ByteReader;
 use crate::timestamps;
 
 /// The Swing filter compressor.
@@ -159,24 +160,22 @@ impl PeblcCompressor for Swing {
 
     fn decompress(&self, compressed: &CompressedSeries) -> Result<RegularTimeSeries, CodecError> {
         let inner = deflate::decompress(&compressed.bytes)?;
-        let (start, interval, rest) = timestamps::decode_header(&inner)?;
-        if rest.len() < 4 {
-            return Err(CodecError::Corrupt("missing segment count".into()));
+        let mut r = ByteReader::new(&inner);
+        let (start, interval) = timestamps::read_header(&mut r)?;
+        let n_seg = r.read_u32_le()? as usize;
+        // 10 bytes per stored segment (u16 length + two f32 coefficients).
+        if n_seg > r.bounded_capacity(n_seg, 10) {
+            return Err(CodecError::Corrupt(format!(
+                "segment count {n_seg} exceeds the {} remaining bytes",
+                r.remaining()
+            )));
         }
-        let n_seg = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
         let mut values = Vec::new();
-        let mut off = 4;
         for _ in 0..n_seg {
-            if rest.len() < off + 10 {
-                return Err(CodecError::Corrupt("segment record truncated".into()));
-            }
-            let len = u16::from_le_bytes(rest[off..off + 2].try_into().expect("2 bytes")) as usize;
-            let intercept =
-                f32::from_le_bytes(rest[off + 2..off + 6].try_into().expect("4 bytes")) as f64;
-            let slope =
-                f32::from_le_bytes(rest[off + 6..off + 10].try_into().expect("4 bytes")) as f64;
+            let len = r.read_u16_le()? as usize;
+            let intercept = r.read_f32_le()? as f64;
+            let slope = r.read_f32_le()? as f64;
             values.extend((0..len).map(|i| intercept + slope * i as f64));
-            off += 10;
         }
         Ok(RegularTimeSeries::new(start, interval, values)?)
     }

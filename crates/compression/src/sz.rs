@@ -27,6 +27,7 @@ use crate::bitstream::{BitReader, BitWriter};
 use crate::codec::{check_epsilon, CodecError, CompressedSeries, PeblcCompressor};
 use crate::deflate;
 use crate::huffman::CanonicalCode;
+use crate::reader::ByteReader;
 use crate::timestamps;
 
 /// Quantization radius: codes lie in `[-RADIUS, RADIUS]`.
@@ -84,8 +85,12 @@ fn quantize_block(
             Predictor::Mean(m) => m,
             Predictor::Linear { a, b } => a + b * i as f64,
         };
-        let m = ((t - p) / (2.0 * delta)).round() as i64;
-        if m.abs() <= RADIUS {
+        // Range-check before casting: a non-finite quotient (NaN/±inf
+        // values from a hostile decode) saturates `as i64` to i64::MIN,
+        // whose .abs() overflows.
+        let q = ((t - p) / (2.0 * delta)).round();
+        if q.is_finite() && q.abs() <= RADIUS as f64 {
+            let m = q as i64;
             let r = p + 2.0 * delta * m as f64;
             // Guard against pathological float cancellation: if the
             // reconstruction drifted past the bound, store verbatim.
@@ -167,14 +172,13 @@ fn write_bitmap(bits: &[bool], out: &mut Vec<u8>) {
     out.extend_from_slice(&w.into_bytes());
 }
 
-fn read_bitmap(buf: &[u8], n: usize) -> Result<(Vec<bool>, usize), CodecError> {
+fn read_bitmap(r: &mut ByteReader<'_>, n: usize) -> Result<Vec<bool>, CodecError> {
     let bytes = n.div_ceil(8);
-    if buf.len() < bytes {
-        return Err(CodecError::Corrupt("bitmap truncated".into()));
-    }
-    let mut r = BitReader::new(&buf[..bytes]);
-    let bits = (0..n).map(|_| r.read_bit().expect("sized above")).collect();
-    Ok((bits, bytes))
+    let buf = r
+        .read_bytes(bytes)
+        .map_err(|_| CodecError::Corrupt(format!("{n}-point bitmap truncated")))?;
+    let mut bits = BitReader::new(buf);
+    Ok((0..n).map(|_| bits.read_bit().expect("sized above")).collect())
 }
 
 impl PeblcCompressor for Sz {
@@ -233,7 +237,8 @@ impl PeblcCompressor for Sz {
             }
             for (c, (&t, &r)) in codes.iter().zip(block.iter().zip(&recon)) {
                 if c.is_none() {
-                    debug_assert_eq!(t, r);
+                    // Bitwise so a NaN escape (NaN != NaN) doesn't trip it.
+                    debug_assert_eq!(t.to_bits(), r.to_bits());
                     unpredictable.push(t);
                 }
             }
@@ -285,127 +290,99 @@ impl PeblcCompressor for Sz {
 
     fn decompress(&self, compressed: &CompressedSeries) -> Result<RegularTimeSeries, CodecError> {
         let inner = deflate::decompress(&compressed.bytes)?;
-        let (start, interval, rest) = timestamps::decode_header(&inner)?;
-        if rest.len() < 5 {
-            return Err(CodecError::Corrupt("missing count/mode".into()));
-        }
-        let n = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
-        let mode = rest[4];
-        let mut off = 5;
+        let mut r = ByteReader::new(&inner);
+        let (start, interval) = timestamps::read_header(&mut r)?;
+        let n = r.read_u32_le()? as usize;
+        let mode = r.read_u8()?;
         match mode {
             0 => {
-                if rest.len() < off + 8 * n {
-                    return Err(CodecError::Corrupt("raw values truncated".into()));
+                // Raw values cost 8 bytes each; a tampered count cannot
+                // allocate past what the input holds.
+                if n > r.bounded_capacity(n, 8) {
+                    return Err(CodecError::Corrupt(format!(
+                        "raw count {n} exceeds the {} remaining bytes",
+                        r.remaining()
+                    )));
                 }
-                let values = (0..n)
-                    .map(|i| {
-                        f64::from_le_bytes(
-                            rest[off + 8 * i..off + 8 * i + 8].try_into().expect("8 bytes"),
-                        )
-                    })
-                    .collect();
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    values.push(r.read_f64_le()?);
+                }
                 Ok(RegularTimeSeries::new(start, interval, values)?)
             }
             1 => {
-                if rest.len() < off + 8 {
-                    return Err(CodecError::Corrupt("epsilon truncated".into()));
+                let epsilon = r.read_f64_le()?;
+                // An honest encoder only writes bounds that passed
+                // `check_epsilon`; anything else poisons every value
+                // through `delta`.
+                if !epsilon.is_finite() || epsilon < 0.0 {
+                    return Err(CodecError::Corrupt(format!("invalid stored epsilon {epsilon}")));
                 }
-                let epsilon = f64::from_le_bytes(rest[off..off + 8].try_into().expect("8 bytes"));
-                off += 8;
                 let delta = (1.0 + epsilon).ln();
-                let (zero, used) = read_bitmap(&rest[off..], n)?;
-                off += used;
-                let (sign, used) = read_bitmap(&rest[off..], n)?;
-                off += used;
+                let zero = read_bitmap(&mut r, n)?;
+                let sign = read_bitmap(&mut r, n)?;
                 let nz = zero.iter().filter(|&&z| !z).count();
-                if rest.len() < off + 4 {
-                    return Err(CodecError::Corrupt("block count truncated".into()));
+                let num_blocks = r.read_u32_le()? as usize;
+                // The block partition is fully determined by `nz`; any
+                // other count desynchronizes every later field.
+                if num_blocks != nz.div_ceil(BLOCK_SIZE) {
+                    return Err(CodecError::Corrupt(format!(
+                        "block count {num_blocks} does not match {nz} nonzero values"
+                    )));
                 }
-                let num_blocks =
-                    u32::from_le_bytes(rest[off..off + 4].try_into().expect("4 bytes")) as usize;
-                off += 4;
-                // Block metadata.
-                let mut preds = Vec::with_capacity(num_blocks);
+                // Block metadata: ≥ 1 byte per block (the predictor tag).
+                let mut preds = Vec::with_capacity(r.bounded_capacity(num_blocks, 1));
                 for _ in 0..num_blocks {
-                    if rest.len() < off + 1 {
-                        return Err(CodecError::Corrupt("block meta truncated".into()));
-                    }
-                    let tag = rest[off];
-                    off += 1;
-                    let pred = match tag {
+                    let pred = match r.read_u8()? {
                         0 => Predictor::Lorenzo,
-                        1 => {
-                            if rest.len() < off + 8 {
-                                return Err(CodecError::Corrupt("mean coeff truncated".into()));
-                            }
-                            let m =
-                                f64::from_le_bytes(rest[off..off + 8].try_into().expect("8 bytes"));
-                            off += 8;
-                            Predictor::Mean(m)
-                        }
+                        1 => Predictor::Mean(r.read_f64_le()?),
                         2 => {
-                            if rest.len() < off + 16 {
-                                return Err(CodecError::Corrupt("linear coeffs truncated".into()));
-                            }
-                            let a =
-                                f64::from_le_bytes(rest[off..off + 8].try_into().expect("8 bytes"));
-                            let b = f64::from_le_bytes(
-                                rest[off + 8..off + 16].try_into().expect("8 bytes"),
-                            );
-                            off += 16;
+                            let a = r.read_f64_le()?;
+                            let b = r.read_f64_le()?;
                             Predictor::Linear { a, b }
                         }
                         t => return Err(CodecError::Corrupt(format!("unknown predictor {t}"))),
                     };
                     preds.push(pred);
                 }
-                // Huffman codes.
-                if rest.len() < off + 4 {
-                    return Err(CodecError::Corrupt("code stream length truncated".into()));
-                }
-                let paylen =
-                    u32::from_le_bytes(rest[off..off + 4].try_into().expect("4 bytes")) as usize;
-                off += 4;
-                if rest.len() < off + paylen {
-                    return Err(CodecError::Corrupt("code stream truncated".into()));
-                }
-                let mut symbols = Vec::with_capacity(nz);
+                // Huffman-coded quantization symbols, one per nonzero.
+                let paylen = r.read_u32_le()? as usize;
+                let payload = r
+                    .read_bytes(paylen)
+                    .map_err(|_| CodecError::Corrupt("code stream truncated".into()))?;
+                let mut symbols = Vec::with_capacity(payload.len().min(nz));
                 if paylen > 0 {
-                    let mut r = BitReader::new(&rest[off..off + paylen]);
-                    let mut lengths = vec![0u8; ALPHABET];
-                    for l in lengths.iter_mut() {
-                        *l = r
-                            .read_bits(4)
-                            .map_err(|_| CodecError::Corrupt("huffman table truncated".into()))?
-                            as u8;
-                    }
-                    let code = CanonicalCode::from_lengths(&lengths)
+                    let mut bits = BitReader::new(payload);
+                    let code = CanonicalCode::read_lengths4(&mut bits, ALPHABET)
                         .map_err(|e| CodecError::Corrupt(format!("huffman table: {e}")))?;
                     for _ in 0..nz {
                         let s = code
-                            .decode(&mut r)
+                            .decode(&mut bits)
                             .map_err(|e| CodecError::Corrupt(format!("code stream: {e}")))?;
                         symbols.push(s);
                     }
                 }
-                off += paylen;
-                // Unpredictable raw values.
-                if rest.len() < off + 4 {
-                    return Err(CodecError::Corrupt("unpredictable count truncated".into()));
+                if symbols.len() != nz {
+                    // paylen == 0 with nonzero values present: the stream
+                    // cannot describe them (this indexed out of bounds
+                    // before decode went total).
+                    return Err(CodecError::Corrupt(format!(
+                        "code stream holds {} symbols, need {nz}",
+                        symbols.len()
+                    )));
                 }
-                let n_unp =
-                    u32::from_le_bytes(rest[off..off + 4].try_into().expect("4 bytes")) as usize;
-                off += 4;
-                if rest.len() < off + 8 * n_unp {
-                    return Err(CodecError::Corrupt("unpredictable values truncated".into()));
+                // Unpredictable raw values (8 bytes each).
+                let n_unp = r.read_u32_le()? as usize;
+                if n_unp > r.bounded_capacity(n_unp, 8) {
+                    return Err(CodecError::Corrupt(format!(
+                        "unpredictable count {n_unp} exceeds the {} remaining bytes",
+                        r.remaining()
+                    )));
                 }
-                let unpredictable: Vec<f64> = (0..n_unp)
-                    .map(|i| {
-                        f64::from_le_bytes(
-                            rest[off + 8 * i..off + 8 * i + 8].try_into().expect("8 bytes"),
-                        )
-                    })
-                    .collect();
+                let mut unpredictable = Vec::with_capacity(n_unp);
+                for _ in 0..n_unp {
+                    unpredictable.push(r.read_f64_le()?);
+                }
 
                 // Reconstruct log values block by block.
                 let mut recon_logs = Vec::with_capacity(nz);

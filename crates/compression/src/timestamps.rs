@@ -6,6 +6,8 @@
 //! comparable. This module implements that header and the segment-length
 //! stream; the per-method payloads carry only model coefficients.
 
+use crate::reader::ByteReader;
+
 /// Header length: 4-byte start + 2-byte interval.
 pub const HEADER_LEN: usize = 6;
 
@@ -54,12 +56,17 @@ pub fn try_encode_header(start: i64, interval: i64) -> Result<Vec<u8>, Timestamp
 
 /// Decodes a header, returning `(start, interval, rest)`.
 pub fn decode_header(buf: &[u8]) -> Result<(i64, i64, &[u8]), TimestampError> {
-    if buf.len() < HEADER_LEN {
-        return Err(TimestampError::Truncated);
-    }
-    let start = i32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as i64;
-    let interval = u16::from_le_bytes(buf[4..6].try_into().expect("2 bytes")) as i64;
-    Ok((start, interval, &buf[HEADER_LEN..]))
+    let mut r = ByteReader::new(buf);
+    let (start, interval) = read_header(&mut r)?;
+    Ok((start, interval, r.rest()))
+}
+
+/// Decodes a header from a [`ByteReader`], leaving the cursor at the
+/// first payload byte.
+pub fn read_header(r: &mut ByteReader<'_>) -> Result<(i64, i64), TimestampError> {
+    let start = r.read_i32_le().map_err(|_| TimestampError::Truncated)? as i64;
+    let interval = r.read_u16_le().map_err(|_| TimestampError::Truncated)? as i64;
+    Ok((start, interval))
 }
 
 /// Splits a logical segment length into 16-bit chunks, since the paper's

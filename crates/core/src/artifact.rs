@@ -37,6 +37,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use compression::bitstream::{BitReader, BitWriter};
 use compression::deflate;
+use compression::reader::ByteReader;
 use neural::state::StateDict;
 use neural::tensor::Tensor;
 
@@ -170,6 +171,11 @@ fn decode_payload(payload: &[u8]) -> Result<StateDict, ArtifactError> {
     let mut dict = StateDict::new();
     for i in 0..n {
         let Ok(name_len) = r.read_bits(16) else { return truncated("name length") };
+        // Each name byte costs 8 payload bits; reject a hostile length
+        // before reserving for bytes the stream cannot hold.
+        if name_len as usize > r.remaining() / 8 {
+            return truncated("name bytes");
+        }
         let mut bytes = Vec::with_capacity(name_len as usize);
         for _ in 0..name_len {
             let Ok(b) = r.read_bits(8) else { return truncated("name bytes") };
@@ -224,49 +230,41 @@ pub fn encode_state(state: &StateDict) -> Result<Vec<u8>, ArtifactError> {
     Ok(out)
 }
 
-fn le_u16(data: &[u8], at: usize) -> u16 {
-    u16::from_le_bytes([data[at], data[at + 1]])
-}
-
-fn le_u64(data: &[u8], at: usize) -> u64 {
-    let mut b = [0u8; 8];
-    b.copy_from_slice(&data[at..at + 8]);
-    u64::from_le_bytes(b)
-}
-
 /// Deserializes an artifact produced by [`encode_state`], validating
 /// magic, version, flags, lengths, and the payload checksum.
 pub fn decode_state(data: &[u8]) -> Result<StateDict, ArtifactError> {
-    if data.len() < HEADER_LEN {
-        return Err(ArtifactError::Format(format!(
+    let mut r = ByteReader::new(data);
+    let truncated_header = |_| {
+        ArtifactError::Format(format!(
             "{} bytes is shorter than the {HEADER_LEN}-byte header",
             data.len()
-        )));
-    }
-    if data[..4] != MAGIC {
+        ))
+    };
+    let magic = r.read_bytes(4).map_err(truncated_header)?;
+    if magic != MAGIC {
         return Err(ArtifactError::Format("bad magic (not a model artifact)".into()));
     }
-    let version = le_u16(data, 4);
+    let version = r.read_u16_le().map_err(truncated_header)?;
     if version != FORMAT_VERSION {
         return Err(ArtifactError::UnsupportedVersion {
             found: version,
             supported: FORMAT_VERSION,
         });
     }
-    let flags = le_u16(data, 6);
+    let flags = r.read_u16_le().map_err(truncated_header)?;
     if flags & !FLAG_DEFLATE != 0 {
         return Err(ArtifactError::Format(format!("unknown flag bits {flags:#06x}")));
     }
-    let payload_len = le_u64(data, 8) as usize;
-    let body_len = le_u64(data, 16) as usize;
-    let stored_crc = u32::from_le_bytes([data[24], data[25], data[26], data[27]]);
-    if data.len() - HEADER_LEN != body_len {
+    let payload_len = r.read_u64_le().map_err(truncated_header)? as usize;
+    let body_len = r.read_u64_le().map_err(truncated_header)? as usize;
+    let stored_crc = r.read_u32_le().map_err(truncated_header)?;
+    let body = r.rest();
+    if body.len() != body_len {
         return Err(ArtifactError::Format(format!(
             "header says {body_len} body bytes, file has {}",
-            data.len() - HEADER_LEN
+            body.len()
         )));
     }
-    let body = &data[HEADER_LEN..];
     let payload = if flags & FLAG_DEFLATE != 0 {
         deflate::decompress(body).map_err(|e| ArtifactError::Format(format!("deflate: {e}")))?
     } else {
@@ -529,12 +527,8 @@ mod tests {
         let mut d = StateDict::new();
         d.insert("zeros", Tensor::zeros(40, 40));
         let bytes = encode_state(&d).unwrap();
-        assert_eq!(
-            le_u16(&bytes, 6) & FLAG_DEFLATE,
-            FLAG_DEFLATE,
-            "flags: {:#06x}",
-            le_u16(&bytes, 6)
-        );
+        let flags = u16::from_le_bytes([bytes[6], bytes[7]]);
+        assert_eq!(flags & FLAG_DEFLATE, FLAG_DEFLATE, "flags: {flags:#06x}");
         assert!(bytes.len() < 40 * 40 * 8, "deflate must shrink a zero tensor");
         let back = decode_state(&bytes).unwrap();
         assert_eq!(back.get("zeros").unwrap(), &Tensor::zeros(40, 40));

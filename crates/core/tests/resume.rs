@@ -105,6 +105,32 @@ fn corrupt_artifacts_degrade_to_a_refit() {
 }
 
 #[test]
+fn truncated_artifacts_degrade_to_a_refit() {
+    let store = temp_store("truncated");
+    let cfg = config(&store);
+    let (cold_csv, (_, cold_fitted)) = run_grid(&cfg);
+    assert_eq!(cold_fitted, 4);
+
+    // Cut each artifact mid-body (a torn write): the header length check
+    // must reject every file and the run must refit, never panic or load
+    // a partial state dict.
+    let mut truncated = 0;
+    for entry in walk(&store) {
+        let bytes = std::fs::read(&entry).expect("artifact reads");
+        std::fs::write(&entry, &bytes[..bytes.len() * 2 / 3]).expect("artifact rewrites");
+        truncated += 1;
+    }
+    assert_eq!(truncated, 4, "one artifact per grid cell");
+
+    let (warm_csv, (warm_loaded, warm_fitted)) = run_grid(&cfg);
+    assert_eq!(warm_loaded, 0, "truncated artifacts must not load");
+    assert_eq!(warm_fitted, 4, "every cell falls back to fitting");
+    assert_eq!(cold_csv, warm_csv, "refit results match the original run");
+
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
 fn retrain_grid_resumes_and_shares_the_baseline_fit() {
     let store = temp_store("retrain");
     let mut cfg = config(&store);

@@ -126,6 +126,70 @@ fn truncated_state_rejected() {
     assert!(fresh.predict(&[vec![0.0; INPUT_LEN]]).is_err());
 }
 
+/// Dropping ANY single entry from a saved state must surface as
+/// `InvalidState` — never a panic or a half-loaded model. This sweeps
+/// every entry, not just the last one, so no import path is left
+/// trusting an entry's presence.
+#[test]
+fn any_missing_entry_rejected() {
+    let data = tiny_series(13);
+    let s = split(&data, SplitSpec::default()).expect("splits");
+    for kind in [ModelKind::GBoost, ModelKind::Gru, ModelKind::DLinear] {
+        let mut model = build_model(kind, tiny_options(3));
+        model.fit(&s.train, &s.val).expect("fits");
+        let full = model.save_state().expect("exports");
+        let names: Vec<String> = full.entries().map(|(n, _)| n.to_string()).collect();
+        for missing in &names {
+            let mut partial = neural::state::StateDict::new();
+            for (name, tensor) in full.entries().filter(|(n, _)| n != missing) {
+                partial.insert(name, tensor.clone());
+            }
+            let mut fresh = build_model(kind, tiny_options(3));
+            let err =
+                fresh.load_state(&partial).expect_err("state without `{missing}` must be rejected");
+            assert!(
+                matches!(err, ForecastError::InvalidState(_)),
+                "{}: dropping `{missing}` gave {err:?}",
+                kind.name()
+            );
+            assert!(
+                fresh.predict(&[vec![0.0; INPUT_LEN]]).is_err(),
+                "{}: model claims fitted after failed load",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// A state dict whose model tag holds garbage (values that are not byte
+/// codes) must be rejected as invalid, not decoded into a panic.
+#[test]
+fn garbage_model_tag_rejected() {
+    let data = tiny_series(17);
+    let s = split(&data, SplitSpec::default()).expect("splits");
+    let mut model = build_model(ModelKind::DLinear, tiny_options(4));
+    model.fit(&s.train, &s.val).expect("fits");
+    let full = model.save_state().expect("exports");
+
+    for bad in [f64::NAN, -1.0, 256.0, 65.5] {
+        let mut evil = neural::state::StateDict::new();
+        for (name, tensor) in full.entries() {
+            // "meta.model" is the tag entry every state dict carries
+            // (see forecast::stateio).
+            if name == "meta.model" {
+                evil.insert(name, neural::tensor::Tensor::row(&[bad]));
+            } else {
+                evil.insert(name, tensor.clone());
+            }
+        }
+        let mut fresh = build_model(ModelKind::DLinear, tiny_options(4));
+        assert!(
+            matches!(fresh.load_state(&evil), Err(ForecastError::InvalidState(_))),
+            "tag byte {bad} must be rejected"
+        );
+    }
+}
+
 /// After a successful load the model must behave as fitted: window
 /// validation still applies and the horizon is preserved.
 #[test]
