@@ -3,6 +3,11 @@
 //! Bits are written MSB-first within each byte, which matches the layout of
 //! Gorilla's reference description and keeps the Huffman decoder a simple
 //! left-to-right walk.
+//!
+//! The multi-bit paths ([`BitWriter::write_bits`], [`BitReader::read_bits`])
+//! move whole bytes at a time instead of looping per bit; the wire format is
+//! unchanged (DESIGN.md §11 proves equivalence with a per-bit reference in
+//! `tests/block_props.rs`).
 
 use std::fmt;
 
@@ -32,6 +37,18 @@ impl BitWriter {
         Self::default()
     }
 
+    /// Creates a writer with room for `bits` bits before reallocating.
+    /// Encode paths size this from their value count so the output vector
+    /// is grown once, not byte by byte.
+    pub fn with_capacity(bits: usize) -> Self {
+        BitWriter { bytes: Vec::with_capacity(bits.div_ceil(8)), bit_pos: 0 }
+    }
+
+    /// Reserves room for at least `bits` additional bits.
+    pub fn reserve(&mut self, bits: usize) {
+        self.bytes.reserve(bits.div_ceil(8));
+    }
+
     /// Writes a single bit.
     pub fn write_bit(&mut self, bit: bool) {
         if self.bit_pos == 0 {
@@ -45,10 +62,39 @@ impl BitWriter {
     }
 
     /// Writes the low `n` bits of `value`, most significant first.
+    ///
+    /// Byte-at-a-time: the current partial byte is topped up, whole bytes
+    /// are pushed directly, and at most one trailing partial byte remains —
+    /// never a per-bit loop.
     pub fn write_bits(&mut self, value: u64, n: u8) {
         debug_assert!(n <= 64);
-        for i in (0..n).rev() {
-            self.write_bit((value >> i) & 1 == 1);
+        if n == 0 {
+            return;
+        }
+        let val = if n == 64 { value } else { value & ((1u64 << n) - 1) };
+        let mut rem = n as u32;
+        // Top up the partially filled final byte.
+        if self.bit_pos != 0 {
+            let free = 8 - self.bit_pos as u32;
+            let take = free.min(rem);
+            let chunk = ((val >> (rem - take)) & ((1u64 << take) - 1)) as u8;
+            let last = self.bytes.last_mut().expect("partial byte exists");
+            *last |= chunk << (free - take);
+            self.bit_pos = ((self.bit_pos as u32 + take) % 8) as u8;
+            rem -= take;
+            if rem == 0 {
+                return;
+            }
+        }
+        // Whole bytes, MSB-first.
+        while rem >= 8 {
+            rem -= 8;
+            self.bytes.push((val >> rem) as u8);
+        }
+        // Trailing partial byte.
+        if rem > 0 {
+            self.bytes.push(((val << (8 - rem)) & 0xFF) as u8);
+            self.bit_pos = rem as u8;
         }
     }
 
@@ -92,13 +138,70 @@ impl<'a> BitReader<'a> {
     }
 
     /// Reads `n` bits into the low bits of a `u64`, MSB first.
+    ///
+    /// Byte-at-a-time: one partial leading byte, whole bytes in the middle,
+    /// one partial trailing byte — never a per-bit loop.
     pub fn read_bits(&mut self, n: u8) -> Result<u64, OutOfBits> {
         debug_assert!(n <= 64);
-        let mut out = 0u64;
-        for _ in 0..n {
-            out = (out << 1) | self.read_bit()? as u64;
+        if n == 0 {
+            return Ok(0);
         }
+        let n = n as u32;
+        let end = self.pos + n as usize;
+        if end > self.bytes.len() * 8 {
+            return Err(OutOfBits);
+        }
+        let mut byte = self.pos / 8;
+        let off = (self.pos % 8) as u32;
+        // First (possibly partial) byte.
+        let avail = 8 - off;
+        let take = avail.min(n);
+        let cur = self.bytes[byte] as u32;
+        let mut out = ((cur >> (avail - take)) & ((1u32 << take) - 1)) as u64;
+        let mut got = take;
+        byte += 1;
+        // Whole bytes.
+        while got + 8 <= n {
+            out = (out << 8) | self.bytes[byte] as u64;
+            byte += 1;
+            got += 8;
+        }
+        // Trailing partial byte.
+        if got < n {
+            let tail = n - got;
+            out = (out << tail) | (self.bytes[byte] >> (8 - tail)) as u64;
+        }
+        self.pos = end;
         Ok(out)
+    }
+
+    /// Peeks at the next 8 bits without advancing, or `None` when fewer
+    /// than 8 bits remain. This is the lookahead the table-driven Huffman
+    /// decoder uses; near the end of the stream it falls back to the
+    /// per-bit walk, so short reads never need zero-padding semantics.
+    pub fn peek8(&self) -> Option<u8> {
+        if self.remaining() < 8 {
+            return None;
+        }
+        let byte = self.pos / 8;
+        let off = self.pos % 8;
+        if off == 0 {
+            return Some(self.bytes[byte]);
+        }
+        let hi = self.bytes[byte] << off;
+        let lo = self.bytes[byte + 1] >> (8 - off);
+        Some(hi | lo)
+    }
+
+    /// Advances past `n` bits that were already inspected via [`peek8`].
+    ///
+    /// [`peek8`]: BitReader::peek8
+    pub fn skip_bits(&mut self, n: u8) -> Result<(), OutOfBits> {
+        if self.remaining() < n as usize {
+            return Err(OutOfBits);
+        }
+        self.pos += n as usize;
+        Ok(())
     }
 
     /// Bits consumed so far.
@@ -158,11 +261,89 @@ mod tests {
     }
 
     #[test]
+    fn failed_read_does_not_advance() {
+        let bytes = [0xA5u8];
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(3).unwrap();
+        assert_eq!(r.read_bits(8), Err(OutOfBits));
+        assert_eq!(r.position(), 3, "failed multi-bit read must not consume");
+        assert_eq!(r.read_bits(5).unwrap(), 0b00101);
+    }
+
+    #[test]
     fn msb_first_layout() {
         let mut w = BitWriter::new();
         w.write_bit(true); // should land in bit 7 of byte 0
         let bytes = w.into_bytes();
         assert_eq!(bytes[0], 0b1000_0000);
+    }
+
+    #[test]
+    fn write_bits_matches_per_bit_reference() {
+        // Differential check against the definitional per-bit encoding at
+        // every width and several alignments.
+        for n in 0u8..=64 {
+            for &phase in &[0u8, 1, 3, 7] {
+                let value = 0xA5A5_5A5A_DEAD_BEEFu64;
+                let mut fast = BitWriter::new();
+                let mut slow = BitWriter::new();
+                fast.write_bits(0x15, phase.min(5));
+                slow.write_bits(0x15, phase.min(5));
+                fast.write_bits(value, n);
+                for i in (0..n).rev() {
+                    slow.write_bit((value >> i) & 1 == 1);
+                }
+                assert_eq!(fast.len_bits(), slow.len_bits(), "n={n} phase={phase}");
+                assert_eq!(fast.into_bytes(), slow.into_bytes(), "n={n} phase={phase}");
+            }
+        }
+    }
+
+    #[test]
+    fn read_bits_matches_per_bit_reference() {
+        let bytes: Vec<u8> = (0..40u8).map(|i| i.wrapping_mul(0x9D) ^ 0x3C).collect();
+        for n in 0u8..=64 {
+            for &phase in &[0u8, 1, 4, 7] {
+                let mut fast = BitReader::new(&bytes);
+                let mut slow = BitReader::new(&bytes);
+                fast.read_bits(phase).unwrap();
+                slow.read_bits(phase).unwrap();
+                let got = fast.read_bits(n).unwrap();
+                let mut want = 0u64;
+                for _ in 0..n {
+                    want = (want << 1) | slow.read_bit().unwrap() as u64;
+                }
+                assert_eq!(got, want, "n={n} phase={phase}");
+                assert_eq!(fast.position(), slow.position());
+            }
+        }
+    }
+
+    #[test]
+    fn peek8_and_skip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b110_10110, 8);
+        w.write_bits(0b0101_1010, 8);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek8().unwrap(), 0b1101_0110);
+        assert_eq!(r.position(), 0, "peek must not advance");
+        r.skip_bits(3).unwrap();
+        // Unaligned peek spans two bytes.
+        assert_eq!(r.peek8().unwrap(), 0b1011_0010);
+        r.skip_bits(8).unwrap();
+        assert_eq!(r.peek8(), None, "only 5 bits left");
+        assert_eq!(r.read_bits(5).unwrap(), 0b11010);
+        assert!(r.skip_bits(1).is_err());
+    }
+
+    #[test]
+    fn with_capacity_and_reserve() {
+        let mut w = BitWriter::with_capacity(1000 * 64);
+        assert!(w.len_bits() == 0);
+        w.reserve(128);
+        w.write_bits(0xFFFF, 16);
+        assert_eq!(w.into_bytes(), vec![0xFF, 0xFF]);
     }
 
     #[test]

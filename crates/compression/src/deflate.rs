@@ -164,7 +164,9 @@ fn hash(data: &[u8], i: usize) -> usize {
 /// Greedy LZ77 tokenization with hash chains.
 fn tokenize(data: &[u8]) -> Vec<Token> {
     let n = data.len();
-    let mut tokens = Vec::new();
+    // Literal-heavy inputs produce close to one token per byte, matches
+    // far fewer; half-and-half keeps reallocation to one doubling.
+    let mut tokens = Vec::with_capacity(n / 2 + 16);
     if n < MIN_MATCH + 1 {
         tokens.extend(data.iter().map(|&b| Token::Literal(b)));
         return tokens;
@@ -252,7 +254,8 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
         CanonicalCode::from_freqs(&f).expect("one symbol")
     };
 
-    let mut w = BitWriter::new();
+    // Two 4-bit length tables plus ~9–12 bits per token.
+    let mut w = BitWriter::with_capacity((NUM_LIT_LEN + NUM_DIST) * 4 + tokens.len() * 12);
     // Header: code lengths, 4 bits each.
     lit_code.write_lengths4(&mut w);
     dist_code.write_lengths4(&mut w);

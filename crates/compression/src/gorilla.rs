@@ -123,7 +123,10 @@ impl PeblcCompressor for Gorilla {
     ) -> Result<CompressedSeries, CodecError> {
         let mut inner = timestamps::try_encode_header(series.start(), series.interval())?;
         inner.extend_from_slice(&(series.len() as u32).to_le_bytes());
-        let mut w = BitWriter::new();
+        // Sensor-like data averages well under 40 bits/value; sizing for
+        // the first value's 64 bits plus that keeps growth to one realloc
+        // in the worst case instead of byte-at-a-time doubling.
+        let mut w = BitWriter::with_capacity(64 + series.len() * 40);
         compress_values(series.values(), &mut w);
         inner.extend_from_slice(&w.into_bytes());
         Ok(CompressedSeries {

@@ -184,7 +184,15 @@ pub struct CanonicalCode {
     first_code: [u32; MAX_CODE_LEN as usize + 1],
     /// For each length: index into `sorted_symbols` of its first symbol.
     first_index: [u32; MAX_CODE_LEN as usize + 1],
+    /// 8-bit prefix table: entry `w` is `(len << 12) | symbol` for the
+    /// code prefixing window `w`, or 0 when no code of length ≤ 8 does
+    /// (then [`CanonicalCode::decode_walk`] resolves the window).
+    table: Vec<u16>,
 }
+
+/// Prefix-table window width: one byte of lookahead resolves every code of
+/// up to this many bits in a single table hit.
+const TABLE_BITS: u8 = 8;
 
 impl CanonicalCode {
     /// Builds the canonical code from per-symbol lengths (0 = absent).
@@ -234,12 +242,27 @@ impl CanonicalCode {
             first_index[len] = acc;
             acc += count[len];
         }
+        // Prefix table: every 8-bit window starting with a short code maps
+        // straight to (length, symbol). Symbols that cannot fit the 12-bit
+        // payload (alphabets past 4096) simply stay on the walk path.
+        let mut table = vec![0u16; 1 << TABLE_BITS];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l == 0 || l > TABLE_BITS || sym >= 1 << 12 {
+                continue;
+            }
+            let start = (codes[sym] << (TABLE_BITS - l)) as usize;
+            let entry = ((l as u16) << 12) | sym as u16;
+            for slot in &mut table[start..start + (1 << (TABLE_BITS - l))] {
+                *slot = entry;
+            }
+        }
         Ok(CanonicalCode {
             lengths: lengths.to_vec(),
             codes,
             sorted_symbols,
             first_code,
             first_index,
+            table,
         })
     }
 
@@ -284,8 +307,26 @@ impl CanonicalCode {
         w.write_bits(self.codes[symbol] as u64, len);
     }
 
-    /// Reads one symbol.
+    /// Reads one symbol: a single 8-bit lookahead resolves every code of
+    /// up to 8 bits in one table hit; longer codes, codes near the end of
+    /// the stream, and invalid prefixes fall back to
+    /// [`CanonicalCode::decode_walk`], which has identical semantics.
     pub fn decode(&self, r: &mut BitReader<'_>) -> Result<usize, HuffmanError> {
+        if let Some(window) = r.peek8() {
+            let entry = self.table[window as usize];
+            if entry != 0 {
+                let len = (entry >> 12) as u8;
+                r.skip_bits(len).map_err(|_| HuffmanError::Truncated)?;
+                return Ok((entry & 0x0FFF) as usize);
+            }
+        }
+        self.decode_walk(r)
+    }
+
+    /// Reads one symbol bit by bit: the pre-table decode path, kept both
+    /// as the fallback for [`CanonicalCode::decode`] and as the scalar
+    /// baseline the codecs bench measures the table against.
+    pub fn decode_walk(&self, r: &mut BitReader<'_>) -> Result<usize, HuffmanError> {
         let mut code = 0u32;
         for len in 1..=MAX_CODE_LEN as usize {
             code = (code << 1) | r.read_bit()? as u32;
@@ -416,6 +457,52 @@ mod tests {
         bytes.clear();
         let mut r = BitReader::new(&bytes);
         assert_eq!(code.decode(&mut r).unwrap_err(), HuffmanError::Truncated);
+    }
+
+    #[test]
+    fn table_and_walk_decode_identically() {
+        // Large skewed alphabet (SZ-sized): short codes hit the table,
+        // rare symbols get >8-bit codes and exercise the fallback.
+        let mut freqs = vec![1u64; 1026];
+        freqs[513] = 100_000;
+        freqs[512] = 30_000;
+        freqs[514] = 30_000;
+        for (i, f) in freqs.iter_mut().enumerate().take(64) {
+            *f = 500 + i as u64;
+        }
+        let code = CanonicalCode::from_freqs(&freqs).unwrap();
+        assert!(code.lengths().iter().any(|&l| l > 8), "long codes present");
+        let symbols: Vec<usize> =
+            (0..5000usize).map(|i| if i % 3 == 0 { 513 } else { (i * 131) % 1026 }).collect();
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            code.encode(s, &mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut fast = BitReader::new(&bytes);
+        let mut slow = BitReader::new(&bytes);
+        for &s in &symbols {
+            assert_eq!(code.decode(&mut fast).unwrap(), s);
+            assert_eq!(code.decode_walk(&mut slow).unwrap(), s);
+            assert_eq!(fast.position(), slow.position());
+        }
+    }
+
+    #[test]
+    fn table_decode_handles_stream_tail() {
+        // Codes whose final symbols sit in the last partial byte must fall
+        // back to the walk, not require 8 bits of lookahead.
+        let code = CanonicalCode::from_freqs(&[40, 30, 20, 10]).unwrap();
+        let symbols = [0usize, 3, 1, 2, 0, 0, 3];
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            code.encode(s, &mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &s in &symbols {
+            assert_eq!(code.decode(&mut r).unwrap(), s);
+        }
     }
 
     #[test]

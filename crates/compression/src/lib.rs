@@ -7,7 +7,11 @@
 //! the paper's low-degree-models argument), on top of from-scratch
 //! substrates:
 //!
-//! * [`bitstream`] — MSB-first bit I/O.
+//! * [`bitstream`] — MSB-first bit I/O with word-level multi-bit fast
+//!   paths.
+//! * [`block`] — blocked bitpacking kernels (128-value lanes, zigzag +
+//!   delta-of-delta transforms, varint spills, word-backed bitsets) with a
+//!   runtime-selected scalar fallback (DESIGN.md §11).
 //! * [`huffman`] — canonical, length-limited Huffman coding.
 //! * [`deflate`] — an LZ77 + Huffman lossless codec standing in for gzip
 //!   (§3.2 applies gzip to every representation and to the raw data).
@@ -36,6 +40,7 @@
 //! ```
 
 pub mod bitstream;
+pub mod block;
 pub mod codec;
 pub mod deflate;
 pub mod gorilla;

@@ -180,7 +180,13 @@ impl PeblcCompressor for Pmc {
                 r.remaining()
             )));
         }
-        let mut values = Vec::new();
+        // Records are fixed-size, so one cheap pre-scan of the length
+        // fields sizes the output exactly (clamped so hostile lengths
+        // cannot demand a huge allocation up front).
+        let rest = r.rest();
+        let total: usize =
+            (0..n_seg).map(|i| u16::from_le_bytes([rest[6 * i], rest[6 * i + 1]]) as usize).sum();
+        let mut values = Vec::with_capacity(total.min(1 << 20));
         for _ in 0..n_seg {
             let len = r.read_u16_le()? as usize;
             let value = r.read_f32_le()? as f64;

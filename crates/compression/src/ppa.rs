@@ -217,7 +217,13 @@ impl PeblcCompressor for Ppa {
                 r.remaining()
             )));
         }
-        let mut values = Vec::new();
+        // Fixed `rec`-byte records: pre-scan the length fields to size the
+        // output exactly (clamped against hostile lengths).
+        let rest = r.rest();
+        let total: usize = (0..n_seg)
+            .map(|i| u16::from_le_bytes([rest[rec * i], rest[rec * i + 1]]) as usize)
+            .sum();
+        let mut values = Vec::with_capacity(total.min(1 << 20));
         for _ in 0..n_seg {
             let len = r.read_u16_le()? as usize;
             let mut coeffs = [0.0f64; 3];

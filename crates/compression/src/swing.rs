@@ -170,7 +170,12 @@ impl PeblcCompressor for Swing {
                 r.remaining()
             )));
         }
-        let mut values = Vec::new();
+        // Fixed 10-byte records: pre-scan the length fields to size the
+        // output exactly (clamped against hostile lengths).
+        let rest = r.rest();
+        let total: usize =
+            (0..n_seg).map(|i| u16::from_le_bytes([rest[10 * i], rest[10 * i + 1]]) as usize).sum();
+        let mut values = Vec::with_capacity(total.min(1 << 20));
         for _ in 0..n_seg {
             let len = r.read_u16_le()? as usize;
             let intercept = r.read_f32_le()? as f64;

@@ -24,6 +24,7 @@
 use tsdata::series::RegularTimeSeries;
 
 use crate::bitstream::{BitReader, BitWriter};
+use crate::block::{self, Bitset};
 use crate::codec::{check_epsilon, CodecError, CompressedSeries, PeblcCompressor};
 use crate::deflate;
 use crate::huffman::CanonicalCode;
@@ -37,6 +38,19 @@ const ALPHABET: usize = (2 * RADIUS + 1) as usize + 1;
 const ESCAPE: usize = ALPHABET - 1;
 /// SZ's default 1-D block size.
 pub const BLOCK_SIZE: usize = 128;
+
+/// Wire modes, selected by the byte after the value count. Mode 0 stores
+/// raw values (ε = 0), mode 1 is the legacy Huffman-per-symbol format
+/// (still decoded, no longer written by [`Sz::compress`]), mode 2 packs
+/// zigzagged quantization codes through [`crate::block`]'s lanes and
+/// stores bitmaps in the word-backed LSB-first layout (DESIGN.md §11).
+const MODE_RAW: u8 = 0;
+const MODE_HUFFMAN: u8 = 1;
+const MODE_BLOCKED: u8 = 2;
+
+/// Escape marker in the blocked symbol stream: zigzagged codes occupy
+/// `0..=2·RADIUS`, so the next value is free.
+const BLOCKED_ESCAPE: u64 = 2 * RADIUS as u64 + 1;
 
 /// The SZ compressor.
 #[derive(Debug, Clone, Copy, Default)]
@@ -164,93 +178,110 @@ fn select_predictor(
     (pred, codes, recon)
 }
 
-fn write_bitmap(bits: &[bool], out: &mut Vec<u8>) {
-    let mut w = BitWriter::new();
-    for &b in bits {
-        w.write_bit(b);
-    }
-    out.extend_from_slice(&w.into_bytes());
-}
-
-fn read_bitmap(r: &mut ByteReader<'_>, n: usize) -> Result<Vec<bool>, CodecError> {
-    let bytes = n.div_ceil(8);
+fn read_bitmap(r: &mut ByteReader<'_>, n: usize, mode: u8) -> Result<Bitset, CodecError> {
     let buf = r
-        .read_bytes(bytes)
+        .read_bytes(n.div_ceil(8))
         .map_err(|_| CodecError::Corrupt(format!("{n}-point bitmap truncated")))?;
-    let mut bits = BitReader::new(buf);
-    Ok((0..n).map(|_| bits.read_bit().expect("sized above")).collect())
+    let set = if mode == MODE_HUFFMAN {
+        Bitset::from_msb_bytes(buf, n)
+    } else {
+        Bitset::from_le_bytes(buf, n)
+    };
+    set.map_err(|e| CodecError::Corrupt(e.to_string()))
 }
 
-impl PeblcCompressor for Sz {
-    fn name(&self) -> &'static str {
-        "SZ"
+/// Encodes `series` with the legacy mode-1 wire format (Huffman-coded
+/// symbols, MSB-first bitmaps). [`Sz::compress`] no longer writes this
+/// format, but old frames must stay decodable, so this writer is kept to
+/// feed the roundtrip tests and the fuzz corpus that prove it.
+pub fn compress_huffman(
+    series: &RegularTimeSeries,
+    epsilon: f64,
+) -> Result<CompressedSeries, CodecError> {
+    compress_impl(series, epsilon, MODE_HUFFMAN)
+}
+
+fn compress_impl(
+    series: &RegularTimeSeries,
+    epsilon: f64,
+    mode: u8,
+) -> Result<CompressedSeries, CodecError> {
+    check_epsilon(epsilon)?;
+    let values = series.values();
+    let n = values.len();
+    let mut inner = timestamps::try_encode_header(series.start(), series.interval())?;
+    inner.extend_from_slice(&(n as u32).to_le_bytes());
+
+    if epsilon == 0.0 {
+        // Lossless fallback mode.
+        inner.push(MODE_RAW);
+        inner.reserve(n * 8);
+        for &v in values {
+            inner.extend_from_slice(&v.to_le_bytes());
+        }
+        let bytes = deflate::compress(&inner);
+        let num_segments = constant_runs(values);
+        return Ok(CompressedSeries { method: "SZ", bytes, num_segments });
+    }
+    inner.push(mode);
+    inner.extend_from_slice(&epsilon.to_le_bytes());
+
+    let mut zero = Bitset::with_len(n);
+    let mut sign = Bitset::with_len(n);
+    for (i, &v) in values.iter().enumerate() {
+        if v == 0.0 {
+            zero.set(i);
+        }
+        if v < 0.0 {
+            sign.set(i);
+        }
+    }
+    if mode == MODE_HUFFMAN {
+        // Byte-identical to the historical BitWriter-backed bitmaps.
+        inner.extend_from_slice(&zero.to_msb_bytes());
+        inner.extend_from_slice(&sign.to_msb_bytes());
+    } else {
+        inner.extend_from_slice(&zero.to_le_bytes());
+        inner.extend_from_slice(&sign.to_le_bytes());
     }
 
-    fn compress(
-        &self,
-        series: &RegularTimeSeries,
-        epsilon: f64,
-    ) -> Result<CompressedSeries, CodecError> {
-        check_epsilon(epsilon)?;
-        let values = series.values();
-        let n = values.len();
-        let mut inner = timestamps::try_encode_header(series.start(), series.interval())?;
-        inner.extend_from_slice(&(n as u32).to_le_bytes());
+    let logs: Vec<f64> = values.iter().filter(|&&v| v != 0.0).map(|&v| v.abs().ln()).collect();
+    let delta = (1.0 + epsilon).ln();
 
-        if epsilon == 0.0 {
-            // Lossless fallback mode.
-            inner.push(0);
-            for &v in values {
-                inner.extend_from_slice(&v.to_le_bytes());
+    // Encode blocks.
+    let mut block_meta: Vec<u8> = Vec::new();
+    let mut all_codes: Vec<Option<i64>> = Vec::with_capacity(logs.len());
+    let mut unpredictable: Vec<f64> = Vec::new();
+    let mut prev_recon: Option<f64> = None;
+    let mut recon_logs: Vec<f64> = Vec::with_capacity(logs.len());
+    for block in logs.chunks(BLOCK_SIZE) {
+        let (pred, codes, recon) = select_predictor(block, prev_recon, delta);
+        block_meta.push(pred.tag());
+        match pred {
+            Predictor::Lorenzo => {}
+            Predictor::Mean(m) => block_meta.extend_from_slice(&m.to_le_bytes()),
+            Predictor::Linear { a, b } => {
+                block_meta.extend_from_slice(&a.to_le_bytes());
+                block_meta.extend_from_slice(&b.to_le_bytes());
             }
-            let bytes = deflate::compress(&inner);
-            let num_segments = constant_runs(values);
-            return Ok(CompressedSeries { method: self.name(), bytes, num_segments });
         }
-        inner.push(1);
-        inner.extend_from_slice(&epsilon.to_le_bytes());
-
-        let zero: Vec<bool> = values.iter().map(|&v| v == 0.0).collect();
-        let sign: Vec<bool> = values.iter().map(|&v| v < 0.0).collect();
-        write_bitmap(&zero, &mut inner);
-        write_bitmap(&sign, &mut inner);
-
-        let logs: Vec<f64> = values.iter().filter(|&&v| v != 0.0).map(|&v| v.abs().ln()).collect();
-        let delta = (1.0 + epsilon).ln();
-
-        // Encode blocks.
-        let mut block_meta: Vec<u8> = Vec::new();
-        let mut all_codes: Vec<Option<i64>> = Vec::with_capacity(logs.len());
-        let mut unpredictable: Vec<f64> = Vec::new();
-        let mut prev_recon: Option<f64> = None;
-        let mut recon_logs: Vec<f64> = Vec::with_capacity(logs.len());
-        for block in logs.chunks(BLOCK_SIZE) {
-            let (pred, codes, recon) = select_predictor(block, prev_recon, delta);
-            block_meta.push(pred.tag());
-            match pred {
-                Predictor::Lorenzo => {}
-                Predictor::Mean(m) => block_meta.extend_from_slice(&m.to_le_bytes()),
-                Predictor::Linear { a, b } => {
-                    block_meta.extend_from_slice(&a.to_le_bytes());
-                    block_meta.extend_from_slice(&b.to_le_bytes());
-                }
+        for (c, (&t, &r)) in codes.iter().zip(block.iter().zip(&recon)) {
+            if c.is_none() {
+                // Bitwise so a NaN escape (NaN != NaN) doesn't trip it.
+                debug_assert_eq!(t.to_bits(), r.to_bits());
+                unpredictable.push(t);
             }
-            for (c, (&t, &r)) in codes.iter().zip(block.iter().zip(&recon)) {
-                if c.is_none() {
-                    // Bitwise so a NaN escape (NaN != NaN) doesn't trip it.
-                    debug_assert_eq!(t.to_bits(), r.to_bits());
-                    unpredictable.push(t);
-                }
-            }
-            prev_recon = recon.last().copied().or(prev_recon);
-            all_codes.extend_from_slice(&codes);
-            recon_logs.extend_from_slice(&recon);
         }
+        prev_recon = recon.last().copied().or(prev_recon);
+        all_codes.extend_from_slice(&codes);
+        recon_logs.extend_from_slice(&recon);
+    }
 
-        let num_blocks = logs.len().div_ceil(BLOCK_SIZE);
-        inner.extend_from_slice(&(num_blocks as u32).to_le_bytes());
-        inner.extend_from_slice(&block_meta);
+    let num_blocks = logs.len().div_ceil(BLOCK_SIZE);
+    inner.extend_from_slice(&(num_blocks as u32).to_le_bytes());
+    inner.extend_from_slice(&block_meta);
 
+    if mode == MODE_HUFFMAN {
         // Entropy-code the quantization codes.
         if !all_codes.is_empty() {
             let mut freqs = vec![0u64; ALPHABET];
@@ -260,7 +291,7 @@ impl PeblcCompressor for Sz {
             }
             let code = CanonicalCode::from_freqs(&freqs)
                 .map_err(|e| CodecError::Corrupt(format!("huffman build: {e}")))?;
-            let mut w = BitWriter::new();
+            let mut w = BitWriter::with_capacity(ALPHABET * 4 + all_codes.len() * 12);
             for &l in code.lengths() {
                 w.write_bits(l as u64, 4);
             }
@@ -274,18 +305,41 @@ impl PeblcCompressor for Sz {
         } else {
             inner.extend_from_slice(&0u32.to_le_bytes());
         }
+    } else {
+        // Blocked packing: zigzag keeps near-zero quantization codes (the
+        // common case after prediction) in narrow lanes; the escape takes
+        // the first value past the zigzagged range. Self-delimiting, so no
+        // payload-length prefix.
+        let syms: Vec<u64> =
+            all_codes.iter().map(|c| c.map_or(BLOCKED_ESCAPE, block::zigzag)).collect();
+        inner.extend_from_slice(&block::encode_u64s(&syms));
+    }
 
-        inner.extend_from_slice(&(unpredictable.len() as u32).to_le_bytes());
-        for &u in &unpredictable {
-            inner.extend_from_slice(&u.to_le_bytes());
-        }
+    inner.extend_from_slice(&(unpredictable.len() as u32).to_le_bytes());
+    inner.reserve(unpredictable.len() * 8);
+    for &u in &unpredictable {
+        inner.extend_from_slice(&u.to_le_bytes());
+    }
 
-        // Figure-3 segment counting for SZ: runs of constant decompressed
-        // values, the "constant line like PMC" texture quantization creates.
-        let decompressed = reassemble(values.len(), &zero, &sign, &recon_logs);
-        let num_segments = constant_runs(&decompressed);
+    // Figure-3 segment counting for SZ: runs of constant decompressed
+    // values, the "constant line like PMC" texture quantization creates.
+    let decompressed = reassemble(n, &zero, &sign, &recon_logs);
+    let num_segments = constant_runs(&decompressed);
 
-        Ok(CompressedSeries { method: self.name(), bytes: deflate::compress(&inner), num_segments })
+    Ok(CompressedSeries { method: "SZ", bytes: deflate::compress(&inner), num_segments })
+}
+
+impl PeblcCompressor for Sz {
+    fn name(&self) -> &'static str {
+        "SZ"
+    }
+
+    fn compress(
+        &self,
+        series: &RegularTimeSeries,
+        epsilon: f64,
+    ) -> Result<CompressedSeries, CodecError> {
+        compress_impl(series, epsilon, MODE_BLOCKED)
     }
 
     fn decompress(&self, compressed: &CompressedSeries) -> Result<RegularTimeSeries, CodecError> {
@@ -310,7 +364,7 @@ impl PeblcCompressor for Sz {
                 }
                 Ok(RegularTimeSeries::new(start, interval, values)?)
             }
-            1 => {
+            mode @ (MODE_HUFFMAN | MODE_BLOCKED) => {
                 let epsilon = r.read_f64_le()?;
                 // An honest encoder only writes bounds that passed
                 // `check_epsilon`; anything else poisons every value
@@ -319,9 +373,9 @@ impl PeblcCompressor for Sz {
                     return Err(CodecError::Corrupt(format!("invalid stored epsilon {epsilon}")));
                 }
                 let delta = (1.0 + epsilon).ln();
-                let zero = read_bitmap(&mut r, n)?;
-                let sign = read_bitmap(&mut r, n)?;
-                let nz = zero.iter().filter(|&&z| !z).count();
+                let zero = read_bitmap(&mut r, n, mode)?;
+                let sign = read_bitmap(&mut r, n, mode)?;
+                let nz = zero.count_zeros();
                 let num_blocks = r.read_u32_le()? as usize;
                 // The block partition is fully determined by `nz`; any
                 // other count desynchronizes every later field.
@@ -345,27 +399,49 @@ impl PeblcCompressor for Sz {
                     };
                     preds.push(pred);
                 }
-                // Huffman-coded quantization symbols, one per nonzero.
-                let paylen = r.read_u32_le()? as usize;
-                let payload = r
-                    .read_bytes(paylen)
-                    .map_err(|_| CodecError::Corrupt("code stream truncated".into()))?;
-                let mut symbols = Vec::with_capacity(payload.len().min(nz));
-                if paylen > 0 {
-                    let mut bits = BitReader::new(payload);
-                    let code = CanonicalCode::read_lengths4(&mut bits, ALPHABET)
-                        .map_err(|e| CodecError::Corrupt(format!("huffman table: {e}")))?;
-                    for _ in 0..nz {
-                        let s = code
-                            .decode(&mut bits)
-                            .map_err(|e| CodecError::Corrupt(format!("code stream: {e}")))?;
-                        symbols.push(s);
+                // Quantization symbols, one per nonzero value.
+                let symbols = if mode == MODE_HUFFMAN {
+                    // Legacy: Huffman-coded behind a payload-length prefix.
+                    let paylen = r.read_u32_le()? as usize;
+                    let payload = r
+                        .read_bytes(paylen)
+                        .map_err(|_| CodecError::Corrupt("code stream truncated".into()))?;
+                    let mut symbols = Vec::with_capacity(payload.len().min(nz));
+                    if paylen > 0 {
+                        let mut bits = BitReader::new(payload);
+                        let code = CanonicalCode::read_lengths4(&mut bits, ALPHABET)
+                            .map_err(|e| CodecError::Corrupt(format!("huffman table: {e}")))?;
+                        for _ in 0..nz {
+                            let s = code
+                                .decode(&mut bits)
+                                .map_err(|e| CodecError::Corrupt(format!("code stream: {e}")))?;
+                            symbols.push(s);
+                        }
                     }
-                }
+                    symbols
+                } else {
+                    // Blocked: self-delimiting lane stream of zigzagged
+                    // codes; translate to the shared shifted-symbol space.
+                    let raw = block::decode_u64s(&mut r)
+                        .map_err(|e| CodecError::Corrupt(format!("code stream: {e}")))?;
+                    let mut symbols = Vec::with_capacity(raw.len());
+                    for &z in &raw {
+                        if z == BLOCKED_ESCAPE {
+                            symbols.push(ESCAPE);
+                        } else if z < BLOCKED_ESCAPE {
+                            symbols.push((block::unzigzag(z) + RADIUS) as usize);
+                        } else {
+                            return Err(CodecError::Corrupt(format!(
+                                "quantization code {z} out of range"
+                            )));
+                        }
+                    }
+                    symbols
+                };
                 if symbols.len() != nz {
-                    // paylen == 0 with nonzero values present: the stream
-                    // cannot describe them (this indexed out of bounds
-                    // before decode went total).
+                    // A stream that cannot describe every nonzero value
+                    // (this indexed out of bounds before decode went
+                    // total).
                     return Err(CodecError::Corrupt(format!(
                         "code stream holds {} symbols, need {nz}",
                         symbols.len()
@@ -427,16 +503,18 @@ impl PeblcCompressor for Sz {
     }
 }
 
-/// Re-inserts zeros and signs around reconstructed log magnitudes.
-fn reassemble(n: usize, zero: &[bool], sign: &[bool], recon_logs: &[f64]) -> Vec<f64> {
+/// Re-inserts zeros and signs around reconstructed log magnitudes. The
+/// bitmaps are word-backed bitsets indexed directly — no intermediate
+/// `Vec<bool>` materialization on the decode path.
+fn reassemble(n: usize, zero: &Bitset, sign: &Bitset, recon_logs: &[f64]) -> Vec<f64> {
     let mut out = Vec::with_capacity(n);
     let mut it = recon_logs.iter();
     for i in 0..n {
-        if zero[i] {
+        if zero.get(i) {
             out.push(0.0);
         } else {
             let mag = it.next().copied().unwrap_or(0.0).exp();
-            out.push(if sign[i] { -mag } else { mag });
+            out.push(if sign.get(i) { -mag } else { mag });
         }
     }
     out
@@ -577,6 +655,51 @@ mod tests {
         let frame =
             CompressedSeries { method: "SZ", bytes: deflate::compress(&bad), num_segments: 0 };
         assert!(Sz.decompress(&frame).is_err());
+    }
+
+    #[test]
+    fn legacy_huffman_mode_still_decodes() {
+        // Mode-1 frames (the pre-blocked wire format) must decompress to
+        // exactly what the blocked mode produces: the quantization
+        // pipeline is shared, only the serialization differs.
+        let mut vals = wavy(3000);
+        vals[7] = 0.0;
+        vals[100] = -vals[100];
+        vals[2999] = 0.0;
+        let s = series(vals.clone());
+        for eps in [0.01, 0.2] {
+            let legacy = compress_huffman(&s, eps).unwrap();
+            let blocked = Sz.compress(&s, eps).unwrap();
+            let dl = Sz.decompress(&legacy).unwrap();
+            let db = Sz.decompress(&blocked).unwrap();
+            assert_eq!(dl.values(), db.values(), "eps {eps}");
+            assert_eq!(legacy.num_segments, blocked.num_segments);
+            assert!(find_bound_violation(&vals, dl.values(), eps, 1e-9).is_none());
+        }
+    }
+
+    #[test]
+    fn blocked_mode_rejects_out_of_range_codes() {
+        // A blocked frame holds zigzagged codes ≤ BLOCKED_ESCAPE; decode
+        // must reject anything larger rather than fold it into a bogus
+        // quantization bin. Build a one-value mode-2 frame whose symbol
+        // stream carries an impossible code.
+        assert_eq!(BLOCKED_ESCAPE, ESCAPE as u64, "escape sits right past the zigzag range");
+        let make = |sym: u64| {
+            let mut inner = timestamps::encode_header(0, 600);
+            inner.extend_from_slice(&1u32.to_le_bytes()); // n = 1
+            inner.push(MODE_BLOCKED);
+            inner.extend_from_slice(&0.1f64.to_le_bytes());
+            inner.push(0); // zero bitmap: the value is nonzero
+            inner.push(0); // sign bitmap: positive
+            inner.extend_from_slice(&1u32.to_le_bytes()); // num_blocks
+            inner.push(0); // Lorenzo tag
+            inner.extend_from_slice(&block::encode_u64s(&[sym]));
+            inner.extend_from_slice(&0u32.to_le_bytes()); // no unpredictables
+            CompressedSeries { method: "SZ", bytes: deflate::compress(&inner), num_segments: 1 }
+        };
+        assert!(Sz.decompress(&make(0)).is_ok(), "honest in-range code decodes");
+        assert!(Sz.decompress(&make(BLOCKED_ESCAPE + 1)).is_err(), "out-of-range code rejected");
     }
 
     #[test]

@@ -5,7 +5,21 @@
 //! generated segments as a 16-bit integer" so that the methods are directly
 //! comparable. This module implements that header and the segment-length
 //! stream; the per-method payloads carry only model coefficients.
+//!
+//! For *irregular* timestamp vectors (raw CSV timelines, streaming segment
+//! boundaries) the module also provides a self-delimiting stream codec,
+//! [`encode_stream`]/[`decode_stream`], with two wire formats behind a
+//! leading tag byte (DESIGN.md §11):
+//!
+//! * [`STREAM_VARBIT`] — Gorilla-style per-value delta-of-delta prefix
+//!   codes, one branch per value: the scalar baseline, and the cheaper
+//!   format for short vectors.
+//! * [`STREAM_BLOCKED`] — zigzagged delta-of-deltas packed through
+//!   [`crate::block`]'s 128-value lanes: branch-free word-level unpacking
+//!   on the decode hot path.
 
+use crate::bitstream::{BitReader, BitWriter};
+use crate::block;
 use crate::reader::ByteReader;
 
 /// Header length: 4-byte start + 2-byte interval.
@@ -23,6 +37,9 @@ pub enum TimestampError {
     IntervalOutOfRange(i64),
     /// The buffer is too short to contain a header.
     Truncated,
+    /// A timestamp stream is structurally invalid (bad tag, inconsistent
+    /// counts, malformed block payload).
+    Corrupt(String),
 }
 
 impl std::fmt::Display for TimestampError {
@@ -31,7 +48,14 @@ impl std::fmt::Display for TimestampError {
             TimestampError::StartOutOfRange(t) => write!(f, "start {t} exceeds 32 bits"),
             TimestampError::IntervalOutOfRange(i) => write!(f, "interval {i} exceeds 16 bits"),
             TimestampError::Truncated => write!(f, "timestamp header truncated"),
+            TimestampError::Corrupt(msg) => write!(f, "timestamp stream corrupt: {msg}"),
         }
+    }
+}
+
+impl From<block::BlockError> for TimestampError {
+    fn from(e: block::BlockError) -> Self {
+        TimestampError::Corrupt(e.to_string())
     }
 }
 
@@ -78,6 +102,152 @@ pub fn split_segment_len(len: usize) -> impl Iterator<Item = u16> {
     std::iter::repeat_n(u16::MAX, full).chain((rem > 0).then_some(rem))
 }
 
+// ---------------------------------------------------------------------------
+// Irregular timestamp streams
+// ---------------------------------------------------------------------------
+
+/// Stream tag: per-value variable-width delta-of-delta prefix codes.
+pub const STREAM_VARBIT: u8 = 0;
+/// Stream tag: blocked delta-of-delta packing via [`crate::block`].
+pub const STREAM_BLOCKED: u8 = 1;
+
+/// Below this length the per-block metadata of the blocked format costs
+/// more than it saves, so [`encode_stream`] emits varbit instead.
+const BLOCKED_MIN_LEN: usize = 64;
+
+/// Encodes an arbitrary (not necessarily regular) timestamp vector,
+/// choosing the blocked format for long vectors and varbit for short ones.
+/// The output is self-delimiting: [`decode_stream`] leaves the cursor at
+/// the first byte past the stream.
+pub fn encode_stream(ts: &[i64]) -> Vec<u8> {
+    if ts.len() < BLOCKED_MIN_LEN {
+        encode_stream_varbit(ts)
+    } else {
+        encode_stream_blocked(ts)
+    }
+}
+
+/// Encodes with the blocked format unconditionally: zigzagged
+/// delta-of-deltas through [`block::encode_u64s`]'s 128-value lanes.
+pub fn encode_stream_blocked(ts: &[i64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + ts.len());
+    out.push(STREAM_BLOCKED);
+    out.extend_from_slice(&(ts.len() as u32).to_le_bytes());
+    if ts.is_empty() {
+        return out;
+    }
+    out.extend_from_slice(&ts[0].to_le_bytes());
+    out.extend_from_slice(&block::encode_u64s(&block::dod_encode(ts)));
+    out
+}
+
+/// Encodes with the varbit format unconditionally: one Gorilla-style
+/// prefix code per delta-of-delta ('0' for zero, then 7/9/12-bit windows,
+/// then a raw 64-bit escape). This is the scalar per-value-branch baseline
+/// the codecs bench measures the blocked format against.
+pub fn encode_stream_varbit(ts: &[i64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + ts.len());
+    out.push(STREAM_VARBIT);
+    out.extend_from_slice(&(ts.len() as u32).to_le_bytes());
+    if ts.is_empty() {
+        return out;
+    }
+    out.extend_from_slice(&ts[0].to_le_bytes());
+    let mut bits = BitWriter::with_capacity(ts.len() * 10);
+    let mut prev_delta = 0i64;
+    for pair in ts.windows(2) {
+        let d = pair[1].wrapping_sub(pair[0]);
+        let dod = d.wrapping_sub(prev_delta);
+        prev_delta = d;
+        if dod == 0 {
+            bits.write_bit(false);
+        } else if (-63..=64).contains(&dod) {
+            bits.write_bits(0b10, 2);
+            bits.write_bits((dod + 63) as u64, 7);
+        } else if (-255..=256).contains(&dod) {
+            bits.write_bits(0b110, 3);
+            bits.write_bits((dod + 255) as u64, 9);
+        } else if (-2047..=2048).contains(&dod) {
+            bits.write_bits(0b1110, 4);
+            bits.write_bits((dod + 2047) as u64, 12);
+        } else {
+            bits.write_bits(0b1111, 4);
+            bits.write_bits(dod as u64, 64);
+        }
+    }
+    let payload = bits.into_bytes();
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a stream produced by any `encode_stream*` variant, dispatching
+/// on the tag byte. Total: malformed input returns
+/// [`TimestampError::Corrupt`] / [`TimestampError::Truncated`], never
+/// panics, and preallocation is bounded by the remaining input.
+pub fn decode_stream(r: &mut ByteReader<'_>) -> Result<Vec<i64>, TimestampError> {
+    let tag = r.read_u8().map_err(|_| TimestampError::Truncated)?;
+    match tag {
+        STREAM_VARBIT => decode_stream_varbit(r),
+        STREAM_BLOCKED => decode_stream_blocked(r),
+        other => Err(TimestampError::Corrupt(format!("unknown stream tag {other}"))),
+    }
+}
+
+fn decode_stream_blocked(r: &mut ByteReader<'_>) -> Result<Vec<i64>, TimestampError> {
+    let n = r.read_u32_le().map_err(|_| TimestampError::Truncated)? as usize;
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let first = r.read_u64_le().map_err(|_| TimestampError::Truncated)? as i64;
+    let ts = block::decode_dod_stream(r, first)?;
+    if ts.len() != n {
+        return Err(TimestampError::Corrupt(format!(
+            "stream announces {n} timestamps but block payload holds {}",
+            ts.len()
+        )));
+    }
+    Ok(ts)
+}
+
+fn decode_stream_varbit(r: &mut ByteReader<'_>) -> Result<Vec<i64>, TimestampError> {
+    let n = r.read_u32_le().map_err(|_| TimestampError::Truncated)? as usize;
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let first = r.read_u64_le().map_err(|_| TimestampError::Truncated)? as i64;
+    let payload_len = r.read_u32_le().map_err(|_| TimestampError::Truncated)? as usize;
+    let payload = r.read_bytes(payload_len).map_err(|_| TimestampError::Truncated)?;
+    if n - 1 > payload_len * 8 {
+        return Err(TimestampError::Corrupt(format!(
+            "{n} timestamps cannot fit {payload_len} payload bytes"
+        )));
+    }
+    let mut out = Vec::with_capacity(n);
+    out.push(first);
+    let mut bits = BitReader::new(payload);
+    let mut t = first;
+    let mut delta = 0i64;
+    let corrupt = |_| TimestampError::Corrupt("varbit payload exhausted".into());
+    for _ in 1..n {
+        let dod = if !bits.read_bit().map_err(corrupt)? {
+            0
+        } else if !bits.read_bit().map_err(corrupt)? {
+            bits.read_bits(7).map_err(corrupt)? as i64 - 63
+        } else if !bits.read_bit().map_err(corrupt)? {
+            bits.read_bits(9).map_err(corrupt)? as i64 - 255
+        } else if !bits.read_bit().map_err(corrupt)? {
+            bits.read_bits(12).map_err(corrupt)? as i64 - 2047
+        } else {
+            bits.read_bits(64).map_err(corrupt)? as i64
+        };
+        delta = delta.wrapping_add(dod);
+        t = t.wrapping_add(delta);
+        out.push(t);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +275,87 @@ mod tests {
     #[test]
     fn truncated_header() {
         assert_eq!(decode_header(&[1, 2, 3]).unwrap_err(), TimestampError::Truncated);
+    }
+
+    fn sample_timestamps(n: usize) -> Vec<i64> {
+        // Mostly-regular 15-minute cadence with jitter and occasional gaps:
+        // the shape irregular CSV timelines actually have.
+        (0..n as i64)
+            .map(|i| 1_600_000_000 + i * 900 + (i % 5) * 3 + if i % 97 == 0 { 7200 } else { 0 })
+            .collect()
+    }
+
+    #[test]
+    fn stream_roundtrip_both_formats() {
+        for n in [0usize, 1, 2, 63, 64, 128, 129, 1000] {
+            let ts = sample_timestamps(n);
+            for bytes in [encode_stream_varbit(&ts), encode_stream_blocked(&ts), encode_stream(&ts)]
+            {
+                let mut r = ByteReader::new(&bytes);
+                assert_eq!(decode_stream(&mut r).unwrap(), ts, "n={n} tag={}", bytes[0]);
+                assert!(r.is_empty(), "stream must be self-delimiting");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_is_self_delimiting_mid_buffer() {
+        let ts = sample_timestamps(300);
+        let mut buf = encode_stream(&ts);
+        buf.extend_from_slice(&[0xAA, 0xBB, 0xCC]);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(decode_stream(&mut r).unwrap(), ts);
+        assert_eq!(r.rest(), &[0xAA, 0xBB, 0xCC]);
+    }
+
+    #[test]
+    fn stream_compresses_regular_series() {
+        let ts = sample_timestamps(4096);
+        let blocked = encode_stream_blocked(&ts);
+        let varbit = encode_stream_varbit(&ts);
+        // Near-regular cadence: both formats should land far below the
+        // 8 bytes/value of raw i64 storage.
+        assert!(blocked.len() < ts.len() * 2, "blocked: {} bytes", blocked.len());
+        assert!(varbit.len() < ts.len() * 2, "varbit: {} bytes", varbit.len());
+    }
+
+    #[test]
+    fn stream_extreme_values_survive() {
+        let ts = vec![i64::MIN, i64::MAX, 0, -1, 1, i64::MAX / 2, i64::MIN / 2];
+        for bytes in [encode_stream_varbit(&ts), encode_stream_blocked(&ts)] {
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(decode_stream(&mut r).unwrap(), ts);
+        }
+    }
+
+    #[test]
+    fn stream_rejects_malformed() {
+        let ts = sample_timestamps(200);
+        for bytes in [encode_stream_varbit(&ts), encode_stream_blocked(&ts)] {
+            // Any truncation point must error, never panic.
+            for cut in [0, 1, 4, 8, 13, bytes.len() - 1] {
+                let mut r = ByteReader::new(&bytes[..cut]);
+                assert!(decode_stream(&mut r).is_err(), "cut={cut}");
+            }
+        }
+        // Unknown tag.
+        let mut bad = encode_stream(&ts);
+        bad[0] = 9;
+        assert!(matches!(
+            decode_stream(&mut ByteReader::new(&bad)),
+            Err(TimestampError::Corrupt(_))
+        ));
+        // Count / payload mismatch on the blocked format.
+        let mut bad = encode_stream_blocked(&ts);
+        bad[1..5].copy_from_slice(&300u32.wrapping_add(5).to_le_bytes());
+        assert!(decode_stream(&mut ByteReader::new(&bad)).is_err());
+        // Hostile count over a tiny varbit payload.
+        let mut hostile = vec![STREAM_VARBIT];
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        hostile.extend_from_slice(&0i64.to_le_bytes());
+        hostile.extend_from_slice(&1u32.to_le_bytes());
+        hostile.push(0x00);
+        assert!(decode_stream(&mut ByteReader::new(&hostile)).is_err());
     }
 
     #[test]

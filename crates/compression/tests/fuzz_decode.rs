@@ -28,9 +28,10 @@ use compression::gorilla::Gorilla;
 use compression::mutate::{sweep, ALL_MUTATIONS};
 use compression::pmc::Pmc;
 use compression::ppa::Ppa;
+use compression::reader::ByteReader;
 use compression::swing::Swing;
-use compression::sz::Sz;
-use compression::{deflate, timestamps};
+use compression::sz::{self, Sz};
+use compression::{block, deflate, timestamps};
 use tsdata::series::RegularTimeSeries;
 
 /// The per-format floor the CI fuzz smoke job guarantees.
@@ -140,6 +141,81 @@ fn deflate_mutations_never_panic() {
         }
     });
     assert!(total >= MIN_CASES, "only {total} deflate cases");
+}
+
+/// Mutated blocked timestamp streams (format tag 1) and varbit streams
+/// (tag 0) must decode totally: `Ok`/`Err`, deterministic, never a panic.
+#[test]
+fn timestamp_stream_mutations_never_panic() {
+    let corpora: Vec<Vec<i64>> = vec![
+        (0..500).map(|i| 1_600_000_000 + i * 60).collect(),
+        (0..200).map(|i| i * 900 + if i % 17 == 0 { 3 } else { 0 }).collect(),
+        vec![i64::MIN, -1, 0, 1, i64::MAX],
+        (0..130).map(|i| (i * i) as i64).collect(),
+    ];
+    let corpus: Vec<Vec<u8>> = corpora
+        .iter()
+        .flat_map(|ts| {
+            [timestamps::encode_stream_blocked(ts), timestamps::encode_stream_varbit(ts)]
+        })
+        .collect();
+    let rounds = MIN_CASES.div_ceil(ALL_MUTATIONS.len() * corpus.len());
+    let total = sweep(&corpus, 0x715_57A7, rounds, |buf, label| {
+        let mut r = ByteReader::new(buf);
+        if let Ok(ts) = timestamps::decode_stream(&mut r) {
+            let mut r2 = ByteReader::new(buf);
+            let again = timestamps::decode_stream(&mut r2)
+                .unwrap_or_else(|e| panic!("second decode failed ({label}): {e}"));
+            assert_eq!(ts, again, "decode must be deterministic: {label}");
+        }
+    });
+    assert!(total >= MIN_CASES, "only {total} timestamp stream cases");
+}
+
+/// Mutated raw block streams must decode totally, under both kernels,
+/// with identical outcomes.
+#[test]
+fn block_stream_mutations_never_panic() {
+    let corpus: Vec<Vec<u8>> = [
+        (0..300u64).collect::<Vec<u64>>(),
+        (0..300u64).map(|i| if i % 19 == 0 { u64::MAX - i } else { i % 31 }).collect(),
+        vec![0u64; 257],
+        vec![u64::MAX; 40],
+        Vec::new(),
+    ]
+    .iter()
+    .map(|vals| block::encode_u64s(vals))
+    .collect();
+    let rounds = MIN_CASES.div_ceil(ALL_MUTATIONS.len() * corpus.len());
+    let total = sweep(&corpus, 0xB10C, rounds, |buf, label| {
+        let mut rb = ByteReader::new(buf);
+        let blocked = block::decode_u64s_with(&mut rb, block::Kernel::Blocked);
+        let mut rs = ByteReader::new(buf);
+        let scalar = block::decode_u64s_with(&mut rs, block::Kernel::Scalar);
+        match (blocked, scalar) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "kernels diverged: {label}"),
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("kernels disagree on validity ({label}): {a:?} vs {b:?}"),
+        }
+    });
+    assert!(total >= MIN_CASES, "only {total} block stream cases");
+}
+
+/// Mutated legacy SZ mode-1 frames (Huffman symbols, MSB-first bitmaps)
+/// must stay total through the same decoder that handles mode-2 frames.
+#[test]
+fn legacy_sz_mode_mutations_never_panic() {
+    let corpus: Vec<Vec<u8>> = corpus_series()
+        .iter()
+        .flat_map(|s| {
+            [0.01, 0.1].map(|eps| sz::compress_huffman(s, eps).expect("corpus encodes").bytes)
+        })
+        .collect();
+    let rounds = MIN_CASES.div_ceil(ALL_MUTATIONS.len() * corpus.len());
+    let total = sweep(&corpus, 0x52_1E6A, rounds, |buf, label| {
+        assert_total(&Sz, buf, label);
+    });
+    assert!(total >= MIN_CASES, "only {total} legacy SZ cases");
 }
 
 /// Empty and near-empty inputs are rejected, not sliced.

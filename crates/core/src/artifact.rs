@@ -137,7 +137,15 @@ fn encode_payload(state: &StateDict) -> Result<Vec<u8>, ArtifactError> {
     if state.len() > u32::MAX as usize {
         return Err(ArtifactError::State(format!("{} entries exceed u32", state.len())));
     }
-    let mut w = BitWriter::new();
+    // Everything written below is byte-aligned, so the exact payload size
+    // is known up front: 32-bit count, then per entry a 16-bit name length,
+    // the name bytes, two 32-bit dims, and 64 bits per tensor element.
+    let payload_bits: usize = 32
+        + state
+            .entries()
+            .map(|(name, tensor)| 16 + name.len() * 8 + 64 + tensor.data().len() * 64)
+            .sum::<usize>();
+    let mut w = BitWriter::with_capacity(payload_bits);
     w.write_bits(state.len() as u64, 32);
     for (name, tensor) in state.entries() {
         let bytes = name.as_bytes();
