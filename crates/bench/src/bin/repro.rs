@@ -49,6 +49,9 @@ fn main() {
             if cli.resume { " (resuming: stored fits are reused)" } else { "" }
         );
     }
+    if cli.store {
+        eprintln!("[repro] store-backed: transforms stream from the chunked store");
+    }
 
     // Shared expensive stages, computed lazily at most once.
     let mut compression: Option<compression_exp::CompressionExperiment> = None;
@@ -261,6 +264,35 @@ fn render_summary(
         counter("dataset_cache_hits_total"),
         counter("dataset_cache_misses_total"),
     );
+
+    // Store-backed runs: ingest volume, sealed chunks per codec, and the
+    // seal/read latency histograms (zero everywhere on legacy runs, so
+    // the section only prints when the store actually ran).
+    let ingested = counter("store_points_ingested_total");
+    if ingested > 0 {
+        let _ = writeln!(out, "[repro] store: {ingested} point(s) ingested");
+        for s in snapshots.iter().filter(|s| s.name == "store_chunks_sealed_total") {
+            let codec =
+                s.labels.iter().find(|(k, _)| k == "codec").map(|(_, v)| v.as_str()).unwrap_or("?");
+            if let Some(sealed) = s.value.as_counter() {
+                let _ = writeln!(out, "[repro]   {codec:<8} {sealed} chunk(s) sealed");
+            }
+        }
+        for (name, what) in [("store_seal_seconds", "seal"), ("store_read_seconds", "read")] {
+            let (count, sum) = snapshots
+                .iter()
+                .filter(|s| s.name == name)
+                .filter_map(|s| s.value.as_histogram_totals())
+                .fold((0u64, 0.0f64), |(c, t), (n, s)| (c + n, t + s));
+            if count > 0 {
+                let _ = writeln!(
+                    out,
+                    "[repro]   {what}: {count} op(s) {sum:.3}s total {:.1}us avg",
+                    1e6 * sum / count as f64
+                );
+            }
+        }
+    }
 
     let mut fit_rows: Vec<(&str, u64, f64)> = snapshots
         .iter()

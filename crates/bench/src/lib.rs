@@ -147,6 +147,10 @@ pub struct Cli {
     /// File to write the Chrome trace-event JSON into at the end of the
     /// run (open in `about:tracing` or Perfetto).
     pub trace: Option<String>,
+    /// Whether `--store` was passed: serve every transform from the
+    /// chunked store instead of in-memory series (byte-identical results;
+    /// see DESIGN.md §12).
+    pub store: bool,
 }
 
 /// Parses `repro` arguments. Returns `Err` with a usage string on bad
@@ -154,7 +158,7 @@ pub struct Cli {
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
     let usage = "usage: repro [all|table1|table2|...|fig7|decomp|retrain]... \
                  [--quick|--paper] [--len N] [--seed S] [--csv DIR] \
-                 [--artifacts DIR [--resume]] [--metrics FILE] [--trace FILE]";
+                 [--artifacts DIR [--resume]] [--metrics FILE] [--trace FILE] [--store]";
     let mut experiments = Vec::new();
     let mut scale = Scale::Default;
     let mut len = None;
@@ -164,6 +168,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String
     let mut resume = false;
     let mut metrics = None;
     let mut trace = None;
+    let mut store = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -187,6 +192,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String
                 artifacts = Some(v);
             }
             "--resume" => resume = true,
+            "--store" => store = true,
             "--metrics" => {
                 let v = iter.next().ok_or_else(|| format!("--metrics needs a file\n{usage}"))?;
                 metrics = Some(v);
@@ -208,7 +214,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String
     if experiments.is_empty() {
         experiments.push(Experiment::All);
     }
-    Ok(Cli { experiments, scale, len, seed, csv_dir, artifacts, resume, metrics, trace })
+    Ok(Cli { experiments, scale, len, seed, csv_dir, artifacts, resume, metrics, trace, store })
 }
 
 /// Builds the grid configuration for a scale.
@@ -234,6 +240,7 @@ pub fn config_for(cli: &Cli) -> GridConfig {
         cfg.data_seed = seed;
     }
     cfg.artifacts = cli.artifacts.as_ref().map(std::path::PathBuf::from);
+    cfg.store_backed = cli.store;
     cfg
 }
 

@@ -1,0 +1,55 @@
+//! CRC32 (IEEE 802.3) — the integrity checksum shared by the artifact
+//! format in `evalcore` and the store's chunk headers.
+//!
+//! The table is built at compile time from the reflected polynomial
+//! `0xEDB88320`, so the per-byte loop is a single table lookup and shift.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"chunk payload bytes".to_vec();
+        let base = crc32(&data);
+        for i in 0..data.len() * 8 {
+            let mut tampered = data.clone();
+            tampered[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&tampered), base, "bit {i}");
+        }
+    }
+}

@@ -109,6 +109,96 @@ pub fn decompress_values(r: &mut BitReader<'_>, n: usize) -> Result<Vec<f64>, Co
     Ok(out)
 }
 
+/// Stateful point-at-a-time XOR encoder for the store's append path.
+///
+/// Pushing values one by one produces a bit stream identical to
+/// [`compress_values`] over the same slice (tested below), so a sealed
+/// chunk written through the appender decodes with [`decompress_values`].
+#[derive(Debug, Clone)]
+pub struct ValueAppender {
+    w: BitWriter,
+    prev: u64,
+    prev_leading: u32,
+    prev_trailing: u32,
+    count: usize,
+}
+
+impl Default for ValueAppender {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ValueAppender {
+    /// Creates an empty appender.
+    pub fn new() -> Self {
+        ValueAppender {
+            w: BitWriter::new(),
+            prev: 0,
+            prev_leading: u32::MAX,
+            prev_trailing: 0,
+            count: 0,
+        }
+    }
+
+    /// Number of values appended so far.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when no value has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Bits written so far (the live bytes/point gauge for seal policies).
+    pub fn len_bits(&self) -> usize {
+        self.w.len_bits()
+    }
+
+    /// Appends one value, emitting the same bits [`compress_values`] would.
+    pub fn push(&mut self, v: f64) {
+        let bits = v.to_bits();
+        if self.count == 0 {
+            self.w.write_bits(bits, 64);
+            self.prev = bits;
+            self.count = 1;
+            return;
+        }
+        let xor = bits ^ self.prev;
+        if xor == 0 {
+            self.w.write_bit(false);
+        } else {
+            self.w.write_bit(true);
+            let leading = xor.leading_zeros().min(31);
+            let trailing = xor.trailing_zeros();
+            if self.prev_leading != u32::MAX
+                && leading >= self.prev_leading
+                && trailing >= self.prev_trailing
+            {
+                self.w.write_bit(false);
+                let len = 64 - self.prev_leading - self.prev_trailing;
+                self.w.write_bits(xor >> self.prev_trailing, len as u8);
+            } else {
+                self.w.write_bit(true);
+                let len = 64 - leading - trailing;
+                self.w.write_bits(leading as u64, 5);
+                self.w.write_bits((len - 1) as u64, 6);
+                self.w.write_bits(xor >> trailing, len as u8);
+                self.prev_leading = leading;
+                self.prev_trailing = trailing;
+            }
+        }
+        self.prev = bits;
+        self.count += 1;
+    }
+
+    /// Consumes the appender, returning the padded byte stream.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.w.into_bytes()
+    }
+}
+
 impl PeblcCompressor for Gorilla {
     fn name(&self) -> &'static str {
         "GORILLA"
@@ -231,6 +321,45 @@ mod tests {
         let frame =
             CompressedSeries { method: "GORILLA", bytes: deflate::compress(cut), num_segments: 1 };
         assert!(Gorilla.decompress(&frame).is_err());
+    }
+
+    #[test]
+    fn appender_bits_match_batch_encoder() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![],
+            vec![std::f64::consts::PI],
+            vec![7.5; 1001],
+            (0..2000).map(|i| 20.0 + (i as f64 * 0.01).sin()).collect(),
+            (0..500).map(|i| (i as f64).sqrt() * -3.7).collect(),
+            vec![0.0, -0.0, 1.0, -1.0, f64::MAX, f64::MIN_POSITIVE, 1e-300],
+            vec![f64::from_bits(0x8000_0000_0000_0001), f64::from_bits(0x7FFF_FFFF_FFFF_FFFE)],
+        ];
+        for values in cases {
+            let mut w = BitWriter::new();
+            compress_values(&values, &mut w);
+            let mut a = ValueAppender::new();
+            for &v in &values {
+                a.push(v);
+            }
+            assert_eq!(a.len(), values.len());
+            assert_eq!(a.into_bytes(), w.into_bytes(), "n={}", values.len());
+        }
+    }
+
+    #[test]
+    fn appender_stream_decodes() {
+        let values: Vec<f64> = (0..1500).map(|i| 3.0 + (i % 9) as f64 * 0.25).collect();
+        let mut a = ValueAppender::new();
+        for &v in &values {
+            a.push(v);
+        }
+        let bytes = a.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let got = decompress_values(&mut r, values.len()).unwrap();
+        assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            values.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

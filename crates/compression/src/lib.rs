@@ -42,6 +42,7 @@
 pub mod bitstream;
 pub mod block;
 pub mod codec;
+pub mod crc;
 pub mod deflate;
 pub mod gorilla;
 pub mod huffman;
@@ -58,11 +59,12 @@ pub use codec::{
     check_epsilon, find_bound_violation, point_bound, raw_bytes, raw_compressed_size, CodecError,
     CompressedSeries, PeblcCompressor, ERROR_BOUNDS,
 };
+pub use crc::crc32;
 pub use gorilla::Gorilla;
 pub use pmc::Pmc;
 pub use ppa::Ppa;
 pub use reader::{ByteReader, ReadError};
-pub use streaming::{Emit, StreamingPmc, StreamingSwing};
+pub use streaming::{compress_source, Emit, StreamingPmc, StreamingSwing};
 pub use swing::Swing;
 pub use sz::Sz;
 

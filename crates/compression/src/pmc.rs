@@ -132,6 +132,32 @@ pub(crate) fn snap_near_mean_public(lo: f64, hi: f64, mean: f64) -> f64 {
     shortest_decimal_in(l, h)
 }
 
+/// Serializes already-segmented PMC output into the deflated frame format
+/// `Pmc::decompress` reads. `Pmc::compress` is `segment_values` followed by
+/// this; the store re-encodes streamed segments through the same path so
+/// its frames are byte-identical to the batch compressor's.
+pub fn encode_segments(
+    start: i64,
+    interval: i64,
+    segments: &[PmcSegment],
+) -> Result<Vec<u8>, CodecError> {
+    let mut inner = timestamps::try_encode_header(start, interval)?;
+    // Count after 16-bit splitting so the stream is self-describing.
+    let stored: Vec<(u16, f64)> = segments
+        .iter()
+        .flat_map(|s| timestamps::split_segment_len(s.len).map(move |l| (l, s.value)))
+        .collect();
+    inner.extend_from_slice(&(stored.len() as u32).to_le_bytes());
+    for (len, value) in &stored {
+        inner.extend_from_slice(&len.to_le_bytes());
+        // Coefficients are single precision, as in ModelarDB (§3.2
+        // "Implementations Used"); the rounding is covered by the
+        // f32 allowance documented in `codec::find_bound_violation`.
+        inner.extend_from_slice(&(*value as f32).to_le_bytes());
+    }
+    Ok(deflate::compress(&inner))
+}
+
 impl PeblcCompressor for Pmc {
     fn name(&self) -> &'static str {
         "PMC"
@@ -144,24 +170,9 @@ impl PeblcCompressor for Pmc {
     ) -> Result<CompressedSeries, CodecError> {
         check_epsilon(epsilon)?;
         let segments = segment_values(series.values(), epsilon);
-
-        let mut inner = timestamps::try_encode_header(series.start(), series.interval())?;
-        // Count after 16-bit splitting so the stream is self-describing.
-        let stored: Vec<(u16, f64)> = segments
-            .iter()
-            .flat_map(|s| timestamps::split_segment_len(s.len).map(move |l| (l, s.value)))
-            .collect();
-        inner.extend_from_slice(&(stored.len() as u32).to_le_bytes());
-        for (len, value) in &stored {
-            inner.extend_from_slice(&len.to_le_bytes());
-            // Coefficients are single precision, as in ModelarDB (§3.2
-            // "Implementations Used"); the rounding is covered by the
-            // f32 allowance documented in `codec::find_bound_violation`.
-            inner.extend_from_slice(&(*value as f32).to_le_bytes());
-        }
         Ok(CompressedSeries {
             method: self.name(),
-            bytes: deflate::compress(&inner),
+            bytes: encode_segments(series.start(), series.interval(), &segments)?,
             num_segments: segments.len(),
         })
     }

@@ -10,9 +10,13 @@
 //! cap during segmentation — both algorithms are single-pass by
 //! construction; the batch API merely materializes everything at once.
 
+use tsdata::series::SeriesSource;
+
 use crate::codec::point_bound;
+use crate::codec::{check_epsilon, CodecError, CompressedSeries, PeblcCompressor};
 use crate::pmc::PmcSegment;
 use crate::swing::SwingSegment;
+use crate::Method;
 
 /// An emitted streaming segment event.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,6 +82,13 @@ impl StreamingPmc {
 
     /// Flushes the open window at end of stream.
     pub fn finish(mut self) -> Option<PmcSegment> {
+        self.drain()
+    }
+
+    /// Flushes the open window without consuming the encoder: the store
+    /// seals an active chunk this way and keeps pushing into the same
+    /// wrapper. After a drain the next `push` starts a fresh segment.
+    pub fn drain(&mut self) -> Option<PmcSegment> {
         (self.count > 0).then(|| self.take_segment(f64::NAN))
     }
 
@@ -193,7 +204,78 @@ impl StreamingSwing {
 
     /// Flushes the open window at end of stream.
     pub fn finish(mut self) -> Option<SwingSegment> {
-        self.started.then(|| self.close())
+        self.drain()
+    }
+
+    /// Flushes the open window without consuming the filter (see
+    /// [`StreamingPmc::drain`]); the next `push` re-anchors from scratch.
+    pub fn drain(&mut self) -> Option<SwingSegment> {
+        if !self.started {
+            return None;
+        }
+        let seg = self.close();
+        self.anchor = 0.0;
+        self.offset = 0;
+        self.slope_lo = f64::NEG_INFINITY;
+        self.slope_hi = f64::INFINITY;
+        self.started = false;
+        Some(seg)
+    }
+}
+
+/// Compresses a [`SeriesSource`] under `(method, epsilon)` by streaming its
+/// values through the online encoders, producing a frame *byte-identical*
+/// to `method.compressor().compress(...)` of the materialised series (as
+/// long as no segment reaches the 16-bit length cap, where the streaming
+/// side cuts eagerly). PMC and Swing never hold more than the open window;
+/// SZ is block-based and falls back to collecting the values.
+///
+/// This is how the store re-encodes chunk-backed reads: identical frame
+/// bytes mean identical sizes, segment counts and decoded series, so a
+/// store-backed grid reproduces the in-memory grid's CSVs exactly.
+pub fn compress_source(
+    source: &dyn SeriesSource,
+    method: Method,
+    epsilon: f64,
+) -> Result<CompressedSeries, CodecError> {
+    check_epsilon(epsilon)?;
+    match method {
+        Method::Pmc => {
+            let mut enc = StreamingPmc::new(epsilon);
+            let mut segs = Vec::new();
+            for v in source.iter_values() {
+                if let Emit::Segment(s) = enc.push(v) {
+                    segs.push(s);
+                }
+            }
+            segs.extend(enc.drain());
+            Ok(CompressedSeries {
+                method: "PMC",
+                bytes: crate::pmc::encode_segments(source.start(), source.interval(), &segs)?,
+                num_segments: segs.len(),
+            })
+        }
+        Method::Swing => {
+            let mut enc = StreamingSwing::new(epsilon);
+            let mut segs = Vec::new();
+            for v in source.iter_values() {
+                if let Emit::Segment(s) = enc.push(v) {
+                    segs.push(s);
+                }
+            }
+            segs.extend(enc.drain());
+            Ok(CompressedSeries {
+                method: "SWING",
+                bytes: crate::swing::encode_segments(source.start(), source.interval(), &segs)?,
+                num_segments: segs.len(),
+            })
+        }
+        Method::Sz => {
+            // SZ quantizes over fixed blocks, so it needs the values at
+            // hand; materialise and defer to the batch implementation.
+            let series = source.materialize().map_err(CodecError::from)?;
+            crate::Sz.compress(&series, epsilon)
+        }
     }
 }
 
@@ -258,6 +340,29 @@ mod tests {
     }
 
     #[test]
+    fn compress_source_is_byte_identical_to_batch() {
+        for kind in [DatasetKind::ETTm1, DatasetKind::Solar, DatasetKind::Wind] {
+            let series = generate_univariate(kind, GenOptions::with_len(2_500));
+            for method in crate::ALL_METHODS {
+                for eps in [0.01, 0.1, 0.4] {
+                    let streamed = compress_source(&series, method, eps).unwrap();
+                    let batch = method.compressor().compress(&series, eps).unwrap();
+                    assert_eq!(streamed.bytes, batch.bytes, "{kind:?} {method:?} eps {eps}");
+                    assert_eq!(streamed.num_segments, batch.num_segments);
+                    assert_eq!(streamed.method, batch.method);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compress_source_rejects_bad_epsilon() {
+        let series = generate_univariate(DatasetKind::ETTm1, GenOptions::with_len(64));
+        assert!(compress_source(&series, Method::Pmc, -1.0).is_err());
+        assert!(compress_source(&series, Method::Swing, f64::NAN).is_err());
+    }
+
+    #[test]
     fn pending_len_tracks_open_window() {
         let mut s = StreamingPmc::new(0.5);
         assert_eq!(s.pending_len(), 0);
@@ -274,6 +379,59 @@ mod tests {
     fn empty_stream_finishes_empty() {
         assert!(StreamingPmc::new(0.1).finish().is_none());
         assert!(StreamingSwing::new(0.1).finish().is_none());
+    }
+
+    #[test]
+    fn drain_then_continue_starts_a_fresh_segment() {
+        // Seal-then-continue (the store's chunk boundary): the drained
+        // window must not leak state into the next segment.
+        let mut p = StreamingPmc::new(0.1);
+        p.push(10.0);
+        p.push(10.2);
+        assert_eq!(p.drain().map(|s| s.len), Some(2));
+        assert_eq!(p.pending_len(), 0);
+        assert!(p.drain().is_none(), "second drain on an empty window");
+        // 50.0 would have violated the [10-ish] window; a fresh segment
+        // accepts it as its first point.
+        assert_eq!(p.push(50.0), Emit::Pending);
+        assert_eq!(p.drain(), Some(PmcSegment { len: 1, value: 50.0 }));
+
+        let mut w = StreamingSwing::new(0.1);
+        w.push(1.0);
+        w.push(2.0);
+        let seg = w.drain().unwrap();
+        assert_eq!((seg.len, seg.intercept), (2, 1.0));
+        assert_eq!(w.pending_len(), 0);
+        assert!(w.drain().is_none());
+        // The next point re-anchors: drained state must not constrain it.
+        assert_eq!(w.push(-7.0), Emit::Pending);
+        let seg = w.drain().unwrap();
+        assert_eq!((seg.len, seg.intercept, seg.slope), (1, -7.0, 0.0));
+    }
+
+    #[test]
+    fn drain_segments_match_chunked_batch() {
+        // Draining every k points must equal batch segmentation of each
+        // k-point slice — the store's byte-identity precondition.
+        let series = generate_univariate(DatasetKind::ETTm1, GenOptions::with_len(1_024));
+        for k in [37usize, 256] {
+            let mut s = StreamingPmc::new(0.1);
+            let mut streamed = Vec::new();
+            for chunk in series.values().chunks(k) {
+                for &v in chunk {
+                    if let Emit::Segment(seg) = s.push(v) {
+                        streamed.push(seg);
+                    }
+                }
+                streamed.extend(s.drain());
+            }
+            let batch: Vec<PmcSegment> = series
+                .values()
+                .chunks(k)
+                .flat_map(|c| crate::pmc::segment_values(c, 0.1))
+                .collect();
+            assert_eq!(streamed, batch, "k={k}");
+        }
     }
 
     #[test]

@@ -118,6 +118,37 @@ fn close_segment(start: usize, end: usize, anchor: f64, lo: f64, hi: f64) -> Swi
     SwingSegment { len, intercept: anchor, slope }
 }
 
+/// Serializes already-segmented Swing output into the deflated frame format
+/// `Swing::decompress` reads (the batch `compress` is `segment_values` plus
+/// this; the store re-encodes streamed segments through the same path).
+pub fn encode_segments(
+    start: i64,
+    interval: i64,
+    segments: &[SwingSegment],
+) -> Result<Vec<u8>, CodecError> {
+    let mut inner = timestamps::try_encode_header(start, interval)?;
+    // Split lengths at the 16-bit cap; continuation chunks re-anchor the
+    // line so reconstruction stays exact.
+    let mut stored: Vec<(u16, f64, f64)> = Vec::with_capacity(segments.len());
+    for s in segments {
+        let mut offset = 0usize;
+        for chunk in timestamps::split_segment_len(s.len) {
+            stored.push((chunk, s.intercept + s.slope * offset as f64, s.slope));
+            offset += chunk as usize;
+        }
+    }
+    inner.extend_from_slice(&(stored.len() as u32).to_le_bytes());
+    for (len, intercept, slope) in &stored {
+        inner.extend_from_slice(&len.to_le_bytes());
+        // Two single-precision coefficients per segment, matching
+        // ModelarDB's storage (and the paper's storage-overhead
+        // argument for Swing's low CR, §4.2).
+        inner.extend_from_slice(&(*intercept as f32).to_le_bytes());
+        inner.extend_from_slice(&(*slope as f32).to_le_bytes());
+    }
+    Ok(deflate::compress(&inner))
+}
+
 impl PeblcCompressor for Swing {
     fn name(&self) -> &'static str {
         "SWING"
@@ -130,30 +161,9 @@ impl PeblcCompressor for Swing {
     ) -> Result<CompressedSeries, CodecError> {
         check_epsilon(epsilon)?;
         let segments = segment_values(series.values(), epsilon);
-
-        let mut inner = timestamps::try_encode_header(series.start(), series.interval())?;
-        // Split lengths at the 16-bit cap; continuation chunks re-anchor the
-        // line so reconstruction stays exact.
-        let mut stored: Vec<(u16, f64, f64)> = Vec::with_capacity(segments.len());
-        for s in &segments {
-            let mut offset = 0usize;
-            for chunk in timestamps::split_segment_len(s.len) {
-                stored.push((chunk, s.intercept + s.slope * offset as f64, s.slope));
-                offset += chunk as usize;
-            }
-        }
-        inner.extend_from_slice(&(stored.len() as u32).to_le_bytes());
-        for (len, intercept, slope) in &stored {
-            inner.extend_from_slice(&len.to_le_bytes());
-            // Two single-precision coefficients per segment, matching
-            // ModelarDB's storage (and the paper's storage-overhead
-            // argument for Swing's low CR, §4.2).
-            inner.extend_from_slice(&(*intercept as f32).to_le_bytes());
-            inner.extend_from_slice(&(*slope as f32).to_le_bytes());
-        }
         Ok(CompressedSeries {
             method: self.name(),
-            bytes: deflate::compress(&inner),
+            bytes: encode_segments(series.start(), series.interval(), &segments)?,
             num_segments: segments.len(),
         })
     }

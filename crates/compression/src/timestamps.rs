@@ -181,6 +181,86 @@ pub fn encode_stream_varbit(ts: &[i64]) -> Vec<u8> {
     out
 }
 
+/// Stateful point-at-a-time timestamp encoder for the store's append path.
+///
+/// Pushing timestamps one by one and finalizing yields bytes identical to
+/// [`encode_stream_varbit`] over the same vector (tested below), so sealed
+/// chunks decode through the ordinary [`decode_stream`].
+#[derive(Debug, Clone)]
+pub struct StreamAppender {
+    first: i64,
+    prev: i64,
+    prev_delta: i64,
+    count: usize,
+    bits: BitWriter,
+}
+
+impl Default for StreamAppender {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamAppender {
+    /// Creates an empty appender.
+    pub fn new() -> Self {
+        StreamAppender { first: 0, prev: 0, prev_delta: 0, count: 0, bits: BitWriter::new() }
+    }
+
+    /// Number of timestamps appended so far.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when no timestamp has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Appends one timestamp (must be pushed in stream order).
+    pub fn push(&mut self, ts: i64) {
+        if self.count == 0 {
+            self.first = ts;
+        } else {
+            let d = ts.wrapping_sub(self.prev);
+            let dod = d.wrapping_sub(self.prev_delta);
+            self.prev_delta = d;
+            if dod == 0 {
+                self.bits.write_bit(false);
+            } else if (-63..=64).contains(&dod) {
+                self.bits.write_bits(0b10, 2);
+                self.bits.write_bits((dod + 63) as u64, 7);
+            } else if (-255..=256).contains(&dod) {
+                self.bits.write_bits(0b110, 3);
+                self.bits.write_bits((dod + 255) as u64, 9);
+            } else if (-2047..=2048).contains(&dod) {
+                self.bits.write_bits(0b1110, 4);
+                self.bits.write_bits((dod + 2047) as u64, 12);
+            } else {
+                self.bits.write_bits(0b1111, 4);
+                self.bits.write_bits(dod as u64, 64);
+            }
+        }
+        self.prev = ts;
+        self.count += 1;
+    }
+
+    /// Consumes the appender into a self-delimiting varbit stream.
+    pub fn into_bytes(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.count);
+        out.push(STREAM_VARBIT);
+        out.extend_from_slice(&(self.count as u32).to_le_bytes());
+        if self.count == 0 {
+            return out;
+        }
+        out.extend_from_slice(&self.first.to_le_bytes());
+        let payload = self.bits.into_bytes();
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
 /// Decodes a stream produced by any `encode_stream*` variant, dispatching
 /// on the tag byte. Total: malformed input returns
 /// [`TimestampError::Corrupt`] / [`TimestampError::Truncated`], never
@@ -356,6 +436,26 @@ mod tests {
         hostile.extend_from_slice(&1u32.to_le_bytes());
         hostile.push(0x00);
         assert!(decode_stream(&mut ByteReader::new(&hostile)).is_err());
+    }
+
+    #[test]
+    fn appender_bytes_match_varbit_encoder() {
+        for n in [0usize, 1, 2, 63, 64, 129, 1000] {
+            let ts = sample_timestamps(n);
+            let mut a = StreamAppender::new();
+            for &t in &ts {
+                a.push(t);
+            }
+            assert_eq!(a.len(), n);
+            assert_eq!(a.into_bytes(), encode_stream_varbit(&ts), "n={n}");
+        }
+        // Extreme dods exercise the raw 64-bit escape.
+        let ts = vec![i64::MIN, i64::MAX, 0, -1, 1, i64::MAX / 2];
+        let mut a = StreamAppender::new();
+        for &t in &ts {
+            a.push(t);
+        }
+        assert_eq!(a.into_bytes(), encode_stream_varbit(&ts));
     }
 
     #[test]

@@ -106,32 +106,9 @@ impl From<std::io::Error> for ArtifactError {
     }
 }
 
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
-
-static CRC_TABLE: [u32; 256] = crc32_table();
-
-/// CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `data`.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
-}
+// The CRC implementation moved to `compression::crc` so the store's chunk
+// headers share it; re-exported here to keep the artifact API stable.
+pub use compression::crc::crc32;
 
 fn encode_payload(state: &StateDict) -> Result<Vec<u8>, ArtifactError> {
     if state.len() > u32::MAX as usize {

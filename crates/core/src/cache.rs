@@ -27,6 +27,7 @@ use tsdata::split::Split;
 use crate::artifact::{ArtifactKey, ArtifactStore};
 use crate::grid::GridConfig;
 use crate::scenario::ScenarioError;
+use crate::storeback::StoreBackend;
 
 /// Which slice of a dataset a transform applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -279,6 +280,10 @@ pub struct GridContext {
     /// Memoized transforms.
     pub transforms: TransformCache,
     artifacts: Option<ArtifactStore>,
+    /// Present when the configuration asked for store-backed transforms:
+    /// subsets are staged into the chunked store once and every transform
+    /// streams from it (DESIGN.md §12).
+    store: Option<Arc<StoreBackend>>,
     models_loaded: AtomicUsize,
     models_fitted: AtomicUsize,
 }
@@ -300,14 +305,21 @@ impl GridContext {
                 None
             }
         });
+        let store = config.store_backed.then(|| Arc::new(StoreBackend::default()));
         GridContext {
             config,
             datasets: DatasetCache::new(),
             transforms: TransformCache::new(),
             artifacts,
+            store,
             models_loaded: AtomicUsize::new(0),
             models_fitted: AtomicUsize::new(0),
         }
+    }
+
+    /// The chunked-store backend, when this context is store-backed.
+    pub fn store_backend(&self) -> Option<&Arc<StoreBackend>> {
+        self.store.as_ref()
     }
 
     /// The artifact store, when the configuration enabled one.
@@ -426,18 +438,22 @@ impl GridContext {
         let ds = self.try_dataset(dataset)?;
         let key = TransformKey::new(dataset, subset, method, epsilon);
         self.transforms.get_or_compute(key, || {
-            let compressor = method.compressor();
-            match subset {
+            let uni;
+            let data: &MultiSeries = match subset {
                 Subset::Full => {
                     let name = &ds.series.names()[ds.series.target_index()];
-                    let uni = MultiSeries::univariate(name, ds.series.target().clone());
-                    transform_with_stats(&uni, compressor.as_ref(), epsilon)
+                    uni = MultiSeries::univariate(name, ds.series.target().clone());
+                    &uni
                 }
-                Subset::Train => {
-                    transform_with_stats(&ds.split.train, compressor.as_ref(), epsilon)
+                Subset::Train => &ds.split.train,
+                Subset::Val => &ds.split.val,
+                Subset::Test => &ds.split.test,
+            };
+            match &self.store {
+                Some(backend) => {
+                    backend.transform_with_stats(dataset, subset, data, method, epsilon)
                 }
-                Subset::Val => transform_with_stats(&ds.split.val, compressor.as_ref(), epsilon),
-                Subset::Test => transform_with_stats(&ds.split.test, compressor.as_ref(), epsilon),
+                None => transform_with_stats(data, method.compressor().as_ref(), epsilon),
             }
         })
     }

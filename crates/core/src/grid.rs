@@ -62,6 +62,11 @@ pub struct GridConfig {
     /// the same configuration load them instead of refitting (see
     /// [`crate::artifact`]).
     pub artifacts: Option<std::path::PathBuf>,
+    /// Serve every transform from the chunked store (`crates/store`):
+    /// subsets are staged as lossless Gorilla chunks once and re-encoded
+    /// through the streaming codecs per `(method, ε)`. Produces
+    /// byte-identical results to the in-memory path (DESIGN.md §12).
+    pub store_backed: bool,
 }
 
 impl GridConfig {
@@ -84,6 +89,7 @@ impl GridConfig {
             threads: num_threads(),
             data_seed: 0x5EED,
             artifacts: None,
+            store_backed: false,
         }
     }
 
@@ -106,6 +112,7 @@ impl GridConfig {
             threads: num_threads(),
             data_seed: 0x5EED,
             artifacts: None,
+            store_backed: false,
         }
     }
 
@@ -132,6 +139,7 @@ impl GridConfig {
             threads: num_threads(),
             data_seed: 0x5EED,
             artifacts: None,
+            store_backed: false,
         }
     }
 

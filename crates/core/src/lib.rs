@@ -8,7 +8,8 @@
 //! model-artifact format and checkpoint store behind `--resume`
 //! ([`artifact`]), result bookkeeping including partial-failure
 //! summaries ([`results`]) and the per-table/figure experiment
-//! reproductions ([`experiments`]).
+//! reproductions ([`experiments`]). Store-backed runs route every
+//! transform through the chunked store ([`storeback`], DESIGN.md §12).
 
 pub mod advisor;
 pub mod artifact;
@@ -18,6 +19,7 @@ pub mod experiments;
 pub mod grid;
 pub mod results;
 pub mod scenario;
+pub mod storeback;
 
 pub use advisor::{CompressionAdvisor, Recommendation};
 pub use artifact::{decode_state, encode_state, ArtifactError, ArtifactKey, ArtifactStore};
@@ -29,3 +31,4 @@ pub use engine::{
 pub use grid::{run_compression_grid, run_forecast_grid, run_retrain_grid, GridConfig};
 pub use results::{failure_summary, CompressionRecord, ForecastRecord, TaskFailure};
 pub use scenario::{evaluate_scenario, retrain_scenario, transform_series, ScenarioOutcome};
+pub use storeback::StoreBackend;

@@ -36,6 +36,8 @@ pub enum ScenarioError {
     Codec(compression::CodecError),
     /// Series manipulation failed.
     Series(SeriesError),
+    /// The chunked store rejected an ingest or read (store-backed runs).
+    Store(store::StoreError),
     /// The test subset yields no evaluation windows.
     NoWindows,
     /// A task referenced a method absent from the grid configuration.
@@ -50,6 +52,7 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::Forecast(e) => write!(f, "forecasting: {e}"),
             ScenarioError::Codec(e) => write!(f, "compression: {e}"),
             ScenarioError::Series(e) => write!(f, "series: {e}"),
+            ScenarioError::Store(e) => write!(f, "store: {e}"),
             ScenarioError::NoWindows => write!(f, "no evaluation windows in test subset"),
             ScenarioError::UnknownMethod(name) => {
                 write!(f, "method {name} is not in the grid configuration")
@@ -76,6 +79,12 @@ impl From<compression::CodecError> for ScenarioError {
 impl From<SeriesError> for ScenarioError {
     fn from(e: SeriesError) -> Self {
         ScenarioError::Series(e)
+    }
+}
+
+impl From<store::StoreError> for ScenarioError {
+    fn from(e: store::StoreError) -> Self {
+        ScenarioError::Store(e)
     }
 }
 

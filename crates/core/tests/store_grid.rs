@@ -1,0 +1,45 @@
+//! Store-backed grid runs must be indistinguishable from legacy in-memory
+//! runs: same records, byte-identical CSVs, and one staging ingest per
+//! `(dataset, subset)` regardless of how many transforms the grid asks
+//! for. This is the Rust-level twin of the CI store-smoke job, which
+//! `cmp`s full repro CSV outputs across the two modes.
+
+use evalcore::cache::{GridContext, Subset};
+use evalcore::grid::{run_compression_grid_ctx, run_forecast_grid_ctx, GridConfig};
+use evalcore::results::{compression_csv, forecast_csv};
+use forecast::model::ModelKind;
+
+fn config(store_backed: bool) -> GridConfig {
+    let mut cfg = GridConfig::smoke();
+    cfg.models = vec![ModelKind::GBoost];
+    cfg.store_backed = store_backed;
+    cfg
+}
+
+#[test]
+fn store_backed_compression_grid_is_byte_identical() {
+    let legacy = run_compression_grid_ctx(&GridContext::new(config(false)));
+    let stored = run_compression_grid_ctx(&GridContext::new(config(true)));
+    assert_eq!(compression_csv(&legacy), compression_csv(&stored));
+}
+
+#[test]
+fn store_backed_forecast_grid_is_byte_identical() {
+    let legacy_ctx = GridContext::new(config(false));
+    let stored_ctx = GridContext::new(config(true));
+    assert!(legacy_ctx.store_backend().is_none());
+
+    let legacy = run_forecast_grid_ctx(&legacy_ctx);
+    let stored = run_forecast_grid_ctx(&stored_ctx);
+    assert_eq!(forecast_csv(&legacy), forecast_csv(&stored));
+
+    // The grid transformed (methods × bounds) combinations of the test
+    // subset, but staged it into the store exactly once.
+    let backend = stored_ctx.store_backend().expect("store-backed context");
+    let cfg = stored_ctx.config.clone();
+    assert!(stored_ctx.transforms.misses() >= cfg.methods.len() * cfg.error_bounds.len());
+    let channels = 1; // smoke config pins channels = 1
+    assert_eq!(backend.store().num_series(), channels);
+    let id = evalcore::storeback::series_id(cfg.datasets[0], Subset::Test, 0);
+    assert!(backend.store().series_len(id).unwrap() > 0);
+}

@@ -1,0 +1,119 @@
+//! Chunk-at-a-time decoding readers.
+//!
+//! [`StoreSeries`] is a read snapshot of one series: an ordered list of
+//! sealed chunks (including a snapshot-seal of the open chunk at read
+//! time). Its [`PointIter`] decodes one chunk at a time, so iterating a
+//! series holds at most one chunk's values in memory — the windowers and
+//! the streaming re-encoders consume it through
+//! [`tsdata::series::SeriesSource`] without ever materialising the series.
+
+use std::sync::Arc;
+
+use tsdata::series::{DataPoint, SeriesSource};
+
+use crate::chunk::SealedChunk;
+
+/// A read-only, chunk-backed view of one series.
+#[derive(Debug, Clone)]
+pub struct StoreSeries {
+    start: i64,
+    interval: i64,
+    len: usize,
+    chunks: Vec<Arc<SealedChunk>>,
+}
+
+impl StoreSeries {
+    pub(crate) fn new(start: i64, interval: i64, chunks: Vec<Arc<SealedChunk>>) -> StoreSeries {
+        let len = chunks.iter().map(|c| c.len()).sum();
+        StoreSeries { start, interval, len, chunks }
+    }
+
+    /// Number of sealed chunks backing the view.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Iterates the sealed chunks in time order.
+    pub fn chunks(&self) -> ChunkIter<'_> {
+        ChunkIter { inner: self.chunks.iter() }
+    }
+
+    /// Iterates decoded points, one chunk resident at a time.
+    pub fn points(&self) -> PointIter<'_> {
+        PointIter {
+            chunks: self.chunks.iter(),
+            values: Vec::new().into_iter(),
+            next_ts: self.start,
+            interval: self.interval,
+        }
+    }
+}
+
+impl SeriesSource for StoreSeries {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn start(&self) -> i64 {
+        self.start
+    }
+
+    fn interval(&self) -> i64 {
+        self.interval
+    }
+
+    fn iter_values(&self) -> Box<dyn Iterator<Item = f64> + '_> {
+        Box::new(self.points().map(|p| p.value))
+    }
+
+    fn iter_points(&self) -> Box<dyn Iterator<Item = DataPoint> + '_> {
+        Box::new(self.points())
+    }
+}
+
+/// Iterator over a view's sealed chunks.
+#[derive(Debug, Clone)]
+pub struct ChunkIter<'a> {
+    inner: std::slice::Iter<'a, Arc<SealedChunk>>,
+}
+
+impl<'a> Iterator for ChunkIter<'a> {
+    type Item = &'a SealedChunk;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(|c| c.as_ref())
+    }
+}
+
+/// Streaming point reader: decodes the next chunk only when the previous
+/// one is exhausted.
+///
+/// Chunks in a [`StoreSeries`] were sealed by this store (or passed the
+/// total [`SealedChunk::from_bytes`] validation), so a decode failure here
+/// is an internal invariant violation and panics; untrusted bytes are
+/// rejected before they can reach an iterator.
+#[derive(Debug)]
+pub struct PointIter<'a> {
+    chunks: std::slice::Iter<'a, Arc<SealedChunk>>,
+    values: std::vec::IntoIter<f64>,
+    next_ts: i64,
+    interval: i64,
+}
+
+impl Iterator for PointIter<'_> {
+    type Item = DataPoint;
+
+    fn next(&mut self) -> Option<DataPoint> {
+        loop {
+            if let Some(value) = self.values.next() {
+                let timestamp = self.next_ts;
+                self.next_ts += self.interval;
+                return Some(DataPoint { timestamp, value });
+            }
+            let chunk = self.chunks.next()?;
+            let series = chunk.decode().expect("store-sealed chunk decodes");
+            self.next_ts = series.start();
+            self.values = series.into_values().into_iter();
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Deterministic fuzz harness for the chunk wire format (DESIGN.md §10
+//! extended to §12): [`SealedChunk::from_bytes`] and `decode` must be
+//! *total* over arbitrary bytes — `Ok` or `Err(StoreError)`, never a
+//! panic, and never an allocation driven by a hostile length field rather
+//! than by the input itself.
+//!
+//! Same scheme as `compression`'s `fuzz_decode`: seeded mutations
+//! (truncate, bit-flip, length-tamper, splice, scramble) of *valid* chunk
+//! frames across all four codecs, ≥1k cases per sweep, every failure
+//! replayable from its case label.
+
+use compression::mutate::{sweep, ALL_MUTATIONS};
+use compression::ByteReader;
+use store::{ChunkCodec, SealedChunk, SeriesId, StoreConfig, TsStore};
+use tsdata::series::RegularTimeSeries;
+
+/// The per-sweep floor the CI fuzz job guarantees.
+const MIN_CASES: usize = 1_000;
+
+/// Valid chunk frames: every codec, several shapes, chunked so the corpus
+/// includes both full-size and tail chunks.
+fn chunk_corpus() -> Vec<Vec<u8>> {
+    let shapes: Vec<RegularTimeSeries> = vec![
+        RegularTimeSeries::new(
+            0,
+            60,
+            (0..300).map(|i| 25.0 + (i as f64 * 0.05).sin() * 8.0).collect(),
+        )
+        .unwrap(),
+        RegularTimeSeries::new(1_600_000_000, 900, vec![13.25; 120]).unwrap(),
+        RegularTimeSeries::new(-120, 1, (0..90).map(|i| ((i % 13) as f64 - 6.0) * 1.7).collect())
+            .unwrap(),
+        RegularTimeSeries::new(7, 3600, vec![1.0, -2.5, 1.0e6]).unwrap(),
+    ];
+    let mut corpus = Vec::new();
+    for (si, series) in shapes.iter().enumerate() {
+        for (ci, codec) in [ChunkCodec::Gorilla, ChunkCodec::Pmc, ChunkCodec::Swing, ChunkCodec::Sz]
+            .into_iter()
+            .enumerate()
+        {
+            let eps = if codec == ChunkCodec::Gorilla { 0.0 } else { 0.05 };
+            let store = TsStore::new(StoreConfig { max_chunk_points: 70, chunk_span: None });
+            let id = SeriesId((si * 10 + ci) as u64);
+            store.ingest(id, codec, eps, series).expect("corpus ingests");
+            for chunk in store.read(id).expect("series exists").chunks() {
+                corpus.push(chunk.to_bytes());
+            }
+        }
+    }
+    corpus
+}
+
+/// The totality oracle: parsing mutated bytes may fail but must not
+/// panic; whatever parses must re-serialise to the same frame, decode
+/// deterministically, and decode to exactly the point count the header
+/// announces (the anti-over-allocation check — every `Ok` is backed by
+/// real payload, not a length field).
+fn assert_total(buf: &[u8], label: &str) {
+    let mut r = ByteReader::new(buf);
+    let Ok(chunk) = SealedChunk::from_bytes(&mut r) else { return };
+    // A parsed chunk is CRC-clean and structurally valid: to_bytes must
+    // reproduce the frame it was parsed from.
+    let frame = chunk.to_bytes();
+    assert_eq!(frame.len(), chunk.wire_len(), "wire_len lies: {label}");
+    assert_eq!(&frame[..], &buf[..frame.len()], "reserialisation differs: {label}");
+    match chunk.decode() {
+        Ok(series) => {
+            assert_eq!(series.len(), chunk.len(), "decode length != header count: {label}");
+            assert_eq!(series.start(), chunk.start_ts(), "decode start differs: {label}");
+            let again = chunk.decode().expect("second decode of same chunk");
+            let a: Vec<u64> = series.values().iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u64> = again.values().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "decode must be deterministic: {label}");
+        }
+        Err(_) => {
+            // A CRC-clean header over a payload the codec rejects is
+            // possible only via splices of two valid frames; rejecting is
+            // the correct total behaviour.
+        }
+    }
+}
+
+/// Sweeps mutations of whole chunk frames.
+#[test]
+fn chunk_frame_mutations_never_panic() {
+    let corpus = chunk_corpus();
+    assert!(corpus.len() >= 16, "corpus spans codecs and tail chunks");
+    let rounds = MIN_CASES.div_ceil(ALL_MUTATIONS.len() * corpus.len());
+    let total = sweep(&corpus, 0x5EA1_C0DE, rounds, assert_total);
+    assert!(total >= MIN_CASES, "only {total} chunk fuzz cases");
+}
+
+/// Header-focused sweep: mutations concentrated on the 56-byte header are
+/// far more likely to produce interesting parses than payload noise, so
+/// give the header its own ≥1k-case budget.
+#[test]
+fn chunk_header_mutations_never_panic() {
+    let corpus: Vec<Vec<u8>> = chunk_corpus()
+        .into_iter()
+        .map(|frame| frame[..store::CHUNK_HEADER_LEN.min(frame.len())].to_vec())
+        .collect();
+    let rounds = MIN_CASES.div_ceil(ALL_MUTATIONS.len() * corpus.len());
+    let total = sweep(&corpus, 0x004E_ADE4, rounds, |buf, label| {
+        let mut r = ByteReader::new(buf);
+        // Headers without payload must always be rejected, never panic.
+        assert!(SealedChunk::from_bytes(&mut r).is_err(), "payload-less parse: {label}");
+    });
+    assert!(total >= MIN_CASES, "only {total} header fuzz cases");
+}
+
+/// Every truncation prefix of every corpus frame is rejected cleanly —
+/// the torn-write case, swept exhaustively rather than randomly.
+#[test]
+fn truncated_chunks_always_rejected() {
+    for (i, frame) in chunk_corpus().iter().enumerate() {
+        for cut in 0..frame.len() {
+            let mut r = ByteReader::new(&frame[..cut]);
+            assert!(
+                SealedChunk::from_bytes(&mut r).is_err(),
+                "frame {i} parsed from a {cut}-byte prefix"
+            );
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests: a store-backed [`SeriesSource`] must be equivalent to
+//! the legacy in-memory `Vec` path, bit for bit, for every chunk codec —
+//! including reads and windows that cross chunk boundaries.
+//!
+//! The oracles:
+//! - Gorilla staging is lossless: iteration returns the ingested values
+//!   exactly (`f64::to_bits` equality), at the ingested timestamps.
+//! - A lossy-ingested series equals the batch codec applied chunk by
+//!   chunk: the store's online encoders must produce the same frames the
+//!   batch compressor would for each chunk's slice (the
+//!   streaming-equals-batch guarantee from `compression::streaming`,
+//!   exercised here through the whole store stack).
+//! - `make_windows_from` over store views is identical to `make_windows`
+//!   over the materialised `MultiSeries`, with chunk sizes smaller than
+//!   the window so every window spans a chunk seam.
+
+use compression::ALL_METHODS;
+use proptest::prelude::*;
+use store::{ChunkCodec, SeriesId, StoreConfig, TsStore};
+use tsdata::series::{MultiSeries, RegularTimeSeries, SeriesSource};
+use tsdata::split::{make_windows, make_windows_from};
+
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+fn ingested(
+    values: &[f64],
+    start: i64,
+    interval: i64,
+    codec: ChunkCodec,
+    eps: f64,
+    chunk: usize,
+) -> (TsStore, SeriesId) {
+    let store = TsStore::new(StoreConfig { max_chunk_points: chunk, chunk_span: None });
+    let id = SeriesId(1);
+    let series = RegularTimeSeries::new(start, interval, values.to_vec()).expect("non-empty");
+    store.ingest(id, codec, eps, &series).expect("ingest succeeds");
+    (store, id)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gorilla_store_iteration_is_bit_identical_to_vec(
+        vals in prop::collection::vec(-1.0e6..1.0e6f64, 1..400),
+        start in -1_000i64..1_000_000,
+        interval in 1i64..3600,
+        chunk in 1usize..64,
+    ) {
+        let (store, id) = ingested(&vals, start, interval, ChunkCodec::Gorilla, 0.0, chunk);
+        let view = store.read(id).expect("series exists");
+
+        prop_assert_eq!(view.len(), vals.len());
+        prop_assert_eq!(view.start(), start);
+        let decoded: Vec<f64> = view.iter_values().collect();
+        prop_assert_eq!(bits(&decoded), bits(&vals));
+        for (i, p) in view.iter_points().enumerate() {
+            prop_assert_eq!(p.timestamp, start + i as i64 * interval);
+        }
+        // Chunk boundaries are where the policy put them.
+        prop_assert_eq!(view.num_chunks(), vals.len().div_ceil(chunk));
+    }
+
+    #[test]
+    fn lossy_store_iteration_matches_per_chunk_batch_codec(
+        vals in prop::collection::vec(-100.0..100.0f64, 1..300),
+        eps in 0.01..0.5f64,
+        midx in 0usize..3,
+        chunk in 8usize..96,
+    ) {
+        let method = ALL_METHODS[midx];
+        let codec = match method {
+            compression::Method::Pmc => ChunkCodec::Pmc,
+            compression::Method::Swing => ChunkCodec::Swing,
+            compression::Method::Sz => ChunkCodec::Sz,
+        };
+        let (start, interval) = (0i64, 60i64);
+        let (store, id) = ingested(&vals, start, interval, codec, eps, chunk);
+        let view = store.read(id).expect("series exists");
+        let decoded: Vec<f64> = view.iter_values().collect();
+
+        // Legacy reference: batch-compress each chunk's slice and
+        // concatenate the decompressions.
+        let compressor = method.compressor();
+        let mut reference = Vec::with_capacity(vals.len());
+        for (i, slice) in vals.chunks(chunk).enumerate() {
+            let s = RegularTimeSeries::new(
+                start + (i * chunk) as i64 * interval,
+                interval,
+                slice.to_vec(),
+            )
+            .expect("non-empty slice");
+            let frame = compressor.compress(&s, eps).expect("batch compress");
+            reference.extend(compressor.decompress(&frame).expect("batch decompress").into_values());
+        }
+        prop_assert_eq!(bits(&decoded), bits(&reference));
+
+        // And the store never broke the paper's pointwise bound.
+        prop_assert!(
+            compression::find_bound_violation(&vals, &decoded, eps, 1e-9).is_none(),
+            "{} violated eps={eps}", method.name()
+        );
+    }
+
+    #[test]
+    fn windows_from_store_views_match_legacy_windows(
+        vals in prop::collection::vec(-50.0..50.0f64, 30..160),
+        input_len in 2usize..12,
+        horizon in 1usize..6,
+        stride in 1usize..5,
+        chunk in 3usize..9,
+        target in 0usize..2,
+    ) {
+        // Two channels, chunked finer than one window so every window
+        // crosses at least one chunk seam.
+        let a = vals.clone();
+        let b: Vec<f64> = vals.iter().map(|v| v * 0.5 - 3.0).collect();
+        let series_a = RegularTimeSeries::new(0, 900, a).expect("non-empty");
+        let series_b = RegularTimeSeries::new(0, 900, b).expect("non-empty");
+
+        let store = TsStore::new(StoreConfig { max_chunk_points: chunk, chunk_span: None });
+        store.ingest(SeriesId(0), ChunkCodec::Gorilla, 0.0, &series_a).expect("ingest a");
+        store.ingest(SeriesId(1), ChunkCodec::Gorilla, 0.0, &series_b).expect("ingest b");
+        let view_a = store.read(SeriesId(0)).expect("a");
+        let view_b = store.read(SeriesId(1)).expect("b");
+
+        let legacy = MultiSeries::new(
+            vec!["a".into(), "b".into()],
+            vec![series_a, series_b],
+            target,
+        )
+        .expect("aligned channels");
+
+        let expect = make_windows(&legacy, input_len, horizon, stride);
+        let sources: Vec<&dyn SeriesSource> = vec![&view_a, &view_b];
+        let got = make_windows_from(&sources, target, input_len, horizon, stride);
+
+        prop_assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert_eq!(g.start, e.start);
+            prop_assert_eq!(g.inputs.len(), e.inputs.len());
+            for (gi, ei) in g.inputs.iter().zip(&e.inputs) {
+                prop_assert_eq!(bits(gi), bits(ei));
+            }
+            prop_assert_eq!(bits(&g.target), bits(&e.target));
+        }
+    }
+}

@@ -214,6 +214,68 @@ impl RegularTimeSeries {
     }
 }
 
+/// Iterator-based read access to a regular series.
+///
+/// The store's chunk-backed views and the legacy in-memory
+/// [`RegularTimeSeries`] both implement this, so windowing and evaluation
+/// code can read either without materialising a full `Vec<f64>` first.
+/// Implementations must yield exactly [`SeriesSource::len`] values in time
+/// order, with the `i`-th value observed at `start + i * interval`.
+pub trait SeriesSource {
+    /// Number of points.
+    fn len(&self) -> usize;
+
+    /// Whether the source has no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// First timestamp (seconds).
+    fn start(&self) -> i64;
+
+    /// Sampling interval (seconds).
+    fn interval(&self) -> i64;
+
+    /// Streams the values in time order.
+    fn iter_values(&self) -> Box<dyn Iterator<Item = f64> + '_>;
+
+    /// Streams `(timestamp, value)` pairs in time order.
+    fn iter_points(&self) -> Box<dyn Iterator<Item = DataPoint> + '_> {
+        let start = self.start();
+        let interval = self.interval();
+        Box::new(
+            self.iter_values()
+                .enumerate()
+                .map(move |(i, v)| DataPoint { timestamp: start + interval * i as i64, value: v }),
+        )
+    }
+
+    /// Collects the source into an owned in-memory series. Reading code
+    /// should prefer the iterators; this exists for the boundary into
+    /// slice-based APIs (codecs, model fitting).
+    fn materialize(&self) -> Result<RegularTimeSeries, SeriesError> {
+        RegularTimeSeries::new(self.start(), self.interval(), self.iter_values().collect())
+    }
+}
+
+impl SeriesSource for RegularTimeSeries {
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    fn start(&self) -> i64 {
+        self.start
+    }
+
+    fn interval(&self) -> i64 {
+        self.interval
+    }
+
+    fn iter_values(&self) -> Box<dyn Iterator<Item = f64> + '_> {
+        Box::new(self.values.iter().copied())
+    }
+}
+
 /// A multivariate regular time series: several aligned channels sharing one
 /// time axis, plus the index of the paper's target variable.
 #[derive(Debug, Clone, PartialEq)]
@@ -405,6 +467,21 @@ mod tests {
         let r = RegularTimeSeries::new(10, 5, vec![1.0, 2.0, 3.0]).unwrap();
         let collected: Vec<_> = r.iter().collect();
         assert_eq!(collected[1], DataPoint { timestamp: 15, value: 2.0 });
+    }
+
+    #[test]
+    fn series_source_matches_inherent_accessors() {
+        let r = RegularTimeSeries::new(10, 5, vec![1.0, 2.0, 3.0]).unwrap();
+        let src: &dyn SeriesSource = &r;
+        assert_eq!(src.len(), 3);
+        assert_eq!((src.start(), src.interval()), (10, 5));
+        assert_eq!(src.iter_values().collect::<Vec<_>>(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(
+            src.iter_points().collect::<Vec<_>>(),
+            r.iter().collect::<Vec<_>>(),
+            "trait points must match the inherent iterator"
+        );
+        assert_eq!(src.materialize().unwrap(), r);
     }
 
     #[test]

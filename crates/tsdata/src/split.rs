@@ -4,7 +4,9 @@
 //! fixes the model input to the 96 previous timestamps and the forecasting
 //! horizon to 24 timestamps.
 
-use crate::series::{MultiSeries, SeriesError};
+use std::collections::VecDeque;
+
+use crate::series::{MultiSeries, SeriesError, SeriesSource};
 
 /// Paper default input window length (96 previous timestamps).
 pub const DEFAULT_INPUT_LEN: usize = 96;
@@ -73,20 +75,51 @@ pub fn make_windows(
     horizon: usize,
     stride: usize,
 ) -> Vec<Window> {
+    let sources: Vec<&dyn SeriesSource> =
+        data.channels().iter().map(|c| c as &dyn SeriesSource).collect();
+    make_windows_from(&sources, data.target_index(), input_len, horizon, stride)
+}
+
+/// Builds the same sliding windows from [`SeriesSource`]s in one streaming
+/// pass: each channel is read through its iterator exactly once, with a
+/// ring buffer holding only the `input_len + horizon` most recent points
+/// per channel. This is what lets chunk-backed store reads feed the
+/// forecasting windowers without ever materialising a full series.
+pub fn make_windows_from(
+    channels: &[&dyn SeriesSource],
+    target: usize,
+    input_len: usize,
+    horizon: usize,
+    stride: usize,
+) -> Vec<Window> {
     assert!(input_len > 0 && horizon > 0 && stride > 0, "window parameters must be positive");
-    let n = data.len();
-    if n < input_len + horizon {
+    assert!(target < channels.len(), "target channel {target} of {}", channels.len());
+    let span = input_len + horizon;
+    let n = channels.iter().map(|c| c.len()).min().unwrap_or(0);
+    if n < span {
         return Vec::new();
     }
-    let target = data.target().values();
-    let mut windows = Vec::new();
-    let mut s = 0;
-    while s + input_len + horizon <= n {
-        let inputs =
-            data.channels().iter().map(|c| c.values()[s..s + input_len].to_vec()).collect();
-        let t = target[s + input_len..s + input_len + horizon].to_vec();
-        windows.push(Window { inputs, target: t, start: s });
-        s += stride;
+    let mut windows = Vec::with_capacity((n - span) / stride + 1);
+    let mut rings: Vec<VecDeque<f64>> =
+        channels.iter().map(|_| VecDeque::with_capacity(span)).collect();
+    let mut iters: Vec<_> = channels.iter().map(|c| c.iter_values()).collect();
+    for i in 0..n {
+        for (ring, it) in rings.iter_mut().zip(iters.iter_mut()) {
+            if ring.len() == span {
+                ring.pop_front();
+            }
+            ring.push_back(it.next().expect("source shorter than its declared len"));
+        }
+        // The ring now holds indices s..=i with s = i + 1 - span.
+        if i + 1 >= span {
+            let s = i + 1 - span;
+            if s.is_multiple_of(stride) {
+                let inputs =
+                    rings.iter().map(|r| r.iter().take(input_len).copied().collect()).collect();
+                let t = rings[target].iter().skip(input_len).copied().collect();
+                windows.push(Window { inputs, target: t, start: s });
+            }
+        }
     }
     windows
 }
@@ -161,6 +194,32 @@ mod tests {
     #[test]
     fn short_series_yields_no_windows() {
         assert!(make_windows(&series(4), 3, 2, 1).is_empty());
+    }
+
+    #[test]
+    fn source_windows_match_slice_windows() {
+        // The streaming ring-buffer path is the only implementation now,
+        // so pin it against a hand-rolled slice reference.
+        let data = series(53);
+        for (input_len, horizon, stride) in [(3, 2, 1), (4, 2, 5), (7, 3, 2), (50, 3, 1)] {
+            let got = make_windows(&data, input_len, horizon, stride);
+            let target = data.target().values();
+            let mut want = Vec::new();
+            let mut s = 0;
+            while s + input_len + horizon <= data.len() {
+                want.push(Window {
+                    inputs: data
+                        .channels()
+                        .iter()
+                        .map(|c| c.values()[s..s + input_len].to_vec())
+                        .collect(),
+                    target: target[s + input_len..s + input_len + horizon].to_vec(),
+                    start: s,
+                });
+                s += stride;
+            }
+            assert_eq!(got, want, "input_len={input_len} horizon={horizon} stride={stride}");
+        }
     }
 
     #[test]
