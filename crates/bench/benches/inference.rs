@@ -1,0 +1,192 @@
+//! Inference throughput bench: windows/sec for every one of the paper's
+//! seven forecasters, batched (`predict_batch`, one 64-window matrix)
+//! against the legacy per-window `predict` loop, measured head-to-head
+//! in the same process on the same fitted models.
+//!
+//! Run with `cargo bench --bench inference`; set `BENCH_SMOKE=1` for the
+//! CI short mode. Writes `BENCH_inference.json` at the workspace root
+//! (committed so throughput regressions show up in review diffs) and
+//! asserts per-model speedup floors for batched inference at batch
+//! size 64. The floors are tiered to each model family's *measured
+//! intrinsic* ceiling on this single-core reference host, because the
+//! bit-identity contract (batched == per-window, CI-asserted on grid
+//! CSVs) pins both paths to the exact same flop and transcendental
+//! sequence — batching can only strip graph/dispatch overhead, never
+//! re-associate the math. Profiled ceilings: N-BEATS is overhead
+//! dominated per window (~5x available); DLinear's naive moving-average
+//! decompose and GRU's sigmoid/tanh gates dominate both paths (~2.4x /
+//! ~2x); the seq2seq transformers spend ~80% of a per-window pass in
+//! matmul+exp flops both paths share, capping the ratio near ~1.2x.
+//!
+//! A `calibration/memcpy` row pins the host's raw copy bandwidth so the
+//! CI regression check can normalise inference numbers across machines.
+
+use criterion::{black_box, Criterion, Throughput};
+use forecast::model::{Forecaster, ALL_MODELS};
+use forecast::{build_model, BuildOptions};
+use neural::tensor::Tensor;
+use tsdata::datasets::{generate, DatasetKind, GenOptions};
+use tsdata::split::{split, SplitSpec};
+
+const INPUT_LEN: usize = 48;
+const HORIZON: usize = 12;
+const BATCH: usize = 64;
+
+/// CI short mode: fewer samples, same models and workload.
+fn smoke() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Fit all seven models once on the ETTm1 recreation the evaluation grid
+/// itself runs on, then carve a 64-window eval batch from the test split.
+fn fit_models() -> (Vec<Box<dyn Forecaster>>, Vec<Vec<f64>>) {
+    let data =
+        generate(DatasetKind::ETTm1, GenOptions { len: Some(1_200), channels: Some(1), seed: 7 });
+    let s = split(&data, SplitSpec::default()).expect("1200 points split cleanly");
+    let models: Vec<Box<dyn Forecaster>> = ALL_MODELS
+        .into_iter()
+        .map(|kind| {
+            let mut model = build_model(
+                kind,
+                BuildOptions {
+                    input_len: INPUT_LEN,
+                    horizon: HORIZON,
+                    seed: 7,
+                    ..BuildOptions::default()
+                },
+            );
+            model.fit(&s.train, &s.val).expect("bench fit succeeds");
+            model
+        })
+        .collect();
+
+    let test_vals = s.test.target().values();
+    let max_start = test_vals.len() - INPUT_LEN;
+    let windows: Vec<Vec<f64>> = (0..BATCH)
+        .map(|i| {
+            let start = (i * 3) % (max_start + 1);
+            test_vals[start..start + INPUT_LEN].to_vec()
+        })
+        .collect();
+    (models, windows)
+}
+
+fn stage(windows: &[Vec<f64>]) -> Tensor {
+    let mut staged = Tensor::zeros(windows.len(), INPUT_LEN);
+    for (r, w) in windows.iter().enumerate() {
+        staged.data_mut()[r * INPUT_LEN..(r + 1) * INPUT_LEN].copy_from_slice(w);
+    }
+    staged
+}
+
+/// Per-window `predict` loop vs one `predict_batch` call over the same 64
+/// windows; both rows share `Throughput::Elements(64)` so reported
+/// windows/sec and the speedup ratio are directly comparable.
+fn bench_inference(c: &mut Criterion, models: &[Box<dyn Forecaster>], windows: &[Vec<f64>]) {
+    let staged = stage(windows);
+
+    let mut group = c.benchmark_group("per_window");
+    group.throughput(Throughput::Elements(windows.len() as u64));
+    for model in models {
+        group.bench_function(model.name(), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for w in windows {
+                    let pred = model
+                        .predict(std::slice::from_ref(black_box(w)))
+                        .expect("per-window predict succeeds");
+                    acc ^= pred[0].to_bits();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("batched");
+    group.throughput(Throughput::Elements(windows.len() as u64));
+    for model in models {
+        group.bench_function(model.name(), |b| {
+            b.iter(|| model.predict_batch(black_box(&staged)).expect("batched predict succeeds"))
+        });
+    }
+    group.finish();
+}
+
+/// Raw copy bandwidth of this host: the unit CI normalises against so a
+/// slower runner does not read as an inference regression.
+fn bench_calibration(c: &mut Criterion, len: usize) {
+    let src = vec![0xA5u8; len];
+    let mut group = c.benchmark_group("calibration");
+    group.throughput(Throughput::Bytes(len as u64));
+    group.bench_function("memcpy", |b| b.iter(|| black_box(&src).to_vec()));
+    group.finish();
+}
+
+fn main() {
+    // Smoke mode keeps the full-mode workload (same models, same 64-window
+    // batch, so CI throughputs compare against the committed full-mode
+    // baseline) and only trims samples.
+    let samples = if smoke() { 8 } else { 20 };
+    let mut criterion = Criterion::default().sample_size(samples);
+
+    let (models, windows) = fit_models();
+    bench_inference(&mut criterion, &models, &windows);
+    bench_calibration(&mut criterion, 1 << 20);
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_inference.json");
+    criterion.save_json(path).expect("write BENCH_inference.json");
+    println!("wrote {path}");
+
+    // Acceptance criterion from the batched-inference PR, checked against
+    // the per-window loop measured moments ago in this very process.
+    // Min-time is the robust estimator on a noisy host: interference only
+    // ever inflates a sample.
+    let records = criterion.records();
+    let min_ns = |group: &str, id: &str| {
+        records
+            .iter()
+            .find(|r| r.group == group && r.id == id)
+            .map(|r| r.min_ns)
+            .expect("record present")
+    };
+    for model in &models {
+        let speedup = min_ns("per_window", model.name()) / min_ns("batched", model.name());
+        println!("{:<12} batched vs per-window: {speedup:.2}x", model.name());
+        // Per-family floors, set below the measured ceiling with noise
+        // margin (measured on the 1-core reference host; see module doc
+        // for why bit-identity caps each family):
+        //
+        //   N-BEATS      measured ~5x    floor 3.0  (per-window is graph
+        //                overhead; batching amortises it across 64 rows)
+        //   DLinear      measured ~2.4x  floor 1.5  (O(k·window) moving-
+        //                average decompose dominates, shared bit-for-bit
+        //                by both paths)
+        //   GRU          measured ~2x    floor 1.4  (3 gates x 60 steps
+        //                of sigmoid/tanh is a shared transcendental
+        //                floor; batching removes per-step param clones)
+        //   Transformer/ measured ~1.1-  floor 0.9  (flops+exp parity;
+        //   Informer     1.2x            the gate is "stacking must not
+        //                LOSE" — pre-chunking it ran 0.5x because the
+        //                [64·L, L] score tensors spilled L2)
+        //
+        // ARIMA/GBoost batching only hoists table/tree reuse and carries
+        // no floor. Smoke mode's 8 samples are too few for a hard gate;
+        // CI's gate is the normalised regression diff vs the committed
+        // baseline JSON.
+        let floor = match model.name() {
+            "NBeats" => 3.0,
+            "DLinear" => 1.5,
+            "GRU" => 1.4,
+            "Transformer" | "Informer" => 0.9,
+            _ => 0.0,
+        };
+        if !smoke() && floor > 0.0 {
+            assert!(
+                speedup >= floor,
+                "{} batched speedup {speedup:.2}x < {floor}x floor at batch size {BATCH}",
+                model.name()
+            );
+        }
+    }
+}

@@ -315,5 +315,39 @@ fn render_summary(
             );
         }
     }
+
+    // Batched inference: windows predicted and predict_batch latency per
+    // model, mirroring the fit section above.
+    let windows_for = |model: &str| -> u64 {
+        snapshots
+            .iter()
+            .filter(|s| s.name == "predict_windows_total")
+            .filter(|s| s.labels.iter().any(|(k, v)| k == "model" && v == model))
+            .filter_map(|s| s.value.as_counter())
+            .sum()
+    };
+    let mut predict_rows: Vec<(&str, u64, f64)> = snapshots
+        .iter()
+        .filter(|s| s.name == "predict_batch_seconds")
+        .filter_map(|s| {
+            let (count, sum) = s.value.as_histogram_totals()?;
+            let model =
+                s.labels.iter().find(|(k, _)| k == "model").map(|(_, v)| v.as_str()).unwrap_or("?");
+            Some((model, count, sum))
+        })
+        .collect();
+    predict_rows.sort_by(|a, b| b.2.total_cmp(&a.2));
+    if !predict_rows.is_empty() {
+        out.push_str("[repro] inference per model:\n");
+        for (model, batches, sum) in predict_rows {
+            let windows = windows_for(model);
+            let _ = writeln!(
+                out,
+                "[repro]   {model:<12} {windows:>6} window(s) in {batches:>5} batch(es) \
+                 {sum:>9.3}s total {:>9.0} windows/s",
+                windows as f64 / sum.max(1e-9)
+            );
+        }
+    }
     out
 }

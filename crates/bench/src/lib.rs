@@ -151,13 +151,16 @@ pub struct Cli {
     /// chunked store instead of in-memory series (byte-identical results;
     /// see DESIGN.md §12).
     pub store: bool,
+    /// Inference batch-size override for evaluation scoring (`0` = the
+    /// legacy per-window predict loop; results are identical either way).
+    pub batch_size: Option<usize>,
 }
 
 /// Parses `repro` arguments. Returns `Err` with a usage string on bad
 /// input.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
     let usage = "usage: repro [all|table1|table2|...|fig7|decomp|retrain]... \
-                 [--quick|--paper] [--len N] [--seed S] [--csv DIR] \
+                 [--quick|--paper] [--len N] [--seed S] [--batch-size N] [--csv DIR] \
                  [--artifacts DIR [--resume]] [--metrics FILE] [--trace FILE] [--store]";
     let mut experiments = Vec::new();
     let mut scale = Scale::Default;
@@ -169,6 +172,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String
     let mut metrics = None;
     let mut trace = None;
     let mut store = false;
+    let mut batch_size = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -193,6 +197,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String
             }
             "--resume" => resume = true,
             "--store" => store = true,
+            "--batch-size" => {
+                let v =
+                    iter.next().ok_or_else(|| format!("--batch-size needs a value\n{usage}"))?;
+                batch_size = Some(v.parse().map_err(|_| format!("bad --batch-size {v}\n{usage}"))?);
+            }
             "--metrics" => {
                 let v = iter.next().ok_or_else(|| format!("--metrics needs a file\n{usage}"))?;
                 metrics = Some(v);
@@ -214,7 +223,19 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String
     if experiments.is_empty() {
         experiments.push(Experiment::All);
     }
-    Ok(Cli { experiments, scale, len, seed, csv_dir, artifacts, resume, metrics, trace, store })
+    Ok(Cli {
+        experiments,
+        scale,
+        len,
+        seed,
+        csv_dir,
+        artifacts,
+        resume,
+        metrics,
+        trace,
+        store,
+        batch_size,
+    })
 }
 
 /// Builds the grid configuration for a scale.
@@ -241,6 +262,9 @@ pub fn config_for(cli: &Cli) -> GridConfig {
     }
     cfg.artifacts = cli.artifacts.as_ref().map(std::path::PathBuf::from);
     cfg.store_backed = cli.store;
+    if let Some(b) = cli.batch_size {
+        cfg.batch_size = b;
+    }
     cfg
 }
 
@@ -313,6 +337,20 @@ mod tests {
         assert_eq!(cfg.data_seed, 5);
         assert_eq!(cfg.datasets.len(), 6);
         assert_eq!(cfg.artifacts, None);
+    }
+
+    #[test]
+    fn batch_size_flag_threads_into_config() {
+        let cli = parse("table2 --quick").unwrap();
+        assert_eq!(cli.batch_size, None);
+        assert_eq!(config_for(&cli).batch_size, 64, "default stays batched");
+        let cli = parse("table2 --quick --batch-size 0").unwrap();
+        assert_eq!(cli.batch_size, Some(0));
+        assert_eq!(config_for(&cli).batch_size, 0, "0 selects the legacy path");
+        let cli = parse("table2 --quick --batch-size 128").unwrap();
+        assert_eq!(config_for(&cli).batch_size, 128);
+        assert!(parse("--batch-size").is_err());
+        assert!(parse("--batch-size x").is_err());
     }
 
     #[test]

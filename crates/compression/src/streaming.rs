@@ -9,6 +9,9 @@
 //! except that the streaming side also enforces the 16-bit segment-length
 //! cap during segmentation — both algorithms are single-pass by
 //! construction; the batch API merely materializes everything at once.
+//! Cap-forced cuts are counted (`cap_cuts`) so callers that promise
+//! byte-identity with the batch frames ([`compress_source`], store chunk
+//! sealing) can fail with a typed error instead of silently diverging.
 
 use tsdata::series::SeriesSource;
 
@@ -36,6 +39,7 @@ pub struct StreamingPmc {
     sum: f64,
     count: usize,
     mean: f64,
+    cap_cuts: usize,
 }
 
 impl StreamingPmc {
@@ -48,12 +52,21 @@ impl StreamingPmc {
             sum: 0.0,
             count: 0,
             mean: 0.0,
+            cap_cuts: 0,
         }
     }
 
     /// Number of points in the open window.
     pub fn pending_len(&self) -> usize {
         self.count
+    }
+
+    /// How many segments were cut by the 16-bit length cap rather than the
+    /// error bound. Non-zero means this stream's segmentation diverged
+    /// from the batch compressor's (which splits at encode time, keeping
+    /// one mean per logical segment), so byte-identity no longer holds.
+    pub fn cap_cuts(&self) -> usize {
+        self.cap_cuts
     }
 
     /// Pushes one point; returns the segment that closed, if any.
@@ -72,6 +85,7 @@ impl StreamingPmc {
             self.mean = nmean;
             // Respect the 16-bit segment-length storage cap.
             if self.count == u16::MAX as usize {
+                self.cap_cuts += 1;
                 return Emit::Segment(self.take_segment(f64::NAN));
             }
             Emit::Pending
@@ -124,6 +138,7 @@ pub struct StreamingSwing {
     slope_lo: f64,
     slope_hi: f64,
     started: bool,
+    cap_cuts: usize,
 }
 
 impl StreamingSwing {
@@ -136,6 +151,7 @@ impl StreamingSwing {
             slope_lo: f64::NEG_INFINITY,
             slope_hi: f64::INFINITY,
             started: false,
+            cap_cuts: 0,
         }
     }
 
@@ -146,6 +162,12 @@ impl StreamingSwing {
         } else {
             0
         }
+    }
+
+    /// How many segments were cut by the 16-bit length cap rather than
+    /// the error bound (see [`StreamingPmc::cap_cuts`]).
+    pub fn cap_cuts(&self) -> usize {
+        self.cap_cuts
     }
 
     fn close(&mut self) -> SwingSegment {
@@ -190,12 +212,18 @@ impl StreamingSwing {
         let b_eff = b - margin;
         let nlo = self.slope_lo.max((v - b_eff - self.anchor) / off);
         let nhi = self.slope_hi.min((v + b_eff - self.anchor) / off);
-        if b_eff > 0.0 && nlo <= nhi && self.offset + 2 <= u16::MAX as usize {
+        let fits = b_eff > 0.0 && nlo <= nhi;
+        if fits && self.offset + 2 <= u16::MAX as usize {
             self.slope_lo = nlo;
             self.slope_hi = nhi;
             self.offset += 1;
             Emit::Pending
         } else {
+            if fits {
+                // The bound would have admitted the point; only the 16-bit
+                // length cap forced this cut.
+                self.cap_cuts += 1;
+            }
             let seg = self.close();
             self.reanchor(v);
             Emit::Segment(seg)
@@ -225,10 +253,15 @@ impl StreamingSwing {
 
 /// Compresses a [`SeriesSource`] under `(method, epsilon)` by streaming its
 /// values through the online encoders, producing a frame *byte-identical*
-/// to `method.compressor().compress(...)` of the materialised series (as
-/// long as no segment reaches the 16-bit length cap, where the streaming
-/// side cuts eagerly). PMC and Swing never hold more than the open window;
-/// SZ is block-based and falls back to collecting the values.
+/// to `method.compressor().compress(...)` of the materialised series. PMC
+/// and Swing never hold more than the open window; SZ is block-based and
+/// falls back to collecting the values.
+///
+/// If a segment reaches the 16-bit length cap the streaming side is forced
+/// to cut where the batch side would not (the batch encoder splits at
+/// encode time, keeping one model per logical segment), so byte-identity
+/// cannot hold — that case returns [`CodecError::SegmentCap`] instead of
+/// silently diverging.
 ///
 /// This is how the store re-encodes chunk-backed reads: identical frame
 /// bytes mean identical sizes, segment counts and decoded series, so a
@@ -249,6 +282,9 @@ pub fn compress_source(
                 }
             }
             segs.extend(enc.drain());
+            if enc.cap_cuts() > 0 {
+                return Err(CodecError::SegmentCap { method: "PMC" });
+            }
             Ok(CompressedSeries {
                 method: "PMC",
                 bytes: crate::pmc::encode_segments(source.start(), source.interval(), &segs)?,
@@ -264,6 +300,9 @@ pub fn compress_source(
                 }
             }
             segs.extend(enc.drain());
+            if enc.cap_cuts() > 0 {
+                return Err(CodecError::SegmentCap { method: "SWING" });
+            }
             Ok(CompressedSeries {
                 method: "SWING",
                 bytes: crate::swing::encode_segments(source.start(), source.interval(), &segs)?,
@@ -445,5 +484,42 @@ mod tests {
             }
         }
         assert!(segments >= 3, "u16 cap should have forced cuts: {segments}");
+        // Every one of those cuts was cap-forced, not bound-forced, and
+        // the encoder kept count of each.
+        assert_eq!(s.cap_cuts(), segments);
+    }
+
+    #[test]
+    fn swing_counts_cap_forced_cuts() {
+        let mut s = StreamingSwing::new(0.1);
+        for _ in 0..70_000 {
+            s.push(5.0);
+        }
+        assert_eq!(s.cap_cuts(), 1, "one cap cut past u16::MAX constant points");
+        // Bound-forced cuts don't count: alternate far-apart values so
+        // every point breaks the previous line.
+        let mut s = StreamingSwing::new(0.01);
+        for i in 0..1_000 {
+            s.push(if i % 2 == 0 { 1.0 } else { 100.0 });
+        }
+        assert_eq!(s.cap_cuts(), 0);
+    }
+
+    #[test]
+    fn compress_source_errors_at_segment_cap() {
+        use tsdata::series::RegularTimeSeries;
+        // 70k identical values form one logical segment longer than
+        // u16::MAX. The batch compressor keeps one model and splits at
+        // encode time; the streaming side would have to cut mid-segment
+        // (changing the fitted model), so byte-identity is impossible and
+        // the typed error replaces the old documented caveat.
+        let series = RegularTimeSeries::new(0, 60, vec![5.0; 70_000]).unwrap();
+        for method in [Method::Pmc, Method::Swing] {
+            let err = compress_source(&series, method, 0.1).unwrap_err();
+            assert!(matches!(err, CodecError::SegmentCap { .. }), "{method:?}: {err}");
+            // The batch side still compresses the same series fine.
+            let batch = method.compressor().compress(&series, 0.1).unwrap();
+            assert_eq!(batch.num_segments, 1, "{method:?}");
+        }
     }
 }

@@ -363,6 +363,7 @@ impl GridTask for ForecastTask {
             &compressors,
             &config.error_bounds,
             config.eval_stride,
+            config.batch_size,
             &mut provider,
         )?;
         outcome_to_records(config, self.dataset, self.model, self.seed, outcome)
@@ -424,7 +425,7 @@ impl GridTask for RetrainTask {
         if raw_windows.is_empty() {
             return Err(ScenarioError::NoWindows);
         }
-        let baseline = score_windows(base.as_ref(), &raw_windows, &scaler)?;
+        let baseline = score_windows(base.as_ref(), &raw_windows, &scaler, config.batch_size)?;
 
         // Each (method, ε) retrains on the transformed train/val data;
         // the training transform is part of the artifact key.
@@ -449,6 +450,7 @@ impl GridTask for RetrainTask {
                     &t_test.series,
                     &scaler,
                     config.eval_stride,
+                    config.batch_size,
                 )?;
                 transformed.push((method.name(), eps, metrics));
             }

@@ -51,6 +51,12 @@ pub struct GridConfig {
     pub seeds_simple: usize,
     /// Stride between test evaluation windows (1 = every window).
     pub eval_stride: usize,
+    /// Inference batch size for evaluation scoring: windows are staged
+    /// into `[batch_size, input_len]` matrices and predicted through
+    /// [`forecast::model::Forecaster::predict_batch`]. `0` selects the
+    /// legacy per-window `predict` loop (the reference oracle); both paths
+    /// produce identical metrics and CSVs.
+    pub batch_size: usize,
     /// Model size profile.
     pub profile: Profile,
     /// Worker threads.
@@ -85,6 +91,7 @@ impl GridConfig {
             seeds_deep: 1,
             seeds_simple: 1,
             eval_stride: 12,
+            batch_size: 64,
             profile: Profile::Fast,
             threads: num_threads(),
             data_seed: 0x5EED,
@@ -108,6 +115,7 @@ impl GridConfig {
             seeds_deep: 2,
             seeds_simple: 1,
             eval_stride: 24,
+            batch_size: 64,
             profile: Profile::Fast,
             threads: num_threads(),
             data_seed: 0x5EED,
@@ -135,6 +143,7 @@ impl GridConfig {
             seeds_deep: 10,
             seeds_simple: 5,
             eval_stride: 4,
+            batch_size: 64,
             profile: Profile::Paper,
             threads: num_threads(),
             data_seed: 0x5EED,

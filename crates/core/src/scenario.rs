@@ -105,21 +105,48 @@ pub fn transform_series(
 /// *scaled* units (the train-fitted standard scaler applied to both
 /// predictions and raw targets), matching the magnitudes of the paper's
 /// Table 2.
+///
+/// `batch_size` controls inference staging: `0` keeps the legacy
+/// per-window [`Forecaster::predict`] loop (the reference oracle); `>= 1`
+/// stages target-channel windows into `[batch, input_len]` matrices and
+/// calls [`Forecaster::predict_batch`] per chunk. Every in-tree model's
+/// batched rows are bitwise equal to its per-window predictions, and the
+/// metric accumulation visits windows in the same order on both paths, so
+/// the resulting metrics (and any CSV derived from them) are identical.
 pub fn score_windows(
     model: &dyn Forecaster,
     windows: &[Window],
     scaler: &StandardScaler,
+    batch_size: usize,
 ) -> Result<MetricSet, ScenarioError> {
     if windows.is_empty() {
         return Err(ScenarioError::NoWindows);
     }
-    let mut all_pred = Vec::new();
-    let mut all_truth = Vec::new();
-    for w in windows {
-        let pred = model.predict(&w.inputs)?;
-        all_pred.extend(scaler.transform(0, &pred));
-        all_truth.extend(scaler.transform(0, &w.target));
+    let label = [("model", model.name())];
+    let h = model.horizon();
+    let mut all_pred = Vec::with_capacity(windows.len() * h);
+    let mut all_truth = Vec::with_capacity(windows.len() * h);
+    if batch_size == 0 {
+        let start = std::time::Instant::now();
+        for w in windows {
+            let pred = model.predict(&w.inputs)?;
+            all_pred.extend(scaler.transform(0, &pred));
+            all_truth.extend(scaler.transform(0, &w.target));
+        }
+        telemetry::observe("predict_batch_seconds", &label, telemetry::secs(start.elapsed()));
+    } else {
+        for chunk in windows.chunks(batch_size) {
+            let staged = forecast::batch::stage_windows(chunk, model.input_len());
+            let start = std::time::Instant::now();
+            let preds = model.predict_batch(&staged)?;
+            telemetry::observe("predict_batch_seconds", &label, telemetry::secs(start.elapsed()));
+            for (r, w) in chunk.iter().enumerate() {
+                all_pred.extend(scaler.transform(0, &preds.data()[r * h..(r + 1) * h]));
+                all_truth.extend(scaler.transform(0, &w.target));
+            }
+        }
     }
+    telemetry::counter_add("predict_windows_total", &label, windows.len() as u64);
     Ok(metric_set(&all_truth, &all_pred))
 }
 
@@ -137,7 +164,9 @@ pub struct ScenarioOutcome {
 /// every `(compressor, ε)` combination on the test subset.
 ///
 /// `eval_stride` subsamples test windows (1 = every window, as in the
-/// paper; larger = faster).
+/// paper; larger = faster). `batch_size` stages inference as in
+/// [`score_windows`].
+#[allow(clippy::too_many_arguments)]
 pub fn evaluate_scenario(
     model: &mut dyn Forecaster,
     train: &MultiSeries,
@@ -146,6 +175,7 @@ pub fn evaluate_scenario(
     compressors: &[Box<dyn PeblcCompressor>],
     error_bounds: &[f64],
     eval_stride: usize,
+    batch_size: usize,
 ) -> Result<ScenarioOutcome, ScenarioError> {
     let mut direct =
         |_: Subset, c: &dyn PeblcCompressor, eps: f64| transform_series(test, c, eps).map(Arc::new);
@@ -157,6 +187,7 @@ pub fn evaluate_scenario(
         compressors,
         error_bounds,
         eval_stride,
+        batch_size,
         &mut direct,
     )
 }
@@ -174,10 +205,20 @@ pub fn evaluate_scenario_with(
     compressors: &[Box<dyn PeblcCompressor>],
     error_bounds: &[f64],
     eval_stride: usize,
+    batch_size: usize,
     transform: &mut TransformProvider<'_>,
 ) -> Result<ScenarioOutcome, ScenarioError> {
     model.fit(train, val)?;
-    score_scenario_with(&*model, train, test, compressors, error_bounds, eval_stride, transform)
+    score_scenario_with(
+        &*model,
+        train,
+        test,
+        compressors,
+        error_bounds,
+        eval_stride,
+        batch_size,
+        transform,
+    )
 }
 
 /// The scoring half of Algorithm 1: evaluates an **already fitted** model
@@ -192,6 +233,7 @@ pub fn score_scenario_with(
     compressors: &[Box<dyn PeblcCompressor>],
     error_bounds: &[f64],
     eval_stride: usize,
+    batch_size: usize,
     transform: &mut TransformProvider<'_>,
 ) -> Result<ScenarioOutcome, ScenarioError> {
     let scaler = StandardScaler::fit_single(train.target().values());
@@ -199,13 +241,14 @@ pub fn score_scenario_with(
     if raw_windows.is_empty() {
         return Err(ScenarioError::NoWindows);
     }
-    let baseline = score_windows(model, &raw_windows, &scaler)?;
+    let baseline = score_windows(model, &raw_windows, &scaler, batch_size)?;
 
     let mut transformed = Vec::new();
     for compressor in compressors {
         for &eps in error_bounds {
             let t_test = transform(Subset::Test, compressor.as_ref(), eps)?;
-            let metrics = score_transformed(model, test, &t_test, &scaler, eval_stride)?;
+            let metrics =
+                score_transformed(model, test, &t_test, &scaler, eval_stride, batch_size)?;
             transformed.push((compressor.name(), eps, metrics));
         }
     }
@@ -220,14 +263,16 @@ pub fn score_transformed(
     t_test: &MultiSeries,
     scaler: &StandardScaler,
     eval_stride: usize,
+    batch_size: usize,
 ) -> Result<MetricSet, ScenarioError> {
     let windows = make_eval_windows(test, t_test, model.input_len(), model.horizon(), eval_stride)?;
-    score_windows(model, &windows, scaler)
+    score_windows(model, &windows, scaler, batch_size)
 }
 
 /// The §4.4.1 variant: train *and* infer on decompressed data, scoring
 /// against the raw targets. Returns `(method, ε, metrics)` per
 /// combination, plus the raw-trained baseline for TFE computation.
+#[allow(clippy::too_many_arguments)]
 pub fn retrain_scenario(
     make_model: &mut dyn FnMut() -> Box<dyn Forecaster>,
     train: &MultiSeries,
@@ -236,6 +281,7 @@ pub fn retrain_scenario(
     compressors: &[Box<dyn PeblcCompressor>],
     error_bounds: &[f64],
     eval_stride: usize,
+    batch_size: usize,
 ) -> Result<ScenarioOutcome, ScenarioError> {
     let mut direct = |subset: Subset, c: &dyn PeblcCompressor, eps: f64| {
         let data = match subset {
@@ -253,6 +299,7 @@ pub fn retrain_scenario(
         compressors,
         error_bounds,
         eval_stride,
+        batch_size,
         &mut direct,
     )
 }
@@ -269,6 +316,7 @@ pub fn retrain_scenario_with(
     compressors: &[Box<dyn PeblcCompressor>],
     error_bounds: &[f64],
     eval_stride: usize,
+    batch_size: usize,
     transform: &mut TransformProvider<'_>,
 ) -> Result<ScenarioOutcome, ScenarioError> {
     // Baseline: raw-trained model on raw test data.
@@ -279,7 +327,7 @@ pub fn retrain_scenario_with(
     if raw_windows.is_empty() {
         return Err(ScenarioError::NoWindows);
     }
-    let baseline = score_windows(base_model.as_ref(), &raw_windows, &scaler)?;
+    let baseline = score_windows(base_model.as_ref(), &raw_windows, &scaler, batch_size)?;
 
     let mut transformed = Vec::new();
     for compressor in compressors {
@@ -291,7 +339,7 @@ pub fn retrain_scenario_with(
             model.fit(&t_train, &t_val)?;
             let windows =
                 make_eval_windows(test, &t_test, model.input_len(), model.horizon(), eval_stride)?;
-            let metrics = score_windows(model.as_ref(), &windows, &scaler)?;
+            let metrics = score_windows(model.as_ref(), &windows, &scaler, batch_size)?;
             transformed.push((compressor.name(), eps, metrics));
         }
     }
@@ -347,6 +395,7 @@ mod tests {
             &compressors,
             &[0.01, 0.3],
             4,
+            64,
         )
         .unwrap();
         assert_eq!(outcome.transformed.len(), 4);
@@ -373,7 +422,7 @@ mod tests {
             )
         };
         let outcome =
-            retrain_scenario(&mut make, &s.train, &s.val, &s.test, &compressors, &[0.1], 6)
+            retrain_scenario(&mut make, &s.train, &s.val, &s.test, &compressors, &[0.1], 6, 32)
                 .unwrap();
         assert_eq!(outcome.transformed.len(), 1);
         assert!(outcome.transformed[0].2.rmse.is_finite());
@@ -388,7 +437,72 @@ mod tests {
             BuildOptions { input_len: 96, horizon: 24, ..Default::default() },
         );
         // test subset has 60 points < 96 + 24 -> no windows
-        let res = evaluate_scenario(model.as_mut(), &s.train, &s.val, &s.test, &[], &[], 1);
+        let res = evaluate_scenario(model.as_mut(), &s.train, &s.val, &s.test, &[], &[], 1, 64);
         assert!(matches!(res, Err(ScenarioError::NoWindows) | Err(ScenarioError::Forecast(_))));
+    }
+
+    #[test]
+    fn score_windows_empty_is_no_windows_on_both_paths() {
+        let data = dataset(1200);
+        let s = split(&data, SplitSpec::default()).unwrap();
+        let mut model = build_model(
+            ModelKind::GBoost,
+            BuildOptions { input_len: 48, horizon: 12, ..Default::default() },
+        );
+        model.fit(&s.train, &s.val).unwrap();
+        let scaler = StandardScaler::fit_single(s.train.target().values());
+        for batch_size in [0, 1, 64] {
+            let res = score_windows(model.as_ref(), &[], &scaler, batch_size);
+            assert!(matches!(res, Err(ScenarioError::NoWindows)), "batch_size {batch_size}");
+        }
+    }
+
+    #[test]
+    fn batched_scoring_matches_legacy_exactly() {
+        let data = dataset(1500);
+        let s = split(&data, SplitSpec::default()).unwrap();
+        let mut model = build_model(
+            ModelKind::DLinear,
+            BuildOptions { input_len: 48, horizon: 12, ..Default::default() },
+        );
+        model.fit(&s.train, &s.val).unwrap();
+        let scaler = StandardScaler::fit_single(s.train.target().values());
+        // Strides > 1 and strides that leave ragged final chunks both have
+        // to reproduce the per-window metrics bit for bit.
+        for eval_stride in [1, 5] {
+            let windows = make_windows(&s.test, 48, 12, eval_stride);
+            assert!(!windows.is_empty());
+            let legacy = score_windows(model.as_ref(), &windows, &scaler, 0).unwrap();
+            for batch_size in [1, 7, 64, windows.len() + 10] {
+                let batched = score_windows(model.as_ref(), &windows, &scaler, batch_size).unwrap();
+                assert_eq!(
+                    legacy.rmse.to_bits(),
+                    batched.rmse.to_bits(),
+                    "rmse diverged at stride {eval_stride} batch {batch_size}"
+                );
+                assert_eq!(legacy.r.to_bits(), batched.r.to_bits());
+                assert_eq!(legacy.rse.to_bits(), batched.rse.to_bits());
+                assert_eq!(legacy.nrmse.to_bits(), batched.nrmse.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn window_count_not_divisible_by_batch_size() {
+        let data = dataset(1500);
+        let s = split(&data, SplitSpec::default()).unwrap();
+        let mut model = build_model(
+            ModelKind::GBoost,
+            BuildOptions { input_len: 48, horizon: 12, ..Default::default() },
+        );
+        model.fit(&s.train, &s.val).unwrap();
+        let scaler = StandardScaler::fit_single(s.train.target().values());
+        let windows = make_windows(&s.test, 48, 12, 3);
+        // Pick a batch size that guarantees a ragged final chunk.
+        let batch_size = windows.len() / 2 + 1;
+        assert!(!windows.len().is_multiple_of(batch_size));
+        let legacy = score_windows(model.as_ref(), &windows, &scaler, 0).unwrap();
+        let batched = score_windows(model.as_ref(), &windows, &scaler, batch_size).unwrap();
+        assert_eq!(legacy.rmse.to_bits(), batched.rmse.to_bits());
     }
 }

@@ -10,11 +10,12 @@
 //! the window's phase is re-estimated by scanning all seasonal offsets,
 //! since the evaluation interface supplies values only (Definition 7).
 
+use neural::tensor::Tensor;
 use tsdata::scaler::StandardScaler;
 use tsdata::series::MultiSeries;
 
 use crate::linalg::lstsq;
-use crate::model::{validate_window, ForecastError, Forecaster};
+use crate::model::{validate_batch, validate_window, ForecastError, Forecaster};
 use crate::stateio;
 
 /// ARIMA configuration.
@@ -210,6 +211,93 @@ impl Arima {
         Ok((phi, theta, intercept, sigma2, rows2))
     }
 
+    /// Seasonal component at integer offsets `0..s + n + horizon`, or empty
+    /// when the fit has no seasonal stage. The table holds the exact
+    /// [`Self::seasonal_at`] values, so lookups reproduce the direct calls
+    /// bitwise — and a batch shares one table instead of re-evaluating
+    /// `s * n` sin/cos pairs per window in the phase scan.
+    fn seasonal_table(f: &Fitted, n: usize, horizon: usize) -> Vec<f64> {
+        match f.season {
+            Some(s) if !f.fourier.is_empty() => {
+                (0..s + n + horizon).map(|t| Self::seasonal_at(&f.fourier, s, t as f64)).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Full forecast for one scaled window `y`, with the seasonal component
+    /// supplied as a [`Self::seasonal_table`] lookup.
+    fn forecast_scaled(f: &Fitted, y: &[f64], horizon: usize, seas: &[f64]) -> Vec<f64> {
+        // Phase alignment: choose the seasonal offset minimizing SSE between
+        // the window and the seasonal component.
+        let (deseason, phase): (Vec<f64>, usize) = if seas.is_empty() {
+            (y.to_vec(), 0)
+        } else {
+            let s = f.season.expect("non-empty table implies a season");
+            let mut best_phase = 0usize;
+            let mut best_sse = f64::INFINITY;
+            for offset in 0..s {
+                let sse: f64 = y
+                    .iter()
+                    .enumerate()
+                    .map(|(t, &v)| {
+                        let sv = seas[offset + t];
+                        (v - sv) * (v - sv)
+                    })
+                    .sum();
+                if sse < best_sse {
+                    best_sse = sse;
+                    best_phase = offset;
+                }
+            }
+            let d: Vec<f64> =
+                y.iter().enumerate().map(|(t, &v)| v - seas[best_phase + t]).collect();
+            (d, best_phase)
+        };
+
+        // Difference, run the residual recursion, then forecast.
+        let mut w = Self::difference(&deseason, f.d);
+        let mut e = Self::residuals(&w, &f.phi, &f.theta, f.intercept);
+        let mut diffs = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let t = w.len();
+            let mut pred = f.intercept;
+            for (i, &ph) in f.phi.iter().enumerate() {
+                if t > i {
+                    pred += ph * w[t - i - 1];
+                }
+            }
+            for (j, &th) in f.theta.iter().enumerate() {
+                if t > j {
+                    pred += th * e[t - j - 1];
+                }
+            }
+            w.push(pred);
+            e.push(0.0);
+            diffs.push(pred);
+        }
+
+        // Integrate d times back to levels.
+        let mut level_forecast = diffs;
+        for depth in (0..f.d).rev() {
+            // Value of the (depth)-times-differenced window's last point.
+            let base_series = Self::difference(&deseason, depth);
+            let mut last = *base_series.last().expect("window non-empty");
+            for v in level_forecast.iter_mut() {
+                last += *v;
+                *v = last;
+            }
+        }
+
+        // Re-add seasonality.
+        let n = y.len();
+        level_forecast
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + if seas.is_empty() { 0.0 } else { seas[phase + n + i] })
+            .collect()
+    }
+
     /// In-sample residual recursion used to seed the MA part at prediction.
     fn residuals(w: &[f64], phi: &[f64], theta: &[f64], intercept: f64) -> Vec<f64> {
         let p = phi.len();
@@ -314,93 +402,27 @@ impl Forecaster for Arima {
     fn predict(&self, inputs: &[Vec<f64>]) -> Result<Vec<f64>, ForecastError> {
         let f = self.fitted.as_ref().ok_or(ForecastError::NotFitted)?;
         validate_window(inputs, self.config.input_len)?;
-        let window = &inputs[0];
-        let y = f.scaler.transform(0, window);
-
-        // Phase alignment: choose the seasonal offset minimizing SSE between
-        // the window and the seasonal component.
-        let (deseason, phase): (Vec<f64>, usize) = match f.season {
-            Some(s) if !f.fourier.is_empty() => {
-                let mut best_phase = 0usize;
-                let mut best_sse = f64::INFINITY;
-                for offset in 0..s {
-                    let sse: f64 = y
-                        .iter()
-                        .enumerate()
-                        .map(|(t, &v)| {
-                            let seas = Self::seasonal_at(&f.fourier, s, (offset + t) as f64);
-                            (v - seas) * (v - seas)
-                        })
-                        .sum();
-                    if sse < best_sse {
-                        best_sse = sse;
-                        best_phase = offset;
-                    }
-                }
-                let d: Vec<f64> = y
-                    .iter()
-                    .enumerate()
-                    .map(|(t, &v)| v - Self::seasonal_at(&f.fourier, s, (best_phase + t) as f64))
-                    .collect();
-                (d, best_phase)
-            }
-            _ => (y.clone(), 0),
-        };
-
-        // Difference, run the residual recursion, then forecast.
-        let mut w = Self::difference(&deseason, f.d);
-        let mut e = Self::residuals(&w, &f.phi, &f.theta, f.intercept);
-        let h = self.config.horizon;
-        let mut diffs = Vec::with_capacity(h);
-        for _ in 0..h {
-            let t = w.len();
-            let mut pred = f.intercept;
-            for (i, &ph) in f.phi.iter().enumerate() {
-                if t > i {
-                    pred += ph * w[t - i - 1];
-                }
-            }
-            for (j, &th) in f.theta.iter().enumerate() {
-                if t > j {
-                    pred += th * e[t - j - 1];
-                }
-            }
-            w.push(pred);
-            e.push(0.0);
-            diffs.push(pred);
-        }
-
-        // Integrate d times back to levels.
-        let mut level_forecast = diffs;
-        for depth in (0..f.d).rev() {
-            // Value of the (depth)-times-differenced window's last point.
-            let base_series = Self::difference(&deseason, depth);
-            let mut last = *base_series.last().expect("window non-empty");
-            for v in level_forecast.iter_mut() {
-                last += *v;
-                *v = last;
-            }
-        }
-        if f.d == 0 {
-            // Forecasts are already levels of the deseasonalized series.
-        }
-
-        // Re-add seasonality and inverse-scale.
-        let n = y.len();
-        let result: Vec<f64> = level_forecast
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| {
-                let seas = match f.season {
-                    Some(s) if !f.fourier.is_empty() => {
-                        Self::seasonal_at(&f.fourier, s, (phase + n + i) as f64)
-                    }
-                    _ => 0.0,
-                };
-                v + seas
-            })
-            .collect();
+        let y = f.scaler.transform(0, &inputs[0]);
+        let seas = Self::seasonal_table(f, y.len(), self.config.horizon);
+        let result = Self::forecast_scaled(f, &y, self.config.horizon, &seas);
         Ok(f.scaler.inverse(0, &result))
+    }
+
+    fn predict_batch(&self, windows: &Tensor) -> Result<Tensor, ForecastError> {
+        let f = self.fitted.as_ref().ok_or(ForecastError::NotFitted)?;
+        validate_batch(windows, self.config.input_len)?;
+        let k = self.config.input_len;
+        let h = self.config.horizon;
+        // The seasonal table dominates per-window cost (the phase scan
+        // evaluates s*k sin/cos pairs without it); hoist it once per batch.
+        let seas = Self::seasonal_table(f, k, h);
+        let mut out = Tensor::zeros(windows.rows(), h);
+        for r in 0..windows.rows() {
+            let y = f.scaler.transform(0, &windows.data()[r * k..(r + 1) * k]);
+            let result = Self::forecast_scaled(f, &y, h, &seas);
+            out.data_mut()[r * h..(r + 1) * h].copy_from_slice(&f.scaler.inverse(0, &result));
+        }
+        Ok(out)
     }
 
     fn save_state(&self) -> Result<neural::state::StateDict, ForecastError> {

@@ -1,69 +1,15 @@
-//! Shared machinery for the deep forecasters: scaled window batching and
-//! the common fit/predict scaffolding (§3.4: standard scaler on inputs,
-//! input 96, horizon 24, Adam with early stopping).
+//! Shared scaffolding for the deep forecasters (§3.4: standard scaler on
+//! inputs, input 96, horizon 24, Adam with early stopping).
+//!
+//! The window-batching machinery itself lives in [`crate::batch`], where it
+//! is shared with the evaluation grid's batched inference path; this module
+//! re-exports it so existing training-side callers keep compiling.
 
-use neural::tensor::Tensor;
 use tsdata::scaler::StandardScaler;
 use tsdata::series::MultiSeries;
-use tsdata::split::make_windows;
 
+pub use crate::batch::{make_batches, stage_windows, Batch, BatchSpec};
 use crate::model::ForecastError;
-
-/// One training batch: inputs `[batch, input_len]` and targets
-/// `[batch, horizon]`, both in scaled units (target channel only).
-#[derive(Debug, Clone)]
-pub struct Batch {
-    /// Scaled input windows.
-    pub x: Tensor,
-    /// Scaled target horizons.
-    pub y: Tensor,
-}
-
-/// Batching limits for deep-model training.
-#[derive(Debug, Clone, Copy)]
-pub struct BatchSpec {
-    /// Window stride over the training series.
-    pub stride: usize,
-    /// Samples per batch.
-    pub batch_size: usize,
-    /// Cap on total windows (most recent kept).
-    pub max_windows: usize,
-}
-
-impl Default for BatchSpec {
-    fn default() -> Self {
-        BatchSpec { stride: 4, batch_size: 16, max_windows: 1200 }
-    }
-}
-
-/// Builds scaled batches from a series' target channel.
-pub fn make_batches(
-    data: &MultiSeries,
-    scaler: &StandardScaler,
-    input_len: usize,
-    horizon: usize,
-    spec: BatchSpec,
-) -> Vec<Batch> {
-    let mut windows = make_windows(data, input_len, horizon, spec.stride);
-    if windows.len() > spec.max_windows {
-        windows = windows.split_off(windows.len() - spec.max_windows);
-    }
-    windows
-        .chunks(spec.batch_size)
-        .map(|chunk| {
-            let n = chunk.len();
-            let mut x = Tensor::zeros(n, input_len);
-            let mut y = Tensor::zeros(n, horizon);
-            for (r, w) in chunk.iter().enumerate() {
-                let xi = scaler.transform(0, &w.inputs[0]);
-                let yi = scaler.transform(0, &w.target);
-                x.data_mut()[r * input_len..(r + 1) * input_len].copy_from_slice(&xi);
-                y.data_mut()[r * horizon..(r + 1) * horizon].copy_from_slice(&yi);
-            }
-            Batch { x, y }
-        })
-        .collect()
-}
 
 /// Validates the training series is long enough and fits the scaler on the
 /// raw training target.
@@ -87,35 +33,6 @@ mod tests {
     fn uni(n: usize) -> MultiSeries {
         let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
         MultiSeries::univariate("y", RegularTimeSeries::new(0, 60, vals).unwrap())
-    }
-
-    #[test]
-    fn batches_have_scaled_values() {
-        let data = uni(200);
-        let scaler = prepare(&data, 24, 8).unwrap();
-        let spec = BatchSpec { stride: 8, batch_size: 4, max_windows: 100 };
-        let batches = make_batches(&data, &scaler, 24, 8, spec);
-        assert!(!batches.is_empty());
-        let b = &batches[0];
-        assert_eq!(b.x.shape().1, 24);
-        assert_eq!(b.y.shape().1, 8);
-        // Scaled data of a 0..200 ramp lies within ~[-2, 2].
-        assert!(b.x.data().iter().all(|v| v.abs() < 2.5));
-        // Target continues the input: scaled(y[0]) follows scaled(x[last]).
-        assert!(b.y.get(0, 0) > b.x.get(0, 23));
-    }
-
-    #[test]
-    fn max_windows_keeps_most_recent() {
-        let data = uni(500);
-        let scaler = prepare(&data, 10, 2).unwrap();
-        let spec = BatchSpec { stride: 1, batch_size: 100, max_windows: 50 };
-        let batches = make_batches(&data, &scaler, 10, 2, spec);
-        let total: usize = batches.iter().map(|b| b.x.rows()).sum();
-        assert_eq!(total, 50);
-        // Most recent windows have the largest values.
-        let last_batch = batches.last().expect("non-empty");
-        assert!(last_batch.x.get(last_batch.x.rows() - 1, 9) > 1.0);
     }
 
     #[test]

@@ -14,8 +14,9 @@ use rand::SeedableRng;
 use tsdata::scaler::StandardScaler;
 use tsdata::series::MultiSeries;
 
+use crate::batch::{inverse_rows, scale_rows};
 use crate::deep::{make_batches, prepare, Batch, BatchSpec};
-use crate::model::{validate_window, ForecastError, Forecaster};
+use crate::model::{validate_batch, validate_window, ForecastError, Forecaster};
 use crate::stateio;
 
 /// DLinear configuration.
@@ -218,6 +219,27 @@ impl Forecaster for DLinear {
         let fm = ml.forward(&mut g, &self.store, mi);
         let pred = g.add(ft, fm);
         Ok(scaler.inverse(0, g.value(pred).data()))
+    }
+
+    fn predict_batch(&self, windows: &Tensor) -> Result<Tensor, ForecastError> {
+        let (Some(tl), Some(ml), Some(scaler)) =
+            (&self.trend_layer, &self.remainder_layer, &self.scaler)
+        else {
+            return Err(ForecastError::NotFitted);
+        };
+        validate_batch(windows, self.config.input_len)?;
+        if windows.rows() == 0 {
+            return Ok(Tensor::zeros(0, self.config.horizon));
+        }
+        let x = scale_rows(windows, scaler);
+        let (trend, rem) = decompose_batch(&x, self.config.kernel);
+        let mut g = neural::graph::Graph::new();
+        let ti = g.input(trend);
+        let mi = g.input(rem);
+        let ft = tl.forward(&mut g, &self.store, ti);
+        let fm = ml.forward(&mut g, &self.store, mi);
+        let pred = g.add(ft, fm);
+        Ok(inverse_rows(g.value(pred), scaler))
     }
 
     fn save_state(&self) -> Result<neural::state::StateDict, ForecastError> {

@@ -9,11 +9,13 @@
 //! member keeps its influence from clean-data accuracy while the resilient
 //! member bounds the damage under compression.
 
+use neural::tensor::Tensor;
 use tsdata::metrics::rmse;
 use tsdata::series::MultiSeries;
 use tsdata::split::make_windows;
 
-use crate::model::{validate_window, ForecastError, Forecaster};
+use crate::batch::stage_windows;
+use crate::model::{validate_batch, validate_window, ForecastError, Forecaster};
 
 /// How member forecasts are combined.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,15 +68,14 @@ impl Ensemble {
         if windows.is_empty() {
             return Ok(()); // keep uniform weights
         }
+        let staged = stage_windows(&windows, k);
+        let truth: Vec<f64> = windows.iter().flat_map(|w| w.target.iter().copied()).collect();
         let mut errors = Vec::with_capacity(self.members.len());
         for member in &self.members {
-            let mut preds = Vec::new();
-            let mut truth = Vec::new();
-            for w in &windows {
-                preds.extend(member.predict(&w.inputs)?);
-                truth.extend(w.target.iter().copied());
-            }
-            errors.push(rmse(&truth, &preds).max(1e-9));
+            // Batched rows concatenate in window order, so the flattened
+            // prediction vector matches the old per-window loop exactly.
+            let preds = member.predict_batch(&staged)?;
+            errors.push(rmse(&truth, preds.data()).max(1e-9));
         }
         // Inverse *squared* error sharpens the weighting so a clearly
         // better member dominates while weaker members still contribute.
@@ -115,6 +116,20 @@ impl Forecaster for Ensemble {
         for (member, &w) in self.members.iter().zip(&self.weights) {
             let pred = member.predict(inputs)?;
             for (c, p) in combined.iter_mut().zip(pred) {
+                *c += w * p;
+            }
+        }
+        Ok(combined)
+    }
+
+    fn predict_batch(&self, windows: &Tensor) -> Result<Tensor, ForecastError> {
+        validate_batch(windows, self.input_len())?;
+        let mut combined = Tensor::zeros(windows.rows(), self.horizon());
+        // Same member order and per-element `c += w * p` accumulation as
+        // `predict`, so each output row is bitwise equal to the looped path.
+        for (member, &w) in self.members.iter().zip(&self.weights) {
+            let pred = member.predict_batch(windows)?;
+            for (c, p) in combined.data_mut().iter_mut().zip(pred.data()) {
                 *c += w * p;
             }
         }

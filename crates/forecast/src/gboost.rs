@@ -12,7 +12,7 @@ use rand::{seq::SliceRandom, SeedableRng};
 use tsdata::scaler::StandardScaler;
 use tsdata::series::MultiSeries;
 
-use crate::model::{validate_window, ForecastError, Forecaster};
+use crate::model::{validate_batch, validate_window, ForecastError, Forecaster};
 use crate::stateio;
 use crate::tree::{BinnedFeatures, Node, RegressionTree, TreeConfig};
 
@@ -277,6 +277,58 @@ impl Forecaster for GBoost {
             }
         };
         Ok(scaler.inverse(0, &out))
+    }
+
+    fn predict_batch(
+        &self,
+        windows: &neural::tensor::Tensor,
+    ) -> Result<neural::tensor::Tensor, ForecastError> {
+        if self.models.is_empty() {
+            return Err(ForecastError::NotFitted);
+        }
+        let scaler = self.scaler.as_ref().ok_or(ForecastError::NotFitted)?;
+        validate_batch(windows, self.config.input_len)?;
+        let k = self.config.input_len;
+        let h = self.config.horizon;
+        let n = windows.rows();
+        let mut out = neural::tensor::Tensor::zeros(n, h);
+        match self.config.strategy {
+            MultiStep::Direct => {
+                let scaled: Vec<Vec<f64>> = (0..n)
+                    .map(|r| scaler.transform(0, &windows.data()[r * k..(r + 1) * k]))
+                    .collect();
+                // Boosters outer, windows inner: each booster's tree nodes
+                // stay hot in cache across the whole batch. Values match the
+                // per-window loop because each (booster, window) prediction
+                // is independent.
+                for (step, m) in self.models.iter().enumerate() {
+                    for (r, w) in scaled.iter().enumerate() {
+                        out.data_mut()[r * h + step] = m.predict(w);
+                    }
+                }
+                for r in 0..n {
+                    let inv = scaler.inverse(0, &out.data()[r * h..(r + 1) * h]);
+                    out.data_mut()[r * h..(r + 1) * h].copy_from_slice(&inv);
+                }
+            }
+            MultiStep::Recursive => {
+                // The feedback loop is inherently sequential per window.
+                let model = &self.models[0];
+                for r in 0..n {
+                    let mut window = scaler.transform(0, &windows.data()[r * k..(r + 1) * k]);
+                    let mut row = Vec::with_capacity(h);
+                    for _ in 0..h {
+                        let next = model.predict(&window);
+                        row.push(next);
+                        window.rotate_left(1);
+                        let last = window.len() - 1;
+                        window[last] = next;
+                    }
+                    out.data_mut()[r * h..(r + 1) * h].copy_from_slice(&scaler.inverse(0, &row));
+                }
+            }
+        }
+        Ok(out)
     }
 
     fn save_state(&self) -> Result<neural::state::StateDict, ForecastError> {

@@ -16,8 +16,9 @@ use rand::SeedableRng;
 use tsdata::scaler::StandardScaler;
 use tsdata::series::MultiSeries;
 
+use crate::batch::{inverse_rows, scale_rows};
 use crate::deep::{make_batches, prepare, Batch, BatchSpec};
-use crate::model::{validate_window, ForecastError, Forecaster};
+use crate::model::{validate_batch, validate_window, ForecastError, Forecaster};
 use crate::stateio;
 
 /// GRU forecaster configuration.
@@ -108,16 +109,20 @@ impl Gru {
         // contiguous row instead of k strided gathers.
         let x_t = x.transpose(); // [k, n]
                                  // Encoder: one scalar feature per step.
+                                 // Parameter nodes hoisted out of both time loops: one copy of each
+                                 // cell's weights per graph instead of one per step.
+        let enc_params = net.encoder.param_nodes(g, store);
+        let dec_params = net.decoder.param_nodes(g, store);
         let mut h = g.input(Tensor::zeros(n, self.config.hidden));
         for t in 0..k {
             let xt = g.input(Tensor::col(&x_t.data()[t * n..(t + 1) * n]));
-            h = net.encoder.step(g, store, xt, h);
+            h = net.encoder.step_with(g, &enc_params, xt, h);
         }
         // Decoder: autoregressive unroll from the last observed value.
         let mut prev = g.input(Tensor::col(&x_t.data()[(k - 1) * n..k * n]));
         let mut outputs: Option<NodeId> = None;
         for _ in 0..self.config.horizon {
-            h = net.decoder.step(g, store, prev, h);
+            h = net.decoder.step_with(g, &dec_params, prev, h);
             let hd = dropout.forward(g, h, training, rng);
             let y = net.head.forward(g, store, hd); // [n, 1]
             prev = y;
@@ -197,6 +202,25 @@ impl Forecaster for Gru {
         let mut rng = StdRng::seed_from_u64(0);
         let pred = self.forward(&mut g, &self.store, net, &Tensor::row(&x), false, &mut rng);
         Ok(scaler.inverse(0, g.value(pred).data()))
+    }
+
+    fn predict_batch(&self, windows: &Tensor) -> Result<Tensor, ForecastError> {
+        let (Some(net), Some(scaler)) = (&self.net, &self.scaler) else {
+            return Err(ForecastError::NotFitted);
+        };
+        validate_batch(windows, self.config.input_len)?;
+        if windows.rows() == 0 {
+            return Ok(Tensor::zeros(0, self.config.horizon));
+        }
+        // `forward` already steps whole [n, hidden] state matrices, so the
+        // batched path is simply the training-shaped forward at inference:
+        // every GRU matmul contracts over <=hidden dims, which keeps each
+        // row bitwise equal to its single-window run.
+        let x = scale_rows(windows, scaler);
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let pred = self.forward(&mut g, &self.store, net, &x, false, &mut rng);
+        Ok(inverse_rows(g.value(pred), scaler))
     }
 
     fn save_state(&self) -> Result<neural::state::StateDict, ForecastError> {

@@ -18,6 +18,7 @@
 //! hyperparameters.
 
 pub mod arima;
+pub mod batch;
 pub mod deep;
 pub mod dlinear;
 pub mod ensemble;

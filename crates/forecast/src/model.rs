@@ -6,6 +6,7 @@
 //! the evaluation scenario of Algorithm 1.
 
 use neural::state::StateDict;
+use neural::tensor::Tensor;
 use tsdata::series::MultiSeries;
 
 /// Errors from fitting or predicting.
@@ -64,6 +65,28 @@ pub trait Forecaster: Send {
     /// is the target).
     fn predict(&self, inputs: &[Vec<f64>]) -> Result<Vec<f64>, ForecastError>;
 
+    /// Predicts every row of `windows` (`[n, input_len]` target-channel
+    /// windows) at once, returning an `[n, horizon]` matrix whose row `i`
+    /// is the forecast for window `i`.
+    ///
+    /// The default implementation loops [`Forecaster::predict`] row by row,
+    /// so external implementations keep working unchanged; the in-tree
+    /// models override it with natively batched paths that produce
+    /// bit-identical outputs (the per-window path stays the reference
+    /// oracle — see `forecast/tests/batch_identity.rs`).
+    fn predict_batch(&self, windows: &Tensor) -> Result<Tensor, ForecastError> {
+        validate_batch(windows, self.input_len())?;
+        let k = self.input_len();
+        let h = self.horizon();
+        let mut out = Tensor::zeros(windows.rows(), h);
+        for r in 0..windows.rows() {
+            let row = windows.data()[r * k..(r + 1) * k].to_vec();
+            let pred = self.predict(&[row])?;
+            out.data_mut()[r * h..(r + 1) * h].copy_from_slice(&pred);
+        }
+        Ok(out)
+    }
+
     /// Serializes the fitted state as named tensors, such that
     /// [`Forecaster::load_state`] on an identically configured model
     /// reproduces bit-identical predictions. Implementations must fail with
@@ -78,6 +101,16 @@ pub trait Forecaster: Send {
         let _ = state;
         Err(ForecastError::InvalidState(format!("{} does not support state import", self.name())))
     }
+}
+
+/// Checks the batch-matrix invariant shared by every
+/// [`Forecaster::predict_batch`] implementation: each row is one window of
+/// the target channel, so the column count must equal `input_len`.
+pub fn validate_batch(windows: &Tensor, input_len: usize) -> Result<(), ForecastError> {
+    if windows.cols() != input_len {
+        return Err(ForecastError::BadWindow { expected: input_len, got: windows.cols() });
+    }
+    Ok(())
 }
 
 /// Checks the standard window invariants shared by all implementations.

@@ -13,8 +13,9 @@ use rand::SeedableRng;
 use tsdata::scaler::StandardScaler;
 use tsdata::series::MultiSeries;
 
+use crate::batch::{inverse_rows, scale_rows};
 use crate::deep::{make_batches, prepare, BatchSpec};
-use crate::model::{validate_window, ForecastError, Forecaster};
+use crate::model::{validate_batch, validate_window, ForecastError, Forecaster};
 use crate::stateio;
 
 /// NBeats configuration (generic architecture).
@@ -228,6 +229,25 @@ impl Forecaster for NBeats {
         let mut rng = StdRng::seed_from_u64(0);
         let pred = self.forward(&mut g, &self.store, &self.blocks, xi, false, &mut rng);
         Ok(scaler.inverse(0, g.value(pred).data()))
+    }
+
+    fn predict_batch(
+        &self,
+        windows: &neural::tensor::Tensor,
+    ) -> Result<neural::tensor::Tensor, ForecastError> {
+        let scaler = self.scaler.as_ref().ok_or(ForecastError::NotFitted)?;
+        validate_batch(windows, self.config.input_len)?;
+        if windows.rows() == 0 {
+            return Ok(neural::tensor::Tensor::zeros(0, self.config.horizon));
+        }
+        // Every block op (Dense, ReLU, residual sub/add) is row-local, so
+        // one [n, k] forward reproduces the per-window rows bitwise.
+        let x = scale_rows(windows, scaler);
+        let mut g = Graph::new();
+        let xi = g.input(x);
+        let mut rng = StdRng::seed_from_u64(0);
+        let pred = self.forward(&mut g, &self.store, &self.blocks, xi, false, &mut rng);
+        Ok(inverse_rows(g.value(pred), scaler))
     }
 
     fn save_state(&self) -> Result<neural::state::StateDict, ForecastError> {

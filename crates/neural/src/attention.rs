@@ -128,15 +128,7 @@ impl MultiHeadAttention {
                 }
             }
             if causal {
-                let mut m = Tensor::zeros(lq, lk);
-                // Queries may be shorter than keys (decoder attending to
-                // label + horizon): align the causal frontier to the right.
-                let offset = lk - lq.min(lk);
-                for r in 0..lq {
-                    let masked_from = (r + offset + 1).min(lk);
-                    m.data_mut()[r * lk + masked_from..(r + 1) * lk].fill(-1e9);
-                }
-                let mask_node = g.input(m);
+                let mask_node = g.input(causal_mask(lq, lk));
                 scores = g.add(scores, mask_node);
             }
             let attn = g.softmax_rows(scores);
@@ -150,6 +142,102 @@ impl MultiHeadAttention {
         let wo = g.param(store, self.wo);
         g.matmul(concat, wo)
     }
+
+    /// Applies attention for `n` samples stacked row-wise: sample `i`'s
+    /// queries occupy rows `i·lq..(i+1)·lq` of `q_in` (`[n·lq, d_model]`),
+    /// its keys/values rows `i·lk..(i+1)·lk` of `k_in`/`v_in`.
+    ///
+    /// The Q/K/V projections and the output mix run as single stacked
+    /// matmuls over all samples — the `[B·L, d]·[d, d]` shape the blocked
+    /// kernels want — while the score/softmax/value-mix stage stays
+    /// per-sample (scores are sample-local by definition, and ProbSparse's
+    /// query selection reads the realized score values). Constant inputs
+    /// (the causal mask) are built once and shared across samples and
+    /// heads. Every row of the result is bitwise identical to
+    /// [`MultiHeadAttention::forward`] on that sample alone: the matmuls
+    /// contract over at most `d_model` or `lk` elements, within one
+    /// k-block of the blocked kernels, so each output row depends only on
+    /// its own input row.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_stacked(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        q_in: NodeId,
+        k_in: NodeId,
+        v_in: NodeId,
+        kind: AttentionKind,
+        causal: bool,
+        n: usize,
+    ) -> NodeId {
+        assert!(n > 0, "stacked attention needs at least one sample");
+        let (q_rows, k_rows) = (g.value(q_in).rows(), g.value(k_in).rows());
+        assert!(
+            q_rows.is_multiple_of(n) && k_rows.is_multiple_of(n),
+            "stacked rows ({q_rows}, {k_rows}) not divisible by {n} samples"
+        );
+        let lq = q_rows / n;
+        let lk = k_rows / n;
+        let wq = g.param(store, self.wq);
+        let wk = g.param(store, self.wk);
+        let wv = g.param(store, self.wv);
+        let q = g.matmul(q_in, wq);
+        let k = g.matmul(k_in, wk);
+        let v = g.matmul(v_in, wv);
+        // One causal mask input tiled over all samples, shared by every head.
+        let causal_node = causal.then(|| {
+            let one = causal_mask(lq, lk);
+            let mut data = Vec::with_capacity(n * one.len());
+            for _ in 0..n {
+                data.extend_from_slice(one.data());
+            }
+            g.input(Tensor::new(n * lq, lk, data))
+        });
+
+        let mut heads_out: Option<NodeId> = None;
+        for h in 0..self.heads {
+            let (s, e) = (h * self.d_head, (h + 1) * self.d_head);
+            let qh = g.slice_cols(q, s, e);
+            let kh = g.slice_cols(k, s, e);
+            let vh = g.slice_cols(v, s, e);
+            let scores = g.batch_matmul_nt(qh, kh, n);
+            let mut scores = g.scale(scores, 1.0 / (self.d_head as f64).sqrt());
+            if let AttentionKind::ProbSparse { factor } = kind {
+                let u = ((factor as f64) * (lk.max(2) as f64).ln()).ceil() as usize;
+                if u < lq {
+                    let mask = sparse_query_mask_stacked(g.value(scores), u, n);
+                    let mask_node = g.input(mask);
+                    scores = g.mul(scores, mask_node);
+                }
+            }
+            if let Some(mask_node) = causal_node {
+                scores = g.add(scores, mask_node);
+            }
+            let attn = g.softmax_rows(scores);
+            let out = g.batch_matmul(attn, vh, n);
+            heads_out = Some(match heads_out {
+                None => out,
+                Some(prev) => g.hstack(prev, out),
+            });
+        }
+        let concat = heads_out.expect("at least one head");
+        let wo = g.param(store, self.wo);
+        g.matmul(concat, wo)
+    }
+}
+
+/// The right-aligned causal mask added to attention scores: position `r`
+/// may attend keys `0..=r+offset` where `offset = lk - min(lq, lk)`
+/// (queries may be shorter than keys when the decoder attends over
+/// label + horizon positions).
+fn causal_mask(lq: usize, lk: usize) -> Tensor {
+    let mut m = Tensor::zeros(lq, lk);
+    let offset = lk - lq.min(lk);
+    for r in 0..lq {
+        let masked_from = (r + offset + 1).min(lk);
+        m.data_mut()[r * lk + masked_from..(r + 1) * lk].fill(-1e9);
+    }
+    m
 }
 
 /// Builds a 0/1 mask keeping the `u` query rows with the largest sparsity
@@ -170,6 +258,34 @@ fn sparse_query_mask(scores: &Tensor, u: usize) -> Tensor {
         mask.data_mut()[r * lk..(r + 1) * lk].fill(1.0);
     }
     mask
+}
+
+/// [`sparse_query_mask`] applied per sample block of a stacked `[n·lq,
+/// lk]` score matrix: each block's query selection sees exactly the
+/// scores the per-sample path would, so the mask rows are identical.
+fn sparse_query_mask_stacked(scores: &Tensor, u: usize, n: usize) -> Tensor {
+    let (rows, lk) = scores.shape();
+    let lq = rows / n;
+    let mut mask = Tensor::zeros(rows, lk);
+    for i in 0..n {
+        let blk = Tensor::new(lq, lk, scores.data()[i * lq * lk..(i + 1) * lq * lk].to_vec());
+        let m = sparse_query_mask(&blk, u);
+        mask.data_mut()[i * lq * lk..(i + 1) * lq * lk].copy_from_slice(m.data());
+    }
+    mask
+}
+
+/// `n` vertically tiled copies of [`positional_encoding`]: the additive
+/// term for a stacked batch of `n` length-`len` sequences, computed once
+/// per batch instead of once per sample (the `powf` grid is the expensive
+/// part, and it is identical for every sample).
+pub fn positional_encoding_tiled(len: usize, d_model: usize, n: usize) -> Tensor {
+    let pe = positional_encoding(len, d_model);
+    let mut data = Vec::with_capacity(n * pe.len());
+    for _ in 0..n {
+        data.extend_from_slice(pe.data());
+    }
+    Tensor::new(n * len, d_model, data)
 }
 
 /// Sinusoidal positional encoding `[len, d_model]` (Vaswani et al. 2017).
@@ -284,6 +400,49 @@ mod tests {
         assert_eq!(mask.get(0, 0), 1.0);
         assert_eq!(mask.get(1, 0), 0.0);
         assert_eq!(mask.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn stacked_forward_matches_per_sample_forward_bitwise() {
+        let mut store = ParamStore::new();
+        let mha = MultiHeadAttention::new(&mut store, "attn", 8, 2, &mut rng());
+        let n = 3;
+        let (lq, lk) = (5, 9);
+        let qd: Vec<f64> = (0..n * lq * 8).map(|i| ((i * 37 % 23) as f64 - 11.0) / 7.0).collect();
+        let kd: Vec<f64> = (0..n * lk * 8).map(|i| ((i * 13 % 31) as f64 - 15.0) / 9.0).collect();
+        for (kind, causal) in [
+            (AttentionKind::Full, false),
+            (AttentionKind::Full, true),
+            (AttentionKind::ProbSparse { factor: 1 }, false),
+        ] {
+            let mut g = Graph::new();
+            let q = g.input(Tensor::new(n * lq, 8, qd.clone()));
+            let kv = g.input(Tensor::new(n * lk, 8, kd.clone()));
+            let stacked = mha.forward_stacked(&mut g, &store, q, kv, kv, kind, causal, n);
+            let stacked_val = g.value(stacked).clone();
+            assert_eq!(stacked_val.shape(), (n * lq, 8));
+            for i in 0..n {
+                let mut g1 = Graph::new();
+                let qi = g1.input(Tensor::new(lq, 8, qd[i * lq * 8..(i + 1) * lq * 8].to_vec()));
+                let kvi = g1.input(Tensor::new(lk, 8, kd[i * lk * 8..(i + 1) * lk * 8].to_vec()));
+                let one = mha.forward(&mut g1, &store, qi, kvi, kvi, kind, causal);
+                assert_eq!(
+                    g1.value(one).data(),
+                    &stacked_val.data()[i * lq * 8..(i + 1) * lq * 8],
+                    "sample {i} diverged under {kind:?} causal={causal}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_positional_encoding_repeats_the_single_table() {
+        let one = positional_encoding(7, 6);
+        let tiled = positional_encoding_tiled(7, 6, 3);
+        assert_eq!(tiled.shape(), (21, 6));
+        for i in 0..3 {
+            assert_eq!(&tiled.data()[i * 42..(i + 1) * 42], one.data());
+        }
     }
 
     #[test]

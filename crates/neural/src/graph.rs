@@ -172,6 +172,14 @@ enum Op {
     Mse(NodeId, Tensor),
     /// Inverted dropout with a precomputed 0/`1/keep` mask.
     Dropout(NodeId, Tensor),
+    /// Per-sample block products `C_i = A_i · B_iᵀ` over `n` stacked
+    /// row-blocks (batched attention scores). Each block runs the same
+    /// kernel as `matmul(a_i, transpose(b_i))`, so values are bitwise
+    /// identical to the per-sample graph ops this replaces.
+    BatchMatMulNT(NodeId, NodeId, usize),
+    /// Per-sample block products `C_i = A_i · B_i` over `n` stacked
+    /// row-blocks (batched attention·value).
+    BatchMatMul(NodeId, NodeId, usize),
     /// Row-wise layer normalization with `gamma`/`beta` `[1,c]` params;
     /// caches `(x_hat, inv_std)` for the backward pass.
     LayerNorm {
@@ -343,6 +351,95 @@ impl Graph {
         self.push(v, Op::VStack(a, b))
     }
 
+    /// Row concatenation of many nodes, reduced as a balanced tree.
+    ///
+    /// Concatenation is associative, so the result is elementwise identical
+    /// to a left-to-right [`Graph::vstack`] fold — but the tree keeps the
+    /// copied bytes at `O(total · log n)` instead of `O(total · n)`, which
+    /// matters when batched inference stacks per-sample attention outputs.
+    ///
+    /// # Panics
+    /// Panics on an empty node list.
+    pub fn vstack_all(&mut self, nodes: &[NodeId]) -> NodeId {
+        assert!(!nodes.is_empty(), "vstack_all of no nodes");
+        let mut level = nodes.to_vec();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                next.push(if pair.len() == 2 { self.vstack(pair[0], pair[1]) } else { pair[0] });
+            }
+            level = next;
+        }
+        level[0]
+    }
+
+    /// Per-sample block products `C_i = A_i · B_iᵀ` for batched attention
+    /// scores: `a` stacks `n` row-blocks `[la, k]`, `b` stacks `n`
+    /// row-blocks `[lb, k]`, and the result stacks the `n` `[la, lb]`
+    /// blocks. One node replaces `3n` slice/transpose/matmul nodes, and
+    /// each block is bitwise identical to `matmul(a_i, transpose(b_i))`
+    /// because [`crate::kernels::matmul_nt`] materializes the transpose
+    /// and reuses the same blocked kernel.
+    ///
+    /// # Panics
+    /// Panics when the row counts are not divisible by `n` or the inner
+    /// dimensions disagree.
+    pub fn batch_matmul_nt(&mut self, a: NodeId, b: NodeId, n: usize) -> NodeId {
+        let (ar, k) = self.value(a).shape();
+        let (br, bk) = self.value(b).shape();
+        assert!(n > 0, "batched matmul needs at least one sample");
+        assert_eq!(k, bk, "batch_matmul_nt inner dims {k} vs {bk}");
+        assert!(
+            ar.is_multiple_of(n) && br.is_multiple_of(n),
+            "stacked rows ({ar}, {br}) not divisible by {n} samples"
+        );
+        let (la, lb) = (ar / n, br / n);
+        let mut v = Tensor::zeros(ar, lb);
+        for i in 0..n {
+            crate::kernels::matmul_nt(
+                &self.value(a).data()[i * la * k..(i + 1) * la * k],
+                &self.value(b).data()[i * lb * k..(i + 1) * lb * k],
+                &mut v.data_mut()[i * la * lb..(i + 1) * la * lb],
+                la,
+                k,
+                lb,
+            );
+        }
+        self.push(v, Op::BatchMatMulNT(a, b, n))
+    }
+
+    /// Per-sample block products `C_i = A_i · B_i`: `a` stacks `n`
+    /// row-blocks `[la, k]`, `b` stacks `n` row-blocks `[k, c]`, and the
+    /// result stacks the `n` `[la, c]` blocks (batched attention·value).
+    /// Each block is bitwise identical to `matmul(a_i, b_i)`.
+    ///
+    /// # Panics
+    /// Panics when the row counts are not divisible by `n` or the inner
+    /// dimensions disagree.
+    pub fn batch_matmul(&mut self, a: NodeId, b: NodeId, n: usize) -> NodeId {
+        let (ar, k) = self.value(a).shape();
+        let (br, c) = self.value(b).shape();
+        assert!(n > 0, "batched matmul needs at least one sample");
+        assert!(
+            ar.is_multiple_of(n) && br.is_multiple_of(n),
+            "stacked rows ({ar}, {br}) not divisible by {n} samples"
+        );
+        assert_eq!(k, br / n, "batch_matmul inner dims {k} vs {}", br / n);
+        let la = ar / n;
+        let mut v = Tensor::zeros(ar, c);
+        for i in 0..n {
+            crate::kernels::matmul(
+                &self.value(a).data()[i * la * k..(i + 1) * la * k],
+                &self.value(b).data()[i * k * c..(i + 1) * k * c],
+                &mut v.data_mut()[i * la * c..(i + 1) * la * c],
+                la,
+                k,
+                c,
+            );
+        }
+        self.push(v, Op::BatchMatMul(a, b, n))
+    }
+
     /// Column slice `start..end`.
     pub fn slice_cols(&mut self, a: NodeId, start: usize, end: usize) -> NodeId {
         let v = self.value(a).slice_cols(start, end);
@@ -491,6 +588,68 @@ impl Graph {
                         }
                     }
                     accum(&mut adjoints, *a, g);
+                }
+                Op::BatchMatMulNT(a, b, n) => {
+                    // Per block: gA_i = G_i·B_i, gB_i = G_iᵀ·A_i.
+                    let (ar, k) = self.value(*a).shape();
+                    let br = self.value(*b).rows();
+                    let (la, lb) = (ar / n, br / n);
+                    let mut ga = Tensor::zeros(ar, k);
+                    let mut gb = Tensor::zeros(br, k);
+                    for i in 0..*n {
+                        let gblk = &grad.data()[i * la * lb..(i + 1) * la * lb];
+                        let ablk = &self.value(*a).data()[i * la * k..(i + 1) * la * k];
+                        let bblk = &self.value(*b).data()[i * lb * k..(i + 1) * lb * k];
+                        crate::kernels::matmul(
+                            gblk,
+                            bblk,
+                            &mut ga.data_mut()[i * la * k..(i + 1) * la * k],
+                            la,
+                            lb,
+                            k,
+                        );
+                        crate::kernels::matmul_tn(
+                            gblk,
+                            ablk,
+                            &mut gb.data_mut()[i * lb * k..(i + 1) * lb * k],
+                            lb,
+                            la,
+                            k,
+                        );
+                    }
+                    accum(&mut adjoints, *a, ga);
+                    accum(&mut adjoints, *b, gb);
+                }
+                Op::BatchMatMul(a, b, n) => {
+                    // Per block: gA_i = G_i·B_iᵀ, gB_i = A_iᵀ·G_i.
+                    let (ar, k) = self.value(*a).shape();
+                    let (br, c) = self.value(*b).shape();
+                    let la = ar / n;
+                    let mut ga = Tensor::zeros(ar, k);
+                    let mut gb = Tensor::zeros(br, c);
+                    for i in 0..*n {
+                        let gblk = &grad.data()[i * la * c..(i + 1) * la * c];
+                        let ablk = &self.value(*a).data()[i * la * k..(i + 1) * la * k];
+                        let bblk = &self.value(*b).data()[i * k * c..(i + 1) * k * c];
+                        crate::kernels::matmul_nt(
+                            gblk,
+                            bblk,
+                            &mut ga.data_mut()[i * la * k..(i + 1) * la * k],
+                            la,
+                            c,
+                            k,
+                        );
+                        crate::kernels::matmul_tn(
+                            ablk,
+                            gblk,
+                            &mut gb.data_mut()[i * k * c..(i + 1) * k * c],
+                            k,
+                            la,
+                            c,
+                        );
+                    }
+                    accum(&mut adjoints, *a, ga);
+                    accum(&mut adjoints, *b, gb);
                 }
                 Op::Transpose(a) => accum(&mut adjoints, *a, grad.transpose()),
                 Op::HStack(a, b) => {

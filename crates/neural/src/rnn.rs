@@ -87,24 +87,45 @@ impl GruCell {
 
     /// One recurrence step: `(x_t, h_{t-1}) -> h_t`.
     pub fn step(&self, g: &mut Graph, store: &ParamStore, x: NodeId, h: NodeId) -> NodeId {
-        let gate = |g: &mut Graph, wx: ParamId, wh: ParamId, b: ParamId, x, h| {
-            let wxn = g.param(store, wx);
-            let whn = g.param(store, wh);
-            let bn = g.param(store, b);
+        let nodes = self.param_nodes(g, store);
+        self.step_with(g, &nodes, x, h)
+    }
+
+    /// The cell's nine parameters as graph nodes, in the order
+    /// [`Self::step_with`] expects. Hoist this out of the time loop: a
+    /// parameter node's value is a copy of the stored tensor, so cloning
+    /// it once per graph instead of once per step changes nothing
+    /// numerically (reuses of one node accumulate adjoints in the same
+    /// reverse-step order that per-step clones flushed to the store).
+    pub fn param_nodes(&self, g: &mut Graph, store: &ParamStore) -> [NodeId; 9] {
+        [
+            g.param(store, self.wxz),
+            g.param(store, self.whz),
+            g.param(store, self.bz),
+            g.param(store, self.wxr),
+            g.param(store, self.whr),
+            g.param(store, self.br),
+            g.param(store, self.wxh),
+            g.param(store, self.whh),
+            g.param(store, self.bh),
+        ]
+    }
+
+    /// [`Self::step`] against pre-built parameter nodes.
+    pub fn step_with(&self, g: &mut Graph, p: &[NodeId; 9], x: NodeId, h: NodeId) -> NodeId {
+        let [wxz, whz, bz, wxr, whr, br, wxh, whh, bh] = *p;
+        let gate = |g: &mut Graph, wxn: NodeId, whn: NodeId, bn: NodeId, x, h| {
             let xm = g.matmul(x, wxn);
             let hm = g.matmul(h, whn);
             let s = g.add(xm, hm);
             g.add_row(s, bn)
         };
-        let z_lin = gate(g, self.wxz, self.whz, self.bz, x, h);
+        let z_lin = gate(g, wxz, whz, bz, x, h);
         let z = g.sigmoid(z_lin);
-        let r_lin = gate(g, self.wxr, self.whr, self.br, x, h);
+        let r_lin = gate(g, wxr, whr, br, x, h);
         let r = g.sigmoid(r_lin);
 
         let rh = g.mul(r, h);
-        let wxh = g.param(store, self.wxh);
-        let whh = g.param(store, self.whh);
-        let bh = g.param(store, self.bh);
         let xm = g.matmul(x, wxh);
         let hm = g.matmul(rh, whh);
         let cand_lin = g.add(xm, hm);
@@ -129,9 +150,10 @@ impl GruCell {
         assert!(!xs.is_empty(), "GRU needs at least one step");
         let n = g.value(xs[0]).rows();
         let mut h = h0.unwrap_or_else(|| g.input(Tensor::zeros(n, self.hidden)));
+        let nodes = self.param_nodes(g, store);
         let mut states = Vec::with_capacity(xs.len());
         for &x in xs {
-            h = self.step(g, store, x, h);
+            h = self.step_with(g, &nodes, x, h);
             states.push(h);
         }
         states

@@ -99,11 +99,21 @@ impl ActiveChunk {
                 (payload, 1)
             }
             Enc::Pmc { mut enc, mut segs } => {
+                // A cap-forced cut means the chunk's segmentation diverged
+                // from the batch compressor's, voiding the store's
+                // byte-identity contract — surface it instead of sealing a
+                // frame that silently differs from `Pmc::compress`.
+                if enc.cap_cuts() > 0 {
+                    return Err(compression::CodecError::SegmentCap { method: "PMC" }.into());
+                }
                 segs.extend(enc.drain());
                 let n = segs.len();
                 (compression::pmc::encode_segments(self.start_ts, interval, &segs)?, n)
             }
             Enc::Swing { mut enc, mut segs } => {
+                if enc.cap_cuts() > 0 {
+                    return Err(compression::CodecError::SegmentCap { method: "SWING" }.into());
+                }
                 segs.extend(enc.drain());
                 let n = segs.len();
                 (compression::swing::encode_segments(self.start_ts, interval, &segs)?, n)

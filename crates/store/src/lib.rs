@@ -417,6 +417,26 @@ mod tests {
     }
 
     #[test]
+    fn seal_errors_when_a_segment_hits_the_16bit_cap() {
+        // A seal policy lax enough to let one chunk exceed u16::MAX points
+        // can force the online encoder to cut a segment at the cap, which
+        // breaks the frame byte-identity contract with the batch codecs —
+        // sealing must surface the typed error, not silently diverge.
+        let store = TsStore::new(StoreConfig { max_chunk_points: 100_000, chunk_span: None });
+        let id = SeriesId(11);
+        store.create_series(id, ChunkCodec::Pmc, 0.1).unwrap();
+        store.append_batch(id, (0..70_000).map(|i| (i * 60, 5.0))).unwrap();
+        let err = store.seal_series(id).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Codec(compression::CodecError::SegmentCap { method: "PMC" })),
+            "{err}"
+        );
+        // The default policy keeps every chunk under the cap, so the
+        // error is unreachable without an explicit config override.
+        assert!(StoreConfig::default().max_chunk_points <= u16::MAX as usize);
+    }
+
+    #[test]
     fn cadence_violations_are_rejected() {
         let store = TsStore::new(StoreConfig::default());
         let id = SeriesId(2);

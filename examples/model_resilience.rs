@@ -49,6 +49,7 @@ fn main() {
             &all_lossy(),
             &error_bounds,
             16,
+            64,
         )
         .expect("scenario runs");
         // Mean TFE across the three methods per error bound.

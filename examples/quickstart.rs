@@ -45,9 +45,17 @@ fn main() {
     let s = split(&data, SplitSpec::default()).expect("dataset splits 70/10/20");
     let mut model = build_model(ModelKind::GBoost, BuildOptions::default());
     println!("\ntraining {} (input 96 -> horizon 24)...", model.name());
-    let outcome =
-        evaluate_scenario(model.as_mut(), &s.train, &s.val, &s.test, &all_lossy(), &[0.05, 0.2], 8)
-            .expect("scenario runs");
+    let outcome = evaluate_scenario(
+        model.as_mut(),
+        &s.train,
+        &s.val,
+        &s.test,
+        &all_lossy(),
+        &[0.05, 0.2],
+        8,
+        64,
+    )
+    .expect("scenario runs");
     println!("baseline RMSE (scaled): {:.4}", outcome.baseline.rmse);
     println!("\nimpact of lossy compression on forecasting (TFE, Eq. 2):");
     for (method, eps, metrics) in &outcome.transformed {

@@ -49,6 +49,7 @@ fn main() {
         &all_lossy(),
         &error_bounds,
         16,
+        64,
     )
     .expect("scenario runs");
     println!("forecaster: {} | baseline RMSE {:.4}\n", model.name(), outcome.baseline.rmse);

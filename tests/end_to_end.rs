@@ -30,7 +30,7 @@ fn algorithm1_produces_low_tfe_at_small_bounds() {
         BuildOptions { input_len: 48, horizon: 12, ..Default::default() },
     );
     let outcome =
-        evaluate_scenario(model.as_mut(), &s.train, &s.val, &s.test, &all_lossy(), &[0.01], 8)
+        evaluate_scenario(model.as_mut(), &s.train, &s.val, &s.test, &all_lossy(), &[0.01], 8, 64)
             .expect("scenario runs");
     // RQ2: tiny error bounds barely affect forecasting accuracy.
     for (method, _, metrics) in &outcome.transformed {
@@ -77,8 +77,9 @@ fn elbow_detection_on_real_tfe_curve() {
     let bounds = [0.01, 0.05, 0.1, 0.2, 0.4, 0.8];
     let pmc: Vec<Box<dyn evalimplsts::compression::PeblcCompressor>> =
         vec![Box::new(evalimplsts::compression::Pmc)];
-    let outcome = evaluate_scenario(model.as_mut(), &s.train, &s.val, &s.test, &pmc, &bounds, 8)
-        .expect("scenario runs");
+    let outcome =
+        evaluate_scenario(model.as_mut(), &s.train, &s.val, &s.test, &pmc, &bounds, 8, 64)
+            .expect("scenario runs");
     let mut tes = Vec::new();
     let mut tfes = Vec::new();
     for (i, (_, _, metrics)) in outcome.transformed.iter().enumerate() {
