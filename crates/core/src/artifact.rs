@@ -342,6 +342,61 @@ impl ArtifactKey {
         }
         h
     }
+
+    /// Parses a [`ArtifactKey::canonical`] string back into a key — the
+    /// inverse the manifest enumeration ([`ArtifactStore::list_keys`])
+    /// uses to rediscover what a store holds without recomputing keys
+    /// from experiment configs. Returns `None` for anything that is not
+    /// a complete canonical string.
+    pub fn parse_canonical(s: &str) -> Option<ArtifactKey> {
+        let mut dataset = None;
+        let mut model = None;
+        let mut seed = None;
+        let mut profile = None;
+        let mut input_len = None;
+        let mut horizon = None;
+        let mut data_seed = None;
+        let mut method = None;
+        let mut eps_bits = None;
+        let mut len = None;
+        let mut channels = None;
+        for field in s.split(';') {
+            let (k, v) = field.split_once('=')?;
+            match k {
+                "dataset" => dataset = Some(v.to_string()),
+                "model" => model = Some(v.to_string()),
+                "seed" => seed = Some(v.parse().ok()?),
+                "profile" => profile = Some(v.to_string()),
+                "k" => input_len = Some(v.parse().ok()?),
+                "h" => horizon = Some(v.parse().ok()?),
+                "dseed" => data_seed = Some(v.parse().ok()?),
+                "method" => method = Some(if v == "raw" { None } else { Some(v.to_string()) }),
+                "eps" => {
+                    eps_bits = Some(if v == "none" {
+                        None
+                    } else {
+                        Some(u64::from_str_radix(v, 16).ok()?)
+                    })
+                }
+                "len" => len = Some(if v == "paper" { None } else { Some(v.parse().ok()?) }),
+                "ch" => channels = Some(if v == "default" { None } else { Some(v.parse().ok()?) }),
+                _ => return None,
+            }
+        }
+        Some(ArtifactKey {
+            dataset: dataset?,
+            model: model?,
+            seed: seed?,
+            profile: profile?,
+            method: method?,
+            eps_bits: eps_bits?,
+            input_len: input_len?,
+            horizon: horizon?,
+            len: len?,
+            channels: channels?,
+            data_seed: data_seed?,
+        })
+    }
 }
 
 /// A content-addressed artifact store rooted at one directory. Addresses
@@ -393,6 +448,15 @@ impl ArtifactStore {
         let tmp = path.with_extension("tmp");
         std::fs::write(&tmp, &bytes)?;
         std::fs::rename(&tmp, &path)?;
+        // Manifest sidecar: the canonical key next to the content-addressed
+        // artifact, so `list_keys` can enumerate a store without the
+        // experiment configs that produced it. Written after the artifact
+        // (same atomic tmp+rename), so a sidecar never points at a
+        // half-written state file.
+        let keyfile = path.with_extension("key");
+        let keytmp = path.with_extension("key.tmp");
+        std::fs::write(&keytmp, key.canonical())?;
+        std::fs::rename(&keytmp, &keyfile)?;
         self.saves.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -423,6 +487,44 @@ impl ArtifactStore {
         let dict = decode_state(&bytes)?;
         self.loads.fetch_add(1, Ordering::Relaxed);
         Ok(Some(dict))
+    }
+
+    /// Enumerates every artifact key recorded in the store's manifest
+    /// sidecars, in canonical-string order (deterministic across runs and
+    /// filesystems). This is how the serving registry discovers a fitted
+    /// fleet: before this API, keys had to be recomputed from the exact
+    /// experiment configuration that produced the store.
+    ///
+    /// Sidecars that fail to parse (foreign files, partial writes from a
+    /// killed pre-manifest run) are skipped with a warning rather than
+    /// failing the enumeration; artifacts written before the manifest
+    /// existed have no sidecar and are simply not discoverable this way.
+    pub fn list_keys(&self) -> Result<Vec<ArtifactKey>, ArtifactError> {
+        let mut keys = Vec::new();
+        for shard in std::fs::read_dir(&self.root)? {
+            let shard = shard?.path();
+            if !shard.is_dir() {
+                continue;
+            }
+            for entry in std::fs::read_dir(&shard)? {
+                let path = entry?.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("key") {
+                    continue;
+                }
+                let canonical = std::fs::read_to_string(&path)?;
+                match ArtifactKey::parse_canonical(canonical.trim()) {
+                    // Only list keys whose artifact actually exists: a
+                    // sidecar can outlive its state file if someone prunes
+                    // artifacts by hand.
+                    Some(key) if self.path_for(&key).is_file() => keys.push(key),
+                    Some(_) | None => {
+                        eprintln!("[artifacts] skipping stale manifest entry {}", path.display())
+                    }
+                }
+            }
+        }
+        keys.sort_by_key(|k| k.canonical());
+        Ok(keys)
     }
 
     /// Number of artifacts saved through this handle.
@@ -582,6 +684,72 @@ mod tests {
         bytes[last] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
         assert!(store.load(&k).is_err(), "corrupt file must not load silently");
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn canonical_string_parses_back_to_the_same_key() {
+        let variants = vec![
+            key(40),
+            ArtifactKey { method: Some("PMC".into()), eps_bits: Some(0.1f64.to_bits()), ..key(41) },
+            ArtifactKey { len: None, channels: None, ..key(42) },
+            ArtifactKey { model: "Transformer".into(), profile: "Paper".into(), ..key(43) },
+        ];
+        for k in variants {
+            let parsed = ArtifactKey::parse_canonical(&k.canonical()).expect("canonical parses");
+            assert_eq!(parsed, k, "roundtrip for {}", k.canonical());
+        }
+    }
+
+    #[test]
+    fn malformed_canonical_strings_are_rejected() {
+        for bad in [
+            "",
+            "dataset=ETTm1",
+            "nonsense",
+            "dataset=ETTm1;model=GBoost;seed=x;profile=Fast;k=48;h=12;dseed=1;method=raw;eps=none;len=paper;ch=default",
+            "dataset=ETTm1;model=GBoost;seed=1;profile=Fast;k=48;h=12;dseed=1;method=raw;eps=zz;len=paper;ch=default",
+            "dataset=ETTm1;model=GBoost;seed=1;profile=Fast;k=48;h=12;dseed=1;method=raw;eps=none;len=paper;ch=default;rogue=1",
+        ] {
+            assert!(ArtifactKey::parse_canonical(bad).is_none(), "parsed {bad:?}");
+        }
+    }
+
+    #[test]
+    fn list_keys_enumerates_a_populated_store() {
+        let store = temp_store();
+        assert!(store.list_keys().unwrap().is_empty(), "fresh store lists nothing");
+        let mut saved: Vec<ArtifactKey> = vec![
+            key(40),
+            key(41),
+            ArtifactKey { model: "DLinear".into(), ..key(40) },
+            ArtifactKey {
+                method: Some("SWING".into()),
+                eps_bits: Some(0.05f64.to_bits()),
+                ..key(40)
+            },
+        ];
+        for k in &saved {
+            store.save(k, &sample_dict()).unwrap();
+        }
+        // Re-saving the same key must not duplicate the listing.
+        store.save(&saved[0], &sample_dict()).unwrap();
+        let mut listed = store.list_keys().unwrap();
+        saved.sort_by_key(|k| k.canonical());
+        listed.sort_by_key(|k| k.canonical());
+        assert_eq!(listed, saved);
+        // Every listed key loads.
+        for k in &listed {
+            assert!(store.load(k).unwrap().is_some(), "{} must load", k.canonical());
+        }
+        // A hostile sidecar is skipped, not fatal; a sidecar whose state
+        // file was pruned disappears from the listing.
+        let shard = store.path_for(&saved[0]).parent().unwrap().to_path_buf();
+        std::fs::write(shard.join("garbage.key"), "not a canonical string").unwrap();
+        std::fs::remove_file(store.path_for(&saved[0])).unwrap();
+        let listed = store.list_keys().unwrap();
+        assert_eq!(listed.len(), saved.len() - 1);
+        assert!(!listed.contains(&saved[0]));
         std::fs::remove_dir_all(store.root()).ok();
     }
 

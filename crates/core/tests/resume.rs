@@ -168,7 +168,9 @@ fn retrain_grid_resumes_and_shares_the_baseline_fit() {
     let _ = std::fs::remove_dir_all(&store);
 }
 
-/// Recursively lists the artifact files under the store root.
+/// Recursively lists the artifact payload (`.state`) files under the
+/// store root, skipping the `.key` manifest sidecars that live next to
+/// them.
 fn walk(root: &Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
     let mut stack = vec![root.to_path_buf()];
@@ -177,7 +179,7 @@ fn walk(root: &Path) -> Vec<PathBuf> {
             let path = entry.expect("dir entry").path();
             if path.is_dir() {
                 stack.push(path);
-            } else {
+            } else if path.extension().and_then(|e| e.to_str()) == Some("state") {
                 out.push(path);
             }
         }

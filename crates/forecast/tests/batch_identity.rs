@@ -159,3 +159,31 @@ fn batch_validation_errors() {
     let empty = model.predict_batch(&Tensor::zeros(0, INPUT_LEN)).expect("empty batch is fine");
     assert_eq!(empty.shape(), (0, HORIZON));
 }
+
+/// Ensemble degenerate inputs: an empty batch is well-formed (`[0, h]`
+/// out, no member ever sees a zero-row stage), a batch of exactly one
+/// window works, and a count that leaves a ragged tail of one past the
+/// deep members' staging granularity stays bit-identical to the
+/// per-window oracle.
+#[test]
+fn ensemble_degenerate_batches() {
+    let data = tiny_series(11);
+    let s = split(&data, SplitSpec::default()).expect("splits");
+    let mut ens = Ensemble::new(
+        vec![
+            build_model(ModelKind::Gru, tiny_options(2)),
+            build_model(ModelKind::DLinear, tiny_options(2)),
+        ],
+        Combine::Mean,
+    );
+    ens.fit(&s.train, &s.val).expect("ensemble fits");
+
+    let empty = ens.predict_batch(&Tensor::zeros(0, INPUT_LEN)).expect("empty batch is fine");
+    assert_eq!(empty.shape(), (0, HORIZON));
+
+    // 9 windows: one full sub-batch of 8 plus a ragged tail of 1 at the
+    // deep path's staging granularity.
+    let windows = sample_windows(s.test.target().values(), 9, 3);
+    assert_batch_identity(&ens, &windows);
+    assert_batch_identity(&ens, &windows[..1]);
+}

@@ -1,0 +1,212 @@
+//! End-to-end smoke for the serving stack, used by CI's serve-smoke job.
+//!
+//! Fits a DLinear offline, saves it into a fresh artifact store, launches
+//! the real `serve` binary as a child process against that store, then
+//! over loopback: ingests a series, requests a forecast, and asserts the
+//! served values are **bit-identical** to offline
+//! `Forecaster::predict_batch` on the same trailing window. Also checks
+//! `stats` and the Prometheus `metrics` dump (which must contain
+//! `serve_requests_total`), writes the dump to `serve-smoke.prom`, and
+//! shuts the server down cleanly.
+//!
+//! ```text
+//! serve-smoke [--out DIR]   # DIR defaults to a fresh temp directory
+//! ```
+
+use std::io::BufRead;
+use std::process::{Command, ExitCode, Stdio};
+
+use evalcore::artifact::{ArtifactKey, ArtifactStore};
+use forecast::{build_model, BuildOptions, ModelKind, Profile};
+use neural::tensor::Tensor;
+use serve::registry::ModelSpec;
+use serve::Client;
+use tsdata::datasets::{generate, DatasetKind, GenOptions};
+use tsdata::split::{split, SplitSpec};
+
+const INPUT_LEN: usize = 16;
+const HORIZON: usize = 4;
+const SEED: u64 = 40;
+const DATA_SEED: u64 = 7;
+const SERIES: u64 = 1;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("serve-smoke: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut out_dir: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out_dir = it.next(),
+            other => {
+                eprintln!("serve-smoke: unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let out = std::path::PathBuf::from(out_dir.unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("serve-smoke-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }));
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        return fail(&format!("creating {}: {e}", out.display()));
+    }
+
+    // 1. Fit offline and save the artifact.
+    let data = generate(
+        DatasetKind::ETTm1,
+        GenOptions { len: Some(360), channels: Some(1), seed: DATA_SEED },
+    );
+    let s = match split(&data, SplitSpec::default()) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("split: {e}")),
+    };
+    let mut model = build_model(
+        ModelKind::DLinear,
+        BuildOptions {
+            input_len: INPUT_LEN,
+            horizon: HORIZON,
+            season: None,
+            seed: SEED,
+            profile: Profile::Fast,
+        },
+    );
+    if let Err(e) = model.fit(&s.train, &s.val) {
+        return fail(&format!("fit: {e}"));
+    }
+    let key = ArtifactKey {
+        dataset: "ETTm1".into(),
+        model: "DLinear".into(),
+        seed: SEED,
+        profile: "Fast".into(),
+        method: None,
+        eps_bits: None,
+        input_len: INPUT_LEN,
+        horizon: HORIZON,
+        len: Some(360),
+        channels: Some(1),
+        data_seed: DATA_SEED,
+    };
+    let artifacts = out.join("artifacts");
+    let store = match ArtifactStore::open(&artifacts) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("opening store: {e}")),
+    };
+    let state = match model.save_state() {
+        Ok(st) => st,
+        Err(e) => return fail(&format!("save_state: {e}")),
+    };
+    if let Err(e) = store.save(&key, &state) {
+        return fail(&format!("saving artifact: {e}"));
+    }
+
+    // 2. Launch the real serve binary against the store.
+    let serve_bin = match std::env::current_exe() {
+        Ok(me) => me.with_file_name(if cfg!(windows) { "serve.exe" } else { "serve" }),
+        Err(e) => return fail(&format!("current_exe: {e}")),
+    };
+    let mut child = match Command::new(&serve_bin)
+        .args(["--artifacts", &artifacts.to_string_lossy(), "--addr", "127.0.0.1:0", "--warm", "8"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+    {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("spawning {}: {e}", serve_bin.display())),
+    };
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(rest) = line.strip_prefix("serve: listening on ") {
+                    break rest.trim().to_string();
+                }
+            }
+            _ => {
+                let _ = child.kill();
+                return fail("server exited before printing its address");
+            }
+        }
+    };
+    eprintln!("serve-smoke: server up at {addr}");
+
+    let verdict = run_checks(&addr, &out, model.as_ref(), s.test.target().values());
+    let status = match child.wait() {
+        Ok(st) => st,
+        Err(e) => return fail(&format!("waiting for server: {e}")),
+    };
+    if !status.success() {
+        return fail(&format!("server exited with {status}"));
+    }
+    match verdict {
+        Ok(()) => {
+            eprintln!("serve-smoke: OK");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => fail(&msg),
+    }
+}
+
+fn run_checks(
+    addr: &str,
+    out: &std::path::Path,
+    model: &dyn forecast::Forecaster,
+    test_vals: &[f64],
+) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+
+    // 3. Ingest the test subset (minute cadence) and forecast.
+    let points: Vec<(i64, f64)> =
+        test_vals.iter().enumerate().map(|(i, &v)| (i as i64 * 60, v)).collect();
+    let total = client.ingest(SERIES, 0, 0.0, &points).map_err(|e| format!("ingest: {e}"))?;
+    if total != points.len() as u64 {
+        return Err(format!("ingest reported {total} points, sent {}", points.len()));
+    }
+    let spec = ModelSpec {
+        dataset: "ETTm1".into(),
+        model: "DLinear".into(),
+        method: None,
+        eps_bits: None,
+    };
+    let served = client.forecast(&spec, SERIES).map_err(|e| format!("forecast: {e}"))?;
+
+    // 4. Bit-identity against offline predict_batch on the same window.
+    let window = &test_vals[test_vals.len() - INPUT_LEN..];
+    let mut staged = Tensor::zeros(1, INPUT_LEN);
+    staged.data_mut().copy_from_slice(window);
+    let offline = model.predict_batch(&staged).map_err(|e| format!("offline predict: {e}"))?;
+    if served.len() != HORIZON {
+        return Err(format!("served horizon {} != {HORIZON}", served.len()));
+    }
+    for (i, (s, o)) in served.iter().zip(offline.data().iter()).enumerate() {
+        if s.to_bits() != o.to_bits() {
+            return Err(format!("served[{i}] = {s:e} is not bit-identical to offline {o:e}"));
+        }
+    }
+    eprintln!("serve-smoke: forecast bit-identical to offline predict_batch");
+
+    // 5. Stats + metrics sanity.
+    let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+    for needle in ["requests_total=", "forecast_requests=1", "ingest_requests=1"] {
+        if !stats.contains(needle) {
+            return Err(format!("stats text missing {needle:?}:\n{stats}"));
+        }
+    }
+    let metrics = client.metrics().map_err(|e| format!("metrics: {e}"))?;
+    if !metrics.contains("serve_requests_total") {
+        return Err(format!("metrics dump missing serve_requests_total:\n{metrics}"));
+    }
+    let prom = out.join("serve-smoke.prom");
+    std::fs::write(&prom, &metrics).map_err(|e| format!("writing {}: {e}", prom.display()))?;
+    eprintln!("serve-smoke: metrics written to {}", prom.display());
+
+    // 6. Clean shutdown.
+    client.shutdown_server().map_err(|e| format!("shutdown: {e}"))?;
+    Ok(())
+}

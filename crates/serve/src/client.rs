@@ -1,0 +1,111 @@
+//! A small blocking client for the wire protocol — used by the loopback
+//! tests, the load-generator bench, and the smoke binary; also the
+//! reference implementation for external clients.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::registry::ModelSpec;
+use crate::wire::{self, Request, Response};
+use crate::ServeError;
+
+/// A blocking connection to a serve instance. One request is in flight
+/// at a time (the protocol is strictly request/response per connection);
+/// open one client per concurrent stream.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ServeError::Transport(e.to_string()))?;
+        stream.set_nodelay(true).map_err(|e| ServeError::Transport(e.to_string()))?;
+        Ok(Client { stream })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+        let payload = wire::encode_request(req);
+        wire::write_frame(&mut self.stream, &payload)
+            .map_err(|e| ServeError::Transport(e.to_string()))?;
+        let resp = wire::read_frame(&mut self.stream)
+            .map_err(|e| ServeError::Transport(e.to_string()))?
+            .ok_or_else(|| ServeError::Transport("server closed the connection".into()))?;
+        let resp =
+            wire::decode_response(&resp).map_err(|e| ServeError::Transport(e.to_string()))?;
+        match resp {
+            Response::Error { message } => Err(ServeError::Model(message)),
+            Response::Overloaded { depth } => Err(ServeError::Overloaded { depth: depth as usize }),
+            other => Ok(other),
+        }
+    }
+
+    /// Appends points to a series (creating it on first touch with the
+    /// given chunk codec tag and error bound). Returns the series' total
+    /// point count after the append.
+    pub fn ingest(
+        &mut self,
+        series: u64,
+        codec: u8,
+        eps: f64,
+        points: &[(i64, f64)],
+    ) -> Result<u64, ServeError> {
+        match self.call(&Request::Ingest { series, codec, eps, points: to_vec(points) })? {
+            Response::Ingested { total_points } => Ok(total_points),
+            other => Err(unexpected("ingest", &other)),
+        }
+    }
+
+    /// Forecasts the next horizon of `series` with the model `spec`.
+    /// Values are bit-identical to offline `Forecaster::predict`.
+    pub fn forecast(&mut self, spec: &ModelSpec, series: u64) -> Result<Vec<f64>, ServeError> {
+        match self.call(&Request::Forecast { spec: spec.clone(), series })? {
+            Response::Forecast { values } => Ok(values),
+            other => Err(unexpected("forecast", &other)),
+        }
+    }
+
+    /// Compresses a stored series; returns `(points, segments, bytes)`.
+    pub fn compress(
+        &mut self,
+        method: u8,
+        eps: f64,
+        series: u64,
+    ) -> Result<(u64, u32, Vec<u8>), ServeError> {
+        match self.call(&Request::Compress { method, eps, series })? {
+            Response::Compressed { points, segments, payload } => Ok((points, segments, payload)),
+            other => Err(unexpected("compress", &other)),
+        }
+    }
+
+    /// The server's key=value stats text.
+    pub fn stats(&mut self) -> Result<String, ServeError> {
+        match self.call(&Request::Stats)? {
+            Response::Text { text } => Ok(text),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// The server's Prometheus metrics dump.
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        match self.call(&Request::Metrics)? {
+            Response::Text { text } => Ok(text),
+            other => Err(unexpected("metrics", &other)),
+        }
+    }
+
+    /// Asks the server to shut down; returns once the ack arrives.
+    pub fn shutdown_server(&mut self) -> Result<(), ServeError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(unexpected("shutdown", &other)),
+        }
+    }
+}
+
+fn to_vec(points: &[(i64, f64)]) -> Vec<(i64, f64)> {
+    points.to_vec()
+}
+
+fn unexpected(what: &str, resp: &Response) -> ServeError {
+    ServeError::Transport(format!("unexpected response to {what}: {resp:?}"))
+}

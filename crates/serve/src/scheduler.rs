@@ -1,0 +1,439 @@
+//! The batching scheduler: request coalescing + admission control.
+//!
+//! Forecast jobs enter through a bounded submit queue guarded by an
+//! inflight counter — when [`SchedulerConfig::queue_depth`] jobs are in
+//! flight the next submit is rejected *before queueing* with
+//! [`ServeError::Overloaded`], so memory stays bounded under any load.
+//!
+//! A dedicated coalescing thread drains the submit queue: on the first
+//! job it opens a batching window of [`SchedulerConfig::batch_wait`],
+//! groups arrivals by registry entry id, flushes any group that reaches
+//! [`SchedulerConfig::max_batch`] immediately, and flushes everything
+//! when the window closes. Flushed batches go to a worker pool that
+//! stacks the windows into one `[n, input_len]` tensor and makes a
+//! single [`Forecaster::predict_batch`] call — `n` requests pay one
+//! dispatch. Rows come back to each requester bit-identical to a
+//! per-window [`Forecaster::predict`] (the batch-identity contract
+//! pinned in `forecast/tests/batch_identity.rs`).
+//!
+//! [`Forecaster::predict`]: forecast::Forecaster::predict
+//! [`Forecaster::predict_batch`]: forecast::Forecaster::predict_batch
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
+use neural::tensor::Tensor;
+use telemetry::{counter_add, observe, secs};
+
+use crate::registry::ModelEntry;
+use crate::ServeError;
+
+/// Occupancy histogram buckets (jobs per coalesced batch).
+const OCCUPANCY_BOUNDS: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+/// Scheduler knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Admission bound: maximum forecast jobs in flight (queued or
+    /// executing). The submit queue is sized to this too.
+    pub queue_depth: usize,
+    /// Maximum jobs coalesced into one `predict_batch` call.
+    pub max_batch: usize,
+    /// How long the coalescing window stays open after the first job
+    /// arrives, waiting for same-model companions.
+    pub batch_wait: Duration,
+    /// Worker threads executing flushed batches.
+    pub workers: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            queue_depth: 256,
+            max_batch: 64,
+            batch_wait: Duration::from_micros(200),
+            workers: 2,
+        }
+    }
+}
+
+struct Job {
+    entry: Arc<ModelEntry>,
+    window: Vec<f64>,
+    reply: Sender<Result<Vec<f64>, String>>,
+}
+
+struct Batch {
+    entry: Arc<ModelEntry>,
+    jobs: Vec<Job>,
+}
+
+/// Cumulative scheduler counters (kept independently of the telemetry
+/// registry so `stats` works even with telemetry disabled).
+#[derive(Debug, Default)]
+pub struct SchedulerStats {
+    /// `predict_batch` calls made.
+    pub batches: AtomicU64,
+    /// Jobs that travelled inside those batches.
+    pub batched_jobs: AtomicU64,
+    /// Jobs rejected by admission control.
+    pub rejected: AtomicU64,
+}
+
+/// The batching scheduler. Dropping it disconnects the submit queue;
+/// the coalescing thread flushes what it holds and the pool drains.
+pub struct Scheduler {
+    submit: Sender<Job>,
+    inflight: Arc<AtomicUsize>,
+    stats: Arc<SchedulerStats>,
+    config: SchedulerConfig,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Starts the coalescing thread and the worker pool.
+    pub fn start(config: SchedulerConfig) -> Scheduler {
+        assert!(config.queue_depth >= 1 && config.max_batch >= 1 && config.workers >= 1);
+        let (submit_tx, submit_rx) = channel::bounded::<Job>(config.queue_depth);
+        let (batch_tx, batch_rx) = channel::bounded::<Batch>(config.queue_depth);
+        let stats = Arc::new(SchedulerStats::default());
+        let mut threads = Vec::new();
+
+        let coalescer_stats = Arc::clone(&stats);
+        let coalescer_cfg = config;
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-coalesce".into())
+                .spawn(move || coalesce_loop(submit_rx, batch_tx, coalescer_cfg, coalescer_stats))
+                .expect("spawn coalescer"),
+        );
+        for i in 0..config.workers {
+            let rx = batch_rx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(rx))
+                    .expect("spawn worker"),
+            );
+        }
+        drop(batch_rx);
+        Scheduler {
+            submit: submit_tx,
+            inflight: Arc::new(AtomicUsize::new(0)),
+            stats,
+            config,
+            threads,
+        }
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> &SchedulerStats {
+        &self.stats
+    }
+
+    /// Submits one forecast job and blocks for its result. `window` must
+    /// already be `entry.input_len` long. Fails fast with
+    /// [`ServeError::Overloaded`] when `queue_depth` jobs are in flight.
+    pub fn forecast(
+        &self,
+        entry: Arc<ModelEntry>,
+        window: Vec<f64>,
+    ) -> Result<Vec<f64>, ServeError> {
+        debug_assert_eq!(window.len(), entry.input_len);
+        // Admission: reserve an inflight slot or bounce. fetch_add then
+        // check keeps the fast path one atomic op; losers back out.
+        let depth = self.config.queue_depth;
+        if self.inflight.fetch_add(1, Ordering::AcqRel) >= depth {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            counter_add("serve_rejected_total", &[], 1);
+            return Err(ServeError::Overloaded { depth });
+        }
+        let result = self.forecast_admitted(entry, window);
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+        result
+    }
+
+    fn forecast_admitted(
+        &self,
+        entry: Arc<ModelEntry>,
+        window: Vec<f64>,
+    ) -> Result<Vec<f64>, ServeError> {
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        let job = Job { entry, window, reply: reply_tx };
+        match self.submit.try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                // The queue bound equals the admission bound, so this is
+                // only reachable in a teardown race; report it as overload.
+                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                counter_add("serve_rejected_total", &[], 1);
+                return Err(ServeError::Overloaded { depth: self.config.queue_depth });
+            }
+            Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShuttingDown),
+        }
+        match reply_rx.recv() {
+            Ok(Ok(values)) => Ok(values),
+            Ok(Err(msg)) => Err(ServeError::Model(msg)),
+            Err(_) => Err(ServeError::ShuttingDown),
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        // Replace the live sender with a dead one so the coalescer sees
+        // disconnect, then join the pipeline.
+        let (dead_tx, _) = channel::bounded(1);
+        self.submit = dead_tx;
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn coalesce_loop(
+    submit: Receiver<Job>,
+    batches: Sender<Batch>,
+    config: SchedulerConfig,
+    stats: Arc<SchedulerStats>,
+) {
+    let flush = |pending: &mut HashMap<u64, Batch>| {
+        for (_, batch) in pending.drain() {
+            let n = batch.jobs.len();
+            stats.batches.fetch_add(1, Ordering::Relaxed);
+            stats.batched_jobs.fetch_add(n as u64, Ordering::Relaxed);
+            counter_add("serve_batches_total", &[], 1);
+            counter_add("serve_batch_jobs_total", &[], n as u64);
+            telemetry::global().metrics().observe_with(
+                "serve_batch_occupancy",
+                &[],
+                &OCCUPANCY_BOUNDS,
+                n as f64,
+            );
+            if batches.send(batch).is_err() {
+                return; // workers gone; replies drop and callers see ShuttingDown
+            }
+        }
+    };
+    loop {
+        // Idle: block for the first job of the next batching window.
+        let first = match submit.recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        let deadline = Instant::now() + config.batch_wait;
+        let mut pending: HashMap<u64, Batch> = HashMap::new();
+        let first_id = first.entry.id;
+        pending.insert(first_id, Batch { entry: Arc::clone(&first.entry), jobs: vec![first] });
+        let mut disconnected = false;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match submit.recv_timeout(deadline - now) {
+                Ok(job) => {
+                    let id = job.entry.id;
+                    let batch = pending.entry(id).or_insert_with(|| Batch {
+                        entry: Arc::clone(&job.entry),
+                        jobs: Vec::new(),
+                    });
+                    batch.jobs.push(job);
+                    if batch.jobs.len() >= config.max_batch {
+                        let full = pending.remove(&id).expect("just inserted");
+                        let mut one = HashMap::new();
+                        one.insert(id, full);
+                        flush(&mut one);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        flush(&mut pending);
+        if disconnected {
+            return;
+        }
+    }
+}
+
+fn worker_loop(batches: Receiver<Batch>) {
+    while let Ok(batch) = batches.recv() {
+        run_batch(batch);
+    }
+}
+
+fn run_batch(batch: Batch) {
+    let n = batch.jobs.len();
+    let input_len = batch.entry.input_len;
+    let horizon = batch.entry.horizon;
+    let mut windows = Tensor::zeros(n, input_len);
+    for (row, job) in batch.jobs.iter().enumerate() {
+        windows.data_mut()[row * input_len..(row + 1) * input_len].copy_from_slice(&job.window);
+    }
+    let started = Instant::now();
+    let result = {
+        let model = batch.entry.model.lock();
+        model.predict_batch(&windows)
+    };
+    observe(
+        "serve_predict_seconds",
+        &[("model", &batch.entry.spec.model)],
+        secs(started.elapsed()),
+    );
+    let preds = match result {
+        Ok(t) => t,
+        Err(e) => {
+            let msg = e.to_string();
+            for job in batch.jobs {
+                let _ = job.reply.send(Err(msg.clone()));
+            }
+            return;
+        }
+    };
+    if preds.rows() != n || preds.cols() != horizon {
+        let msg = format!("predict_batch returned {:?}, expected [{n}, {horizon}]", preds.shape());
+        for job in batch.jobs {
+            let _ = job.reply.send(Err(msg.clone()));
+        }
+        return;
+    }
+    for (row, job) in batch.jobs.into_iter().enumerate() {
+        let values = preds.data()[row * horizon..(row + 1) * horizon].to_vec();
+        let _ = job.reply.send(Ok(values));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ModelEntry, ModelSpec};
+    use evalcore::artifact::ArtifactKey;
+    use forecast::{build_model, BuildOptions, Profile};
+    use tsdata::datasets::{generate, DatasetKind, GenOptions};
+    use tsdata::split::{split, SplitSpec};
+
+    const INPUT_LEN: usize = 16;
+    const HORIZON: usize = 4;
+
+    fn fitted_entry(id: u64) -> Arc<ModelEntry> {
+        let data =
+            generate(DatasetKind::ETTm1, GenOptions { len: Some(360), channels: Some(1), seed: 7 });
+        let s = split(&data, SplitSpec::default()).expect("360 points split cleanly");
+        let mut model = build_model(
+            forecast::ModelKind::DLinear,
+            BuildOptions {
+                input_len: INPUT_LEN,
+                horizon: HORIZON,
+                season: None,
+                seed: 40,
+                profile: Profile::Fast,
+            },
+        );
+        model.fit(&s.train, &s.val).expect("tiny fit succeeds");
+        let spec = ModelSpec {
+            dataset: "ETTm1".into(),
+            model: "DLinear".into(),
+            method: None,
+            eps_bits: None,
+        };
+        let key = ArtifactKey {
+            dataset: "ETTm1".into(),
+            model: "DLinear".into(),
+            seed: 40,
+            profile: "Fast".into(),
+            method: None,
+            eps_bits: None,
+            input_len: INPUT_LEN,
+            horizon: HORIZON,
+            len: Some(360),
+            channels: Some(1),
+            data_seed: 7,
+        };
+        Arc::new(ModelEntry {
+            spec,
+            key,
+            model: parking_lot::Mutex::new(model),
+            input_len: INPUT_LEN,
+            horizon: HORIZON,
+            bytes: 1024,
+            id,
+        })
+    }
+
+    #[test]
+    fn scheduled_forecasts_match_direct_predict_bitwise() {
+        let entry = fitted_entry(1);
+        let window: Vec<f64> = (0..INPUT_LEN).map(|i| (i as f64 * 0.25).sin()).collect();
+        let direct =
+            entry.model.lock().predict(std::slice::from_ref(&window)).expect("direct predict");
+        let sched = Scheduler::start(SchedulerConfig::default());
+        let served = sched.forecast(Arc::clone(&entry), window).expect("forecast succeeds");
+        assert_eq!(served.len(), HORIZON);
+        for (s, d) in served.iter().zip(direct.iter()) {
+            assert_eq!(s.to_bits(), d.to_bits(), "served row must be bit-identical");
+        }
+        assert_eq!(sched.stats().batches.load(Ordering::Relaxed), 1);
+        assert_eq!(sched.stats().batched_jobs.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn concurrent_same_model_requests_coalesce() {
+        let entry = fitted_entry(1);
+        // A long batching window guarantees all threads land in one batch.
+        let sched = Arc::new(Scheduler::start(SchedulerConfig {
+            batch_wait: Duration::from_millis(200),
+            ..Default::default()
+        }));
+        let clients = 6;
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let sched = Arc::clone(&sched);
+            let entry = Arc::clone(&entry);
+            handles.push(std::thread::spawn(move || {
+                let window: Vec<f64> =
+                    (0..INPUT_LEN).map(|i| ((i + c) as f64 * 0.25).sin()).collect();
+                let served = sched.forecast(Arc::clone(&entry), window.clone()).unwrap();
+                let direct = entry.model.lock().predict(&[window]).expect("direct predict");
+                for (s, d) in served.iter().zip(direct.iter()) {
+                    assert_eq!(s.to_bits(), d.to_bits());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let batches = sched.stats().batches.load(Ordering::Relaxed);
+        let jobs = sched.stats().batched_jobs.load(Ordering::Relaxed);
+        assert_eq!(jobs, clients as u64);
+        assert!(
+            batches < clients as u64,
+            "6 concurrent requests must coalesce into fewer than 6 batches (got {batches})"
+        );
+    }
+
+    #[test]
+    fn admission_control_bounds_inflight_jobs() {
+        let entry = fitted_entry(1);
+        let sched = Scheduler::start(SchedulerConfig { queue_depth: 1, ..Default::default() });
+        // Saturate the single slot from another thread by racing many
+        // submissions; at least the direct-overflow path must reject.
+        sched.inflight.store(1, Ordering::SeqCst);
+        let window: Vec<f64> = vec![0.0; INPUT_LEN];
+        match sched.forecast(Arc::clone(&entry), window) {
+            Err(ServeError::Overloaded { depth }) => assert_eq!(depth, 1),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(sched.stats().rejected.load(Ordering::Relaxed), 1);
+        sched.inflight.store(0, Ordering::SeqCst);
+        let served = sched.forecast(entry, vec![0.0; INPUT_LEN]).unwrap();
+        assert_eq!(served.len(), HORIZON);
+    }
+}

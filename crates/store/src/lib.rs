@@ -124,6 +124,14 @@ struct Shard {
     count: usize,
     sealed: Vec<Arc<SealedChunk>>,
     active: Option<ActiveChunk>,
+    /// Dirty-generation counter: bumped on every append (and on seal).
+    /// Snapshot reads record the generation they sealed at, so repeated
+    /// reads of an unchanged series reuse the cached frame instead of
+    /// clone-sealing (re-encoding) the open chunk on every call.
+    generation: u64,
+    /// The cached snapshot-seal of the open chunk, tagged with the
+    /// generation it captured.
+    snapshot: Option<(u64, Arc<SealedChunk>)>,
 }
 
 impl Shard {
@@ -180,6 +188,8 @@ impl TsStore {
                 count: 0,
                 sealed: Vec::new(),
                 active: None,
+                generation: 0,
+                snapshot: None,
             })),
         );
         Ok(())
@@ -236,6 +246,7 @@ impl TsStore {
             s.active.get_or_insert_with(|| ActiveChunk::new(codec, eps)).push(ts, value);
             s.last_ts = ts;
             s.count += 1;
+            s.generation += 1;
         }
         Ok(())
     }
@@ -291,10 +302,25 @@ impl TsStore {
     /// reading does not perturb segmentation).
     pub fn read(&self, id: SeriesId) -> Result<StoreSeries, StoreError> {
         let shard = self.shard(id)?;
-        let s = shard.lock();
+        let mut s = shard.lock();
         let mut chunks = s.sealed.clone();
-        if let Some(active) = &s.active {
-            chunks.push(Arc::new(active.clone().seal(s.seal_interval(), s.eps)?));
+        if s.active.is_some() {
+            // Reuse the cached snapshot-seal while the series is clean;
+            // re-encode (and re-tag the cache) only after new appends.
+            let cached = match &s.snapshot {
+                Some((generation, frame)) if *generation == s.generation => Some(frame.clone()),
+                _ => None,
+            };
+            let frame = match cached {
+                Some(frame) => frame,
+                None => {
+                    let active = s.active.clone().expect("checked above");
+                    let frame = Arc::new(active.seal(s.seal_interval(), s.eps)?);
+                    s.snapshot = Some((s.generation, frame.clone()));
+                    frame
+                }
+            };
+            chunks.push(frame);
         }
         Ok(StoreSeries::new(s.start_ts, s.seal_interval(), chunks))
     }
@@ -305,6 +331,10 @@ impl TsStore {
 /// free).
 fn seal_active(id: SeriesId, s: &mut Shard) -> Result<(), StoreError> {
     let Some(active) = s.active.take() else { return Ok(()) };
+    // The cached snapshot covered the open chunk that is being sealed;
+    // drop it so the frame's memory is released promptly.
+    s.snapshot = None;
+    s.generation += 1;
     let started = std::time::Instant::now();
     let points = active.len();
     let interval = s.seal_interval();
@@ -380,6 +410,43 @@ mod tests {
         let view = store.read(id).unwrap();
         let all: Vec<f64> = view.iter_values().collect();
         assert_eq!(all, (0..20).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn repeated_snapshots_of_an_unchanged_series_reuse_the_sealed_frame() {
+        let store = TsStore::new(StoreConfig::default());
+        let id = SeriesId(21);
+        store.create_series(id, ChunkCodec::Gorilla, 0.0).unwrap();
+        store.append_batch(id, (0..50).map(|i| (i * 30, (i as f64).sin()))).unwrap();
+
+        // Two reads with no intervening appends must share the exact same
+        // snapshot-sealed frame (pointer equality through the Arc), i.e.
+        // the second read did not re-encode the open chunk.
+        let v1 = store.read(id).unwrap();
+        let v2 = store.read(id).unwrap();
+        let f1 = v1.chunks().last().unwrap();
+        let f2 = v2.chunks().last().unwrap();
+        assert!(std::ptr::eq(f1, f2), "unchanged series must reuse the cached snapshot frame");
+
+        // An append dirties the generation: the next read re-encodes (a
+        // different frame) and sees the new point.
+        store.append(id, 50 * 30, 9.25).unwrap();
+        let v3 = store.read(id).unwrap();
+        let f3 = v3.chunks().last().unwrap();
+        assert!(!std::ptr::eq(f1, f3), "append must invalidate the cached snapshot");
+        assert_eq!(v3.len(), 51);
+        assert_eq!(v3.iter_values().last().unwrap(), 9.25);
+
+        // The refreshed snapshot is itself cached again.
+        let v4 = store.read(id).unwrap();
+        assert!(std::ptr::eq(f3, v4.chunks().last().unwrap()));
+
+        // Sealing drops the cache; a sealed-only series reads straight
+        // from the immutable chunk list.
+        store.seal_series(id).unwrap();
+        let v5 = store.read(id).unwrap();
+        assert_eq!(v5.len(), 51);
+        assert_eq!(v5.num_chunks(), 1);
     }
 
     #[test]

@@ -148,3 +148,36 @@ proptest! {
         }
     }
 }
+
+/// The edge the ring buffer must get right: chunks cut *exactly* at
+/// `input_len`, so the first window's inputs fill chunk 0 completely and
+/// its horizon starts on the chunk seam (and every later seam lands on a
+/// window-internal boundary). The streamed windows must still match the
+/// materialised path bit for bit.
+#[test]
+fn window_boundary_exactly_at_input_len_chunk_seam() {
+    const INPUT_LEN: usize = 16;
+    const HORIZON: usize = 4;
+    let vals: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+    let series = RegularTimeSeries::new(0, 60, vals.clone()).expect("non-empty");
+
+    let (store, id) = ingested(&vals, 0, 60, ChunkCodec::Gorilla, 0.0, INPUT_LEN);
+    let view = store.read(id).expect("series exists");
+
+    let legacy = MultiSeries::new(vec!["a".into()], vec![series], 0).expect("single channel");
+    for stride in [1usize, INPUT_LEN] {
+        let expect = make_windows(&legacy, INPUT_LEN, HORIZON, stride);
+        let sources: Vec<&dyn SeriesSource> = vec![&view];
+        let got = make_windows_from(&sources, 0, INPUT_LEN, HORIZON, stride);
+        assert_eq!(got.len(), expect.len(), "stride {stride}");
+        assert!(!got.is_empty());
+        for (g, e) in got.iter().zip(&expect) {
+            assert_eq!(g.start, e.start);
+            assert_eq!(bits(&g.inputs[0]), bits(&e.inputs[0]), "stride {stride} start {}", g.start);
+            assert_eq!(bits(&g.target), bits(&e.target), "stride {stride} start {}", g.start);
+        }
+    }
+    // With stride == input_len, window 0's inputs are exactly chunk 0 and
+    // its horizon is the head of chunk 1.
+    assert_eq!(store.num_chunks(id).expect("chunks"), 64 / INPUT_LEN);
+}

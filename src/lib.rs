@@ -1,11 +1,12 @@
 //! Facade crate re-exporting the EvalImpLSTS workspace.
 //!
-//! See [`tsdata`], [`compression`], [`neural`], [`forecast`], [`analysis`]
-//! and [`evalcore`] for the individual subsystems, and `DESIGN.md` for the
-//! system inventory.
+//! See [`tsdata`], [`compression`], [`neural`], [`forecast`], [`analysis`],
+//! [`evalcore`] and [`serve`] for the individual subsystems, and
+//! `DESIGN.md` for the system inventory.
 pub use analysis;
 pub use compression;
 pub use evalcore;
 pub use forecast;
 pub use neural;
+pub use serve;
 pub use tsdata;

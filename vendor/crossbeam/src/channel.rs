@@ -1,0 +1,336 @@
+//! Offline stand-in for `crossbeam-channel`'s bounded MPMC channel.
+//!
+//! Implements the API slice the workspace uses — [`bounded`] with
+//! blocking [`Sender::send`]/[`Receiver::recv`], non-blocking
+//! [`Sender::try_send`], and deadline-aware [`Receiver::recv_timeout`] —
+//! on a mutex-protected ring with two condvars. Like the real crate,
+//! both ends are cloneable, capacity counts buffered messages, and an
+//! operation fails with a `Disconnected` error once every handle on the
+//! other side has been dropped.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error from [`Sender::send`]: every receiver has been dropped. The
+/// unsent message is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error from [`Sender::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The buffer is at capacity; the message is handed back.
+    Full(T),
+    /// Every receiver has been dropped; the message is handed back.
+    Disconnected(T),
+}
+
+/// Error from [`Receiver::recv`]: the buffer is empty and every sender
+/// has been dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error from [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The buffer is currently empty.
+    Empty,
+    /// The buffer is empty and every sender has been dropped.
+    Disconnected,
+}
+
+/// Error from [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The buffer is empty and every sender has been dropped.
+    Disconnected,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Inner<T> {
+    cap: usize,
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Creates a bounded channel with room for `cap` buffered messages.
+/// `cap` must be at least 1 (the rendezvous channel of the real crate is
+/// not implemented — nothing in the workspace uses it).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap >= 1, "bounded channel capacity must be at least 1");
+    let inner = Arc::new(Inner {
+        cap,
+        state: Mutex::new(State { queue: VecDeque::with_capacity(cap), senders: 1, receivers: 1 }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { inner: inner.clone() }, Receiver { inner })
+}
+
+/// The sending half; cloneable for multi-producer use.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half; cloneable for multi-consumer use.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Blocks until the message is buffered, or fails when every
+    /// receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut state = self.inner.state.lock().unwrap();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            if state.queue.len() < self.inner.cap {
+                state.queue.push_back(msg);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.inner.not_full.wait(state).unwrap();
+        }
+    }
+
+    /// Buffers the message if there is room right now — the admission-
+    /// control primitive: a full buffer reports `Full` instead of
+    /// blocking the caller.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.inner.state.lock().unwrap();
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if state.queue.len() >= self.inner.cap {
+            return Err(TrySendError::Full(msg));
+        }
+        state.queue.push_back(msg);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().unwrap().queue.len()
+    }
+
+    /// Whether the buffer is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives, or fails when the buffer is empty
+    /// and every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.inner.state.lock().unwrap();
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.inner.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Pops a message if one is buffered right now.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.inner.state.lock().unwrap();
+        if let Some(msg) = state.queue.pop_front() {
+            self.inner.not_full.notify_one();
+            return Ok(msg);
+        }
+        if state.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Blocks until a message arrives or `timeout` elapses — the batching
+    /// scheduler's bounded-wait primitive.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.state.lock().unwrap();
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (next, result) = self.inner.not_empty.wait_timeout(state, deadline - now).unwrap();
+            state = next;
+            if result.timed_out() && state.queue.is_empty() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Number of messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().unwrap().queue.len()
+    }
+
+    /// Whether the buffer is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().unwrap().senders += 1;
+        Sender { inner: self.inner.clone() }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().unwrap().receivers += 1;
+        Receiver { inner: self.inner.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().unwrap();
+        state.senders -= 1;
+        if state.senders == 0 {
+            // Wake blocked receivers so they observe the disconnect.
+            drop(state);
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().unwrap();
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            drop(state);
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn roundtrip_in_order() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!((0..4).map(|_| rx.recv().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn try_send_reports_full_then_recovers() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_delivers() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+    }
+
+    #[test]
+    fn drop_of_all_senders_disconnects() {
+        let (tx, rx) = bounded(2);
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn drop_of_all_receivers_disconnects() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(5), Err(SendError(5)));
+        assert_eq!(tx.try_send(5), Err(TrySendError::Disconnected(5)));
+    }
+
+    #[test]
+    fn blocking_send_unblocks_on_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let handle = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(rx.recv(), Ok(1));
+        handle.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn multi_producer_multi_consumer_drains_everything() {
+        let (tx, rx) = bounded(8);
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        drop(rx);
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap().len()).sum();
+        assert_eq!(total, 200);
+    }
+}

@@ -1,10 +1,15 @@
-//! Offline stand-in for `crossbeam`'s scoped threads.
+//! Offline stand-in for `crossbeam`'s scoped threads and bounded
+//! channels.
 //!
 //! Implements `crossbeam::scope` on top of `std::thread::scope` (stable
 //! since Rust 1.63). The shim preserves crossbeam's two API differences
 //! from std: spawn closures receive the scope as an argument (so nested
 //! spawns are possible), and `scope` returns a `Result` that captures
-//! worker panics instead of propagating them.
+//! worker panics instead of propagating them. The [`channel`] module
+//! provides the bounded MPMC channel slice of `crossbeam-channel` that
+//! the serving front end's scheduler queues are built on.
+
+pub mod channel;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread;
