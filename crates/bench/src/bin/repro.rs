@@ -38,11 +38,18 @@ fn main() {
     };
 
     println!(
-        "EvalImpLSTS reproduction — scale {:?}, dataset length {:?}, {} thread(s)\n",
+        "EvalImpLSTS reproduction — scale {:?}, dataset length {:?}, {} thread(s), {} shard(s)\n",
         cli.scale,
         cfg.len.map_or("paper-full".to_string(), |l| l.to_string()),
-        cfg.threads
+        cfg.threads,
+        if cfg.shards == 0 { "auto".to_string() } else { cfg.shards.to_string() }
     );
+    if let Some(seed) = cfg.chaos_seed {
+        eprintln!(
+            "[repro] chaos mode: seed {seed} injects deterministic worker kills/stalls/\
+             callback panics; outputs must match a clean run byte-for-byte"
+        );
+    }
     if let Some(dir) = &cli.artifacts {
         eprintln!(
             "[repro] artifact store: {dir}{}",
@@ -136,9 +143,11 @@ fn main() {
                 eprintln!("[repro] running retrain grid (each cell retrains its model)...");
                 let ctx = evalcore::GridContext::new(cfg.clone());
                 let engine = evalcore::Engine::new(&ctx).on_task_done(|ev| {
+                    // `seq` counts completions (the pace); `coord` names
+                    // the task that just finished (stealing reorders them).
                     eprintln!(
                         "[repro] retrain {}/{} {:?}: {}",
-                        ev.index + 1,
+                        ev.seq + 1,
                         ev.total,
                         ev.status,
                         ev.coord

@@ -154,14 +154,23 @@ pub struct Cli {
     /// Inference batch-size override for evaluation scoring (`0` = the
     /// legacy per-window predict loop; results are identical either way).
     pub batch_size: Option<usize>,
+    /// Scheduler shard-count override (`0`/absent = one shard per
+    /// worker). Results are identical for any value; see DESIGN.md §15.
+    pub shards: Option<usize>,
+    /// Chaos-schedule seed: inject deterministic worker kills, stalls,
+    /// slow-downs, and callback panics into every engine run. Outputs
+    /// must stay byte-identical to a clean run (the CI chaos-smoke job
+    /// cmp's the CSVs).
+    pub chaos: Option<u64>,
 }
 
 /// Parses `repro` arguments. Returns `Err` with a usage string on bad
 /// input.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
     let usage = "usage: repro [all|table1|table2|...|fig7|decomp|retrain]... \
-                 [--quick|--paper] [--len N] [--seed S] [--batch-size N] [--csv DIR] \
-                 [--artifacts DIR [--resume]] [--metrics FILE] [--trace FILE] [--store]";
+                 [--quick|--paper] [--len N] [--seed S] [--batch-size N] [--shards N] \
+                 [--chaos SEED] [--csv DIR] [--artifacts DIR [--resume]] \
+                 [--metrics FILE] [--trace FILE] [--store]";
     let mut experiments = Vec::new();
     let mut scale = Scale::Default;
     let mut len = None;
@@ -173,6 +182,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String
     let mut trace = None;
     let mut store = false;
     let mut batch_size = None;
+    let mut shards = None;
+    let mut chaos = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -201,6 +212,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String
                 let v =
                     iter.next().ok_or_else(|| format!("--batch-size needs a value\n{usage}"))?;
                 batch_size = Some(v.parse().map_err(|_| format!("bad --batch-size {v}\n{usage}"))?);
+            }
+            "--shards" => {
+                let v = iter.next().ok_or_else(|| format!("--shards needs a value\n{usage}"))?;
+                shards = Some(v.parse().map_err(|_| format!("bad --shards {v}\n{usage}"))?);
+            }
+            "--chaos" => {
+                let v = iter.next().ok_or_else(|| format!("--chaos needs a seed\n{usage}"))?;
+                chaos = Some(v.parse().map_err(|_| format!("bad --chaos {v}\n{usage}"))?);
             }
             "--metrics" => {
                 let v = iter.next().ok_or_else(|| format!("--metrics needs a file\n{usage}"))?;
@@ -235,6 +254,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String
         trace,
         store,
         batch_size,
+        shards,
+        chaos,
     })
 }
 
@@ -265,6 +286,10 @@ pub fn config_for(cli: &Cli) -> GridConfig {
     if let Some(b) = cli.batch_size {
         cfg.batch_size = b;
     }
+    if let Some(s) = cli.shards {
+        cfg.shards = s;
+    }
+    cfg.chaos_seed = cli.chaos;
     cfg
 }
 
@@ -351,6 +376,26 @@ mod tests {
         assert_eq!(config_for(&cli).batch_size, 128);
         assert!(parse("--batch-size").is_err());
         assert!(parse("--batch-size x").is_err());
+    }
+
+    #[test]
+    fn shards_and_chaos_flags_thread_into_config() {
+        let cli = parse("table1 --quick").unwrap();
+        assert_eq!(cli.shards, None);
+        assert_eq!(cli.chaos, None);
+        let cfg = config_for(&cli);
+        assert_eq!(cfg.shards, 0, "default auto-shards");
+        assert_eq!(cfg.chaos_seed, None, "no fault injection by default");
+        let cli = parse("table1 --quick --shards 4 --chaos 99").unwrap();
+        assert_eq!(cli.shards, Some(4));
+        assert_eq!(cli.chaos, Some(99));
+        let cfg = config_for(&cli);
+        assert_eq!(cfg.shards, 4);
+        assert_eq!(cfg.chaos_seed, Some(99));
+        assert!(parse("--shards").is_err());
+        assert!(parse("--shards x").is_err());
+        assert!(parse("--chaos").is_err());
+        assert!(parse("--chaos x").is_err());
     }
 
     #[test]

@@ -8,25 +8,43 @@
 //! [`TaskOutcome`] per task — `Ok(record)`, `Failed(ScenarioError)`, or
 //! `Panicked(message)` — so a partial grid still produces a report.
 //!
-//! Three properties the scheduler guarantees:
+//! Scheduling is delegated to the sharded work-stealing substrate in
+//! [`crate::sched`]: tasks are partitioned into shards keyed by
+//! [`TaskCoord::shard_key`] (all tasks of one dataset share a shard),
+//! each shard owns a bounded queue, idle workers steal from siblings,
+//! and submission applies backpressure instead of materialising
+//! unbounded task vectors. Properties the engine guarantees:
 //!
 //! * **Fault isolation** — a panic or error in one task never takes down
-//!   a worker or another task; the worker traps it and moves on.
+//!   a worker or another task; the worker traps it and moves on. The
+//!   completion callback is trapped too: a panicking [`on_task_done`]
+//!   callback is logged and counted, never fatal.
 //! * **Deterministic assembly** — outcomes are returned in task order
-//!   regardless of thread count or completion order, so results are
-//!   byte-identical across `threads = 1` and `threads = N`.
+//!   regardless of thread count, shard count, or steal schedule, so
+//!   results are byte-identical across `threads = 1` and `threads = N`.
+//! * **Bounded memory** — at most `shards × queue_capacity` task indices
+//!   are queued at any instant, exported as the `engine_queue_depth`
+//!   gauge; steals appear in `engine_steals_total`.
 //! * **Cooperative cancellation** — a shared [`CancelFlag`] makes every
 //!   not-yet-started task resolve to `Failed(ScenarioError::Cancelled)`;
 //!   running tasks finish normally. A per-task completion callback
 //!   ([`Engine::on_task_done`]) is the hook observability layers (and the
 //!   `repro` progress display) plug into.
 //!
+//! A seeded or scripted [`ChaosSchedule`] ([`Engine::chaos_schedule`],
+//! [`GridConfig::chaos_seed`]) injects worker kills, stalls, slow
+//! workers, and callback panics at deterministic task indices; the
+//! invariants above hold under every schedule (the chaos suite in
+//! `crates/core/tests/engine_chaos.rs` proves it).
+//!
+//! [`on_task_done`]: Engine::on_task_done
+//!
 //! Tasks address the grid through the shared [`GridContext`], so the
 //! exactly-once dataset/transform caching of [`crate::cache`] is
 //! preserved: the engine schedules, the context shares.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use compression::codec::PeblcCompressor;
@@ -43,6 +61,7 @@ use crate::results::{CompressionRecord, ForecastRecord, TaskFailure};
 use crate::scenario::{
     score_scenario_with, score_transformed, score_windows, ScenarioError, ScenarioOutcome,
 };
+use crate::sched::{self, Backpressure, ChaosSchedule, RunStats};
 
 /// Grid coordinates identifying one task. Fields that do not apply to a
 /// task family are `None` (e.g. a [`CompressionTask`] has no model/seed).
@@ -65,6 +84,20 @@ impl TaskCoord {
     /// A coordinate carrying only a dataset.
     pub fn dataset(dataset: DatasetKind) -> Self {
         TaskCoord { dataset, method: None, epsilon: None, model: None, seed: None }
+    }
+
+    /// The scheduler shard key: an FNV-1a hash of the dataset (series)
+    /// name. All tasks touching one dataset map to the same shard, so
+    /// they tend to run on the worker whose caches that dataset's
+    /// transforms already warmed; stealing only mixes shards when a
+    /// worker goes idle.
+    pub fn shard_key(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.dataset.name().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
     }
 }
 
@@ -136,10 +169,22 @@ pub enum TaskStatus {
 
 /// One per-task completion notification delivered to
 /// [`Engine::on_task_done`].
+///
+/// Two orderings coexist because work stealing reorders execution:
+/// `index` is **task order** (the task's position in the submitted
+/// list — stable across runs and thread counts), while `seq` is
+/// **completion order** (the position of this event among all events of
+/// the run — schedule-dependent). Progress displays should render
+/// `seq + 1` of `total` done; anything keyed to *which* task finished
+/// must use `index`/`coord`.
 #[derive(Debug, Clone, Copy)]
 pub struct TaskEvent {
-    /// Index of the completed task in the submitted task list.
+    /// Index of the completed task in the submitted task list (task
+    /// order; identifies the task, not the pace of the run).
     pub index: usize,
+    /// Completion sequence number: this is the `seq`-th task to finish
+    /// (0-based, dense, schedule-dependent).
+    pub seq: usize,
     /// Total number of tasks in the run.
     pub total: usize,
     /// The task's grid coordinates.
@@ -524,20 +569,38 @@ impl<R> GridReport<R> {
 
 type ProgressFn<'a> = Box<dyn Fn(TaskEvent) + Sync + 'a>;
 
-/// The scheduler: runs typed tasks over a crossbeam worker pool with
-/// per-task panic isolation and deterministic outcome assembly.
+/// The scheduler front end: runs typed tasks over the sharded
+/// work-stealing pool ([`crate::sched`]) with per-task panic isolation,
+/// a trapped completion callback, and deterministic outcome assembly.
 pub struct Engine<'c> {
     ctx: &'c GridContext,
     threads: usize,
+    shards: usize,
+    queue_capacity: usize,
     cancel: CancelFlag,
     on_done: Option<ProgressFn<'c>>,
+    chaos: Option<ChaosSchedule>,
+    chaos_seed: Option<u64>,
 }
 
+/// Event density (% of tasks) for schedules built from
+/// [`GridConfig::chaos_seed`] / [`Engine::chaos_seed`].
+const SEEDED_CHAOS_INTENSITY_PCT: usize = 20;
+
 impl<'c> Engine<'c> {
-    /// Creates an engine over a shared context, using the configuration's
-    /// thread count.
+    /// Creates an engine over a shared context, taking thread count,
+    /// shard count, and chaos seed from its configuration.
     pub fn new(ctx: &'c GridContext) -> Self {
-        Engine { ctx, threads: ctx.config.threads, cancel: CancelFlag::new(), on_done: None }
+        Engine {
+            ctx,
+            threads: ctx.config.threads,
+            shards: ctx.config.shards,
+            queue_capacity: sched::DEFAULT_QUEUE_CAPACITY,
+            cancel: CancelFlag::new(),
+            on_done: None,
+            chaos: None,
+            chaos_seed: ctx.config.chaos_seed,
+        }
     }
 
     /// Overrides the worker-thread count (the outcome *order* is
@@ -547,15 +610,48 @@ impl<'c> Engine<'c> {
         self
     }
 
+    /// Overrides the shard count (`0` = one shard per worker). Outcomes
+    /// are identical for any value; shards only shape queue locality.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Overrides the per-shard bounded queue capacity (clamped to ≥ 1;
+    /// default [`sched::DEFAULT_QUEUE_CAPACITY`]). Peak queued work is
+    /// `shards × capacity`.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
     /// Installs a shared cancellation flag.
     pub fn cancel_flag(mut self, flag: CancelFlag) -> Self {
         self.cancel = flag;
         self
     }
 
+    /// Installs an explicit chaos schedule for the next run. Events are
+    /// one-shot: a schedule is consumed by the run that fires it, so
+    /// build a fresh engine (or schedule) per chaos run.
+    pub fn chaos_schedule(mut self, schedule: ChaosSchedule) -> Self {
+        self.chaos = Some(schedule);
+        self
+    }
+
+    /// Derives a fresh seeded chaos schedule for each run (the task
+    /// count is only known at `run` time). Overridden by an explicit
+    /// [`Engine::chaos_schedule`].
+    pub fn chaos_seed(mut self, seed: u64) -> Self {
+        self.chaos_seed = Some(seed);
+        self
+    }
+
     /// Installs a per-task completion callback, invoked from worker
-    /// threads as each task finishes (in completion order, not task
-    /// order). The callback must not panic.
+    /// threads as each task finishes (in completion order — see
+    /// [`TaskEvent`] for the `index` vs `seq` distinction). A panic in
+    /// the callback is trapped, logged to stderr, and counted in
+    /// [`RunStats::callback_panics`]; it never aborts the run.
     pub fn on_task_done<F>(mut self, callback: F) -> Self
     where
         F: Fn(TaskEvent) + Sync + 'c,
@@ -570,48 +666,89 @@ impl<'c> Engine<'c> {
     }
 
     /// Runs every task, returning one [`TaskOutcome`] per task **in task
-    /// order**, independent of thread count and completion order. A
-    /// panicking task is trapped by the worker (`catch_unwind`) and
-    /// yields `Panicked`; tasks observed after cancellation yield
-    /// `Failed(ScenarioError::Cancelled)` without running.
+    /// order**, independent of thread count, shard count, and steal
+    /// schedule. A panicking task is trapped by the worker
+    /// (`catch_unwind`) and yields `Panicked`; tasks observed after
+    /// cancellation yield `Failed(ScenarioError::Cancelled)` without
+    /// running. An empty task list returns immediately without spawning
+    /// workers (so `threads = 0, n = 0` is a no-op, not a panic).
     pub fn run<T: GridTask>(&self, tasks: &[T]) -> Vec<TaskOutcome<T::Output>> {
+        self.run_with_stats(tasks).0
+    }
+
+    /// [`Engine::run`], also returning the scheduler's [`RunStats`]
+    /// (steals, peak queue depth, chaos casualties, callback panics).
+    pub fn run_with_stats<T: GridTask>(
+        &self,
+        tasks: &[T],
+    ) -> (Vec<TaskOutcome<T::Output>>, RunStats) {
         let n = tasks.len();
-        let next = AtomicUsize::new(0);
-        let workers = self.threads.max(1).min(n.max(1));
-        let mut indexed: Vec<(usize, TaskOutcome<T::Output>)> = crossbeam::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|_| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
-                            }
-                            let outcome = self.run_one(&tasks[i]);
-                            if let Some(cb) = &self.on_done {
-                                cb(TaskEvent {
-                                    index: i,
-                                    total: n,
-                                    coord: tasks[i].coord(),
-                                    status: outcome.status(),
-                                });
-                            }
-                            local.push((i, outcome));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            let mut merged = Vec::with_capacity(n);
-            for h in handles {
-                merged.extend(h.join().expect("engine workers trap task panics"));
+        if n == 0 {
+            return (Vec::new(), RunStats::default());
+        }
+        let workers = self.threads.max(1).min(n);
+        let shards = if self.shards == 0 { workers } else { self.shards };
+        // A seeded schedule is built fresh per run (its one-shot flags
+        // start clean); an explicit schedule takes precedence.
+        let seeded = match (&self.chaos, self.chaos_seed) {
+            (None, Some(seed)) => Some(ChaosSchedule::seeded(seed, n, SEEDED_CHAOS_INTENSITY_PCT)),
+            _ => None,
+        };
+        let chaos = self.chaos.as_ref().or(seeded.as_ref());
+        let seq = AtomicUsize::new(0);
+        let callback_panics = AtomicU64::new(0);
+        let (outcomes, mut stats) = sched::run_sharded(
+            n,
+            workers,
+            shards,
+            self.queue_capacity,
+            chaos,
+            Backpressure::Block,
+            |i| tasks[i].coord().shard_key(),
+            |i, inject_callback_panic| {
+                let outcome = self.run_one(&tasks[i]);
+                self.notify_done(
+                    TaskEvent {
+                        index: i,
+                        seq: seq.fetch_add(1, Ordering::Relaxed),
+                        total: n,
+                        coord: tasks[i].coord(),
+                        status: outcome.status(),
+                    },
+                    inject_callback_panic,
+                    &callback_panics,
+                );
+                outcome
+            },
+        )
+        .expect("blocking backpressure never rejects a task");
+        stats.callback_panics = callback_panics.load(Ordering::Relaxed);
+        (outcomes, stats)
+    }
+
+    /// Delivers one completion event, trapping callback panics so a
+    /// faulty progress callback (or an injected chaos one) degrades to a
+    /// logged warning instead of unwinding the worker and aborting the
+    /// grid through the scope join.
+    fn notify_done(&self, event: TaskEvent, inject_panic: bool, panics: &AtomicU64) {
+        let trapped = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("chaos: injected callback panic at task {}", event.index);
             }
-            merged
-        })
-        .expect("engine workers trap task panics");
-        indexed.sort_by_key(|(i, _)| *i);
-        indexed.into_iter().map(|(_, o)| o).collect()
+            if let Some(cb) = &self.on_done {
+                cb(event);
+            }
+        }));
+        if let Err(payload) = trapped {
+            panics.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter_add("engine_callback_panics_total", &[], 1);
+            eprintln!(
+                "[engine] on_task_done callback panicked for task {} ({}): {}",
+                event.index,
+                event.coord,
+                panic_message(payload.as_ref())
+            );
+        }
     }
 
     fn run_one<T: GridTask>(&self, task: &T) -> TaskOutcome<T::Output> {
@@ -881,6 +1018,92 @@ mod tests {
                 _ => TaskStatus::Ok,
             };
             assert_eq!(e.status, expected, "task {i}");
+        }
+    }
+
+    #[test]
+    fn panicking_callback_is_trapped_and_counted() {
+        // Regression: the callback used to run outside the worker's
+        // catch_unwind, so one bad progress callback aborted the whole
+        // grid through the scope join. It must now degrade to a logged
+        // warning, a counted panic, and an otherwise complete run.
+        let ctx = test_ctx();
+        let tasks = scripted(12, &[], &[]);
+        let (outcomes, stats) = Engine::new(&ctx)
+            .threads(3)
+            .on_task_done(|e| {
+                if e.index == 5 {
+                    panic!("progress callback bug at {}", e.index);
+                }
+            })
+            .run_with_stats(&tasks);
+        assert_eq!(outcomes.len(), 12);
+        assert!(outcomes.iter().all(|o| o.is_ok()), "task outcomes are unaffected");
+        assert_eq!(stats.callback_panics, 1);
+    }
+
+    #[test]
+    fn injected_chaos_callback_panics_are_counted() {
+        let ctx = test_ctx();
+        let tasks = scripted(10, &[], &[]);
+        let chaos = ChaosSchedule::scripted([
+            (2, sched::ChaosEvent::CallbackPanic),
+            (7, sched::ChaosEvent::CallbackPanic),
+        ]);
+        let (outcomes, stats) =
+            Engine::new(&ctx).threads(2).chaos_schedule(chaos).run_with_stats(&tasks);
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+        assert_eq!(stats.callback_panics, 2);
+    }
+
+    #[test]
+    fn chaos_kills_leave_outcomes_byte_identical() {
+        let ctx = test_ctx();
+        let tasks = scripted(30, &[4], &[11]);
+        let clean: Vec<String> =
+            Engine::new(&ctx).threads(1).run(&tasks).iter().map(|o| format!("{o:?}")).collect();
+        let chaos =
+            ChaosSchedule::scripted((0..30).step_by(5).map(|i| (i, sched::ChaosEvent::Kill)));
+        let (outcomes, stats) =
+            Engine::new(&ctx).threads(4).chaos_schedule(chaos).run_with_stats(&tasks);
+        let chaotic: Vec<String> = outcomes.iter().map(|o| format!("{o:?}")).collect();
+        assert_eq!(clean, chaotic);
+        assert!(stats.worker_deaths >= 1);
+        assert_eq!(stats.requeued, stats.worker_deaths);
+    }
+
+    #[test]
+    fn empty_grid_with_zero_config_threads_is_a_noop() {
+        // threads = 0 with n = 0 used to spawn a pointless worker; the
+        // run must now return immediately with no outcomes.
+        let mut cfg = GridConfig::smoke();
+        cfg.threads = 0;
+        let ctx = GridContext::new(cfg);
+        let outcomes = Engine::new(&ctx).run(&scripted(0, &[], &[]));
+        assert!(outcomes.is_empty());
+        let (outcomes, stats) = Engine::new(&ctx).run_with_stats(&scripted(0, &[], &[]));
+        assert!(outcomes.is_empty());
+        assert_eq!(stats, RunStats::default());
+    }
+
+    #[test]
+    fn event_index_is_task_order_and_seq_is_completion_order() {
+        let ctx = test_ctx();
+        let tasks = scripted(25, &[], &[]);
+        let events: Mutex<Vec<TaskEvent>> = Mutex::new(Vec::new());
+        Engine::new(&ctx).threads(4).on_task_done(|e| events.lock().unwrap().push(e)).run(&tasks);
+        let events = events.into_inner().unwrap();
+        assert_eq!(events.len(), 25);
+        // `seq` is dense completion order: 0..n with no gaps.
+        let mut seqs: Vec<usize> = events.iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..25).collect::<Vec<_>>());
+        // `index` identifies the task regardless of when it finished.
+        let mut indices: Vec<usize> = events.iter().map(|e| e.index).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..25).collect::<Vec<_>>());
+        for e in &events {
+            assert_eq!(e.coord.seed, Some(e.index as u64), "coord follows index, not seq");
         }
     }
 

@@ -10,7 +10,7 @@
 //! `*_ctx` runners log failed tasks and return the surviving records;
 //! callers that need the structured failures use [`Engine`] directly.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use compression::{Method, ALL_METHODS, ERROR_BOUNDS};
 use forecast::model::{ModelKind, ALL_MODELS};
@@ -23,6 +23,7 @@ use crate::cache::GridContext;
 use crate::engine::Engine;
 use crate::results::{CompressionRecord, ForecastRecord};
 use crate::scenario::ScenarioError;
+use crate::sched::{self, Backpressure};
 
 /// Grid configuration. The defaults of [`GridConfig::default_repro`]
 /// complete on one laptop-class CPU; [`GridConfig::paper`] matches the
@@ -61,6 +62,16 @@ pub struct GridConfig {
     pub profile: Profile,
     /// Worker threads.
     pub threads: usize,
+    /// Scheduler shards (`0` = one shard per worker). Tasks are keyed to
+    /// shards by [`crate::engine::TaskCoord::shard_key`]; each shard owns
+    /// a bounded queue and idle workers steal across shards. Outcomes are
+    /// identical for any value (DESIGN.md §15).
+    pub shards: usize,
+    /// Seed for a generated chaos schedule (`None` = no fault injection).
+    /// When set, every engine run injects deterministic worker kills,
+    /// stalls, slow-downs, and callback panics — and must still produce
+    /// byte-identical outputs (the CI chaos-smoke job cmp's the CSVs).
+    pub chaos_seed: Option<u64>,
     /// Dataset generation seed.
     pub data_seed: u64,
     /// Artifact store directory (`None` = no checkpointing). When set,
@@ -94,6 +105,8 @@ impl GridConfig {
             batch_size: 64,
             profile: Profile::Fast,
             threads: num_threads(),
+            shards: 0,
+            chaos_seed: None,
             data_seed: 0x5EED,
             artifacts: None,
             store_backed: false,
@@ -118,6 +131,8 @@ impl GridConfig {
             batch_size: 64,
             profile: Profile::Fast,
             threads: num_threads(),
+            shards: 0,
+            chaos_seed: None,
             data_seed: 0x5EED,
             artifacts: None,
             store_backed: false,
@@ -146,6 +161,8 @@ impl GridConfig {
             batch_size: 64,
             profile: Profile::Paper,
             threads: num_threads(),
+            shards: 0,
+            chaos_seed: None,
             data_seed: 0x5EED,
             artifacts: None,
             store_backed: false,
@@ -225,71 +242,45 @@ fn num_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(1, 16)
 }
 
-/// Runs `tasks.len()` closures on a worker pool, collecting outputs in
-/// task order. Each worker accumulates into a private vector; the vectors
-/// are merged after the scope joins, so there is no shared collection
-/// lock on the task path.
+/// Runs `num_tasks` closures on the sharded work-stealing pool
+/// ([`crate::sched`]), collecting outputs in task order. Indices flow
+/// through bounded per-shard queues (round-robin by index), so
+/// submission is backpressured and peak queued work stays bounded.
 ///
-/// This is the legacy helper predating the task engine; new grid code
-/// should go through [`Engine`], which traps panics *per task*. Here a
-/// panicking closure kills its worker, but the pool degrades instead of
-/// aborting: surviving workers drain the remaining indices, their results
-/// are kept, and the indices lost with the dead worker (its in-flight
-/// task plus any completed results in its private vector) are reported on
-/// stderr. The returned vector stays in task order but may be shorter
-/// than `num_tasks`.
+/// This is the untyped helper for callers without [`crate::engine::GridTask`]
+/// descriptors (the figure/table sweeps); new grid code should go
+/// through [`Engine`], which reports structured per-task outcomes. Each
+/// closure runs under its own `catch_unwind`, so a panicking task no
+/// longer kills a worker: exactly the panicking indices are dropped
+/// (reported on stderr and in `run_parallel_lost_tasks_total`), every
+/// other result survives, and the returned vector stays in task order
+/// but may be shorter than `num_tasks`.
 pub fn run_parallel<T, F>(num_tasks: usize, threads: usize, task: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let next = AtomicUsize::new(0);
-    let workers = threads.max(1).min(num_tasks.max(1));
-    let (mut indexed, dead_workers) = crossbeam::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|_| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= num_tasks {
-                            break;
-                        }
-                        local.push((i, task(i)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        let mut merged: Vec<(usize, T)> = Vec::with_capacity(num_tasks);
-        let mut dead = 0usize;
-        for h in handles {
-            match h.join() {
-                Ok(local) => merged.extend(local),
-                // Joining consumes the panic; surviving workers keep
-                // draining the shared counter in the meantime.
-                Err(_) => dead += 1,
-            }
-        }
-        (merged, dead)
-    })
-    .expect("all worker panics are consumed at join");
-    if dead_workers > 0 {
-        let mut present = vec![false; num_tasks];
-        for (i, _) in &indexed {
-            present[*i] = true;
-        }
-        let lost: Vec<usize> = (0..num_tasks).filter(|&i| !present[i]).collect();
-        telemetry::counter_add("run_parallel_worker_deaths_total", &[], dead_workers as u64);
+    let (slots, _stats) = sched::run_sharded(
+        num_tasks,
+        threads,
+        threads, // one shard per worker
+        sched::DEFAULT_QUEUE_CAPACITY,
+        None,
+        Backpressure::Block,
+        |i| i as u64,
+        |i, _| catch_unwind(AssertUnwindSafe(|| task(i))).ok(),
+    )
+    .expect("blocking backpressure never rejects a task");
+    let lost: Vec<usize> =
+        slots.iter().enumerate().filter(|(_, s)| s.is_none()).map(|(i, _)| i).collect();
+    if !lost.is_empty() {
         telemetry::counter_add("run_parallel_lost_tasks_total", &[], lost.len() as u64);
         eprintln!(
-            "run_parallel: {dead_workers} worker(s) panicked; lost results for \
-             {} of {num_tasks} task(s) at indices {lost:?}",
+            "run_parallel: {} of {num_tasks} task(s) panicked; dropped indices {lost:?}",
             lost.len()
         );
     }
-    indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().map(|(_, t)| t).collect()
+    slots.into_iter().flatten().collect()
 }
 
 /// Measures TE, CR and segment counts for every `(dataset, method, ε)`
@@ -369,8 +360,8 @@ mod tests {
 
     #[test]
     fn parallel_runner_survives_a_panicking_task() {
-        // The panicking closure kills one worker; the survivor drains the
-        // remaining indices, so exactly the panicking index is lost.
+        // The panic is trapped per task, so exactly the panicking index
+        // is dropped and both workers keep draining.
         let out = run_parallel(20, 2, |i| {
             if i == 0 {
                 panic!("injected worker panic");

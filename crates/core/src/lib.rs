@@ -10,6 +10,8 @@
 //! summaries ([`results`]) and the per-table/figure experiment
 //! reproductions ([`experiments`]). Store-backed runs route every
 //! transform through the chunked store ([`storeback`], DESIGN.md §12).
+//! The engine schedules onto a sharded work-stealing pool with bounded
+//! queues and deterministic chaos injection ([`sched`], DESIGN.md §15).
 
 pub mod advisor;
 pub mod artifact;
@@ -19,6 +21,7 @@ pub mod experiments;
 pub mod grid;
 pub mod results;
 pub mod scenario;
+pub mod sched;
 pub mod storeback;
 
 pub use advisor::{CompressionAdvisor, Recommendation};
@@ -31,4 +34,5 @@ pub use engine::{
 pub use grid::{run_compression_grid, run_forecast_grid, run_retrain_grid, GridConfig};
 pub use results::{failure_summary, CompressionRecord, ForecastRecord, TaskFailure};
 pub use scenario::{evaluate_scenario, retrain_scenario, transform_series, ScenarioOutcome};
+pub use sched::{Backpressure, ChaosEvent, ChaosSchedule, QueueFull, RunStats};
 pub use storeback::StoreBackend;

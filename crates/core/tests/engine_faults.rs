@@ -95,6 +95,29 @@ fn injected_faults_hit_exactly_their_coordinates() {
 }
 
 #[test]
+fn panicking_progress_callback_does_not_abort_a_real_grid() {
+    // Regression for the on_done escape: the progress callback used to
+    // run outside the worker's catch_unwind, so one panicking callback
+    // unwound the worker and the engine aborted through the scope join.
+    // On a real forecast grid the run must now complete with every
+    // record intact and the panic merely counted.
+    let cfg = config();
+    let ctx = GridContext::new(cfg.clone());
+    let tasks = ForecastTask::enumerate(&cfg);
+    let (outcomes, stats) = Engine::new(&ctx)
+        .threads(2)
+        .on_task_done(|ev| {
+            if ev.index == 1 {
+                panic!("scripted callback panic at task {}", ev.index);
+            }
+        })
+        .run_with_stats(&tasks);
+    assert_eq!(outcomes.len(), 4);
+    assert!(outcomes.iter().all(|o| o.is_ok()), "all grid tasks still succeed");
+    assert_eq!(stats.callback_panics, 1);
+}
+
+#[test]
 fn outcomes_identical_across_thread_counts() {
     let cfg = config();
     let tasks = faulty_tasks(&cfg);

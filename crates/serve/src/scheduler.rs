@@ -20,6 +20,7 @@
 //! [`Forecaster::predict_batch`]: forecast::Forecaster::predict_batch
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -134,27 +135,35 @@ impl Scheduler {
         &self.stats
     }
 
-    /// Submits one forecast job and blocks for its result. `window` must
-    /// already be `entry.input_len` long. Fails fast with
-    /// [`ServeError::Overloaded`] when `queue_depth` jobs are in flight.
+    /// Submits one forecast job and blocks for its result. A `window`
+    /// that is not exactly `entry.input_len` long is rejected with a
+    /// typed error before admission (it would otherwise panic a batch
+    /// worker during staging). Fails fast with [`ServeError::Overloaded`]
+    /// when `queue_depth` jobs are in flight; the admission slot is held
+    /// by an RAII guard, so every exit — success, error, or panic —
+    /// releases it.
     pub fn forecast(
         &self,
         entry: Arc<ModelEntry>,
         window: Vec<f64>,
     ) -> Result<Vec<f64>, ServeError> {
-        debug_assert_eq!(window.len(), entry.input_len);
-        // Admission: reserve an inflight slot or bounce. fetch_add then
-        // check keeps the fast path one atomic op; losers back out.
-        let depth = self.config.queue_depth;
-        if self.inflight.fetch_add(1, Ordering::AcqRel) >= depth {
-            self.inflight.fetch_sub(1, Ordering::AcqRel);
-            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
-            counter_add("serve_rejected_total", &[], 1);
-            return Err(ServeError::Overloaded { depth });
+        if window.len() != entry.input_len {
+            return Err(ServeError::Model(format!(
+                "window length {} does not match model input_len {}",
+                window.len(),
+                entry.input_len
+            )));
         }
-        let result = self.forecast_admitted(entry, window);
-        self.inflight.fetch_sub(1, Ordering::AcqRel);
-        result
+        let depth = self.config.queue_depth;
+        let _slot = match AdmissionGuard::try_acquire(&self.inflight, depth) {
+            Some(guard) => guard,
+            None => {
+                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                counter_add("serve_rejected_total", &[], 1);
+                return Err(ServeError::Overloaded { depth });
+            }
+        };
+        self.forecast_admitted(entry, window)
     }
 
     fn forecast_admitted(
@@ -180,6 +189,31 @@ impl Scheduler {
             Ok(Err(msg)) => Err(ServeError::Model(msg)),
             Err(_) => Err(ServeError::ShuttingDown),
         }
+    }
+}
+
+/// An occupied admission slot. Acquisition is one `fetch_add` with
+/// losers backing out; release happens in `Drop`, so no early return,
+/// `?`, or panic between admission and reply can leak the slot (the
+/// leak class the old manual `fetch_add`/`fetch_sub` pairs allowed).
+struct AdmissionGuard<'a> {
+    inflight: &'a AtomicUsize,
+}
+
+impl<'a> AdmissionGuard<'a> {
+    /// Reserves a slot if fewer than `depth` jobs are in flight.
+    fn try_acquire(inflight: &'a AtomicUsize, depth: usize) -> Option<AdmissionGuard<'a>> {
+        if inflight.fetch_add(1, Ordering::AcqRel) >= depth {
+            inflight.fetch_sub(1, Ordering::AcqRel);
+            return None;
+        }
+        Some(AdmissionGuard { inflight })
+    }
+}
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -279,19 +313,31 @@ fn run_batch(batch: Batch) {
         windows.data_mut()[row * input_len..(row + 1) * input_len].copy_from_slice(&job.window);
     }
     let started = Instant::now();
-    let result = {
+    // The model call is trapped: a panicking `predict_batch` must become
+    // an error reply to every job in the batch, not a dead worker thread
+    // that silently shrinks the pool for the rest of the process.
+    // (parking_lot mutexes do not poison, so the entry stays usable.)
+    let result = catch_unwind(AssertUnwindSafe(|| {
         let model = batch.entry.model.lock();
         model.predict_batch(&windows)
-    };
+    }));
     observe(
         "serve_predict_seconds",
         &[("model", &batch.entry.spec.model)],
         secs(started.elapsed()),
     );
     let preds = match result {
-        Ok(t) => t,
-        Err(e) => {
+        Ok(Ok(t)) => t,
+        Ok(Err(e)) => {
             let msg = e.to_string();
+            for job in batch.jobs {
+                let _ = job.reply.send(Err(msg.clone()));
+            }
+            return;
+        }
+        Err(payload) => {
+            counter_add("serve_predict_panics_total", &[], 1);
+            let msg = format!("predict_batch panicked: {}", panic_text(payload.as_ref()));
             for job in batch.jobs {
                 let _ = job.reply.send(Err(msg.clone()));
             }
@@ -308,6 +354,17 @@ fn run_batch(batch: Batch) {
     for (row, job) in batch.jobs.into_iter().enumerate() {
         let values = preds.data()[row * horizon..(row + 1) * horizon].to_vec();
         let _ = job.reply.send(Ok(values));
+    }
+}
+
+/// Extracts a readable message from a panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -423,17 +480,94 @@ mod tests {
     fn admission_control_bounds_inflight_jobs() {
         let entry = fitted_entry(1);
         let sched = Scheduler::start(SchedulerConfig { queue_depth: 1, ..Default::default() });
-        // Saturate the single slot from another thread by racing many
-        // submissions; at least the direct-overflow path must reject.
-        sched.inflight.store(1, Ordering::SeqCst);
-        let window: Vec<f64> = vec![0.0; INPUT_LEN];
-        match sched.forecast(Arc::clone(&entry), window) {
+        // Occupy the single slot through the real admission mechanism —
+        // the guard a concurrent in-flight forecast would hold.
+        let slot = AdmissionGuard::try_acquire(&sched.inflight, 1).expect("first slot is free");
+        match sched.forecast(Arc::clone(&entry), vec![0.0; INPUT_LEN]) {
             Err(ServeError::Overloaded { depth }) => assert_eq!(depth, 1),
             other => panic!("expected Overloaded, got {other:?}"),
         }
         assert_eq!(sched.stats().rejected.load(Ordering::Relaxed), 1);
-        sched.inflight.store(0, Ordering::SeqCst);
+        // Releasing the guard frees the slot for the next submission.
+        drop(slot);
         let served = sched.forecast(entry, vec![0.0; INPUT_LEN]).unwrap();
+        assert_eq!(served.len(), HORIZON);
+    }
+
+    #[test]
+    fn wrong_length_window_is_a_typed_error_not_a_worker_panic() {
+        // A short window used to survive until tensor staging in a batch
+        // worker, where `copy_from_slice` panicked and killed the worker.
+        // It must be rejected up front with a typed error.
+        let entry = fitted_entry(1);
+        let sched = Scheduler::start(SchedulerConfig::default());
+        match sched.forecast(Arc::clone(&entry), vec![0.0; INPUT_LEN - 1]) {
+            Err(ServeError::Model(msg)) => assert!(msg.contains("input_len"), "{msg}"),
+            other => panic!("expected Model error, got {other:?}"),
+        }
+        let served = sched.forecast(entry, vec![0.0; INPUT_LEN]).unwrap();
+        assert_eq!(served.len(), HORIZON);
+    }
+
+    /// A model whose predict path panics — stands in for any model bug
+    /// that unwinds inside `predict_batch`.
+    struct PanickyModel;
+
+    impl forecast::model::Forecaster for PanickyModel {
+        fn name(&self) -> &'static str {
+            "Panicky"
+        }
+        fn input_len(&self) -> usize {
+            INPUT_LEN
+        }
+        fn horizon(&self) -> usize {
+            HORIZON
+        }
+        fn fit(
+            &mut self,
+            _train: &tsdata::series::MultiSeries,
+            _val: &tsdata::series::MultiSeries,
+        ) -> Result<(), forecast::ForecastError> {
+            Ok(())
+        }
+        fn predict(&self, _inputs: &[Vec<f64>]) -> Result<Vec<f64>, forecast::ForecastError> {
+            panic!("injected model bug");
+        }
+    }
+
+    fn panicky_entry(id: u64) -> Arc<ModelEntry> {
+        let good = fitted_entry(id);
+        Arc::new(ModelEntry {
+            spec: good.spec.clone(),
+            key: good.key.clone(),
+            model: parking_lot::Mutex::new(Box::new(PanickyModel)),
+            input_len: INPUT_LEN,
+            horizon: HORIZON,
+            bytes: 64,
+            id,
+        })
+    }
+
+    #[test]
+    fn panicking_model_errors_jobs_without_leaking_slots_or_workers() {
+        // Regression for the admission-counter leak: with the old manual
+        // increment/decrement pairs, a panicking predict killed the batch
+        // worker, the reply channel died, and the guard-free error path
+        // meant repeated failures pinned `inflight` above the bound. The
+        // panic must now come back as a Model error, release its slot,
+        // and leave the worker pool alive.
+        let entry = panicky_entry(9);
+        let sched = Scheduler::start(SchedulerConfig { queue_depth: 2, ..Default::default() });
+        for _ in 0..5 {
+            match sched.forecast(Arc::clone(&entry), vec![0.0; INPUT_LEN]) {
+                Err(ServeError::Model(msg)) => assert!(msg.contains("panicked"), "{msg}"),
+                other => panic!("expected Model error, got {other:?}"),
+            }
+        }
+        assert_eq!(sched.inflight.load(Ordering::SeqCst), 0, "no admission slot leaked");
+        // More failures than workers existed, yet a healthy model still
+        // serves: no worker thread died to the panics.
+        let served = sched.forecast(fitted_entry(1), vec![0.0; INPUT_LEN]).unwrap();
         assert_eq!(served.len(), HORIZON);
     }
 }

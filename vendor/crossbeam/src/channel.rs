@@ -129,6 +129,11 @@ impl<T> Sender<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// The channel's fixed buffer capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.cap
+    }
 }
 
 impl<T> Receiver<T> {
@@ -195,6 +200,11 @@ impl<T> Receiver<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// The channel's fixed buffer capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.cap
+    }
 }
 
 impl<T> Clone for Sender<T> {
@@ -238,6 +248,13 @@ impl<T> Drop for Receiver<T> {
 mod tests {
     use super::*;
     use std::time::Duration;
+
+    #[test]
+    fn capacity_is_reported_on_both_ends() {
+        let (tx, rx) = bounded::<u8>(3);
+        assert_eq!(tx.capacity(), 3);
+        assert_eq!(rx.capacity(), 3);
+    }
 
     #[test]
     fn roundtrip_in_order() {
